@@ -1,0 +1,11 @@
+"""Ablations — investigator, balanced merge, async messaging, buffers."""
+
+from repro.experiments import ablations
+
+
+def test_ablations(regenerate, scale):
+    text = regenerate(ablations)
+    result = ablations.run(scale)
+    for name in result.rows:
+        assert result.improvement(name) > 1.0, name
+    assert "Ablations" in text

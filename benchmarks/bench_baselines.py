@@ -1,0 +1,11 @@
+"""Related-work comparison — sample sort vs bitonic vs radix."""
+
+from repro.experiments import baselines_comparison
+
+
+def test_baselines_comparison(regenerate, scale):
+    text = regenerate(baselines_comparison)
+    result = baselines_comparison.run(scale)
+    assert result.bitonic_moves_more()
+    assert result.radix_skew_penalty() > 2.0
+    assert "comparison" in text

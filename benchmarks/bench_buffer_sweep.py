@@ -1,0 +1,11 @@
+"""Buffer-size sweep — reconstructing the paper's 256KB measurement."""
+
+from repro.experiments import buffer_sweep
+
+
+def test_buffer_sweep(regenerate, scale):
+    text = regenerate(buffer_sweep)
+    result = buffer_sweep.run(scale)
+    assert result.paper_choice_competitive()
+    assert result.small_buffers_slow_the_exchange()
+    assert "256KB" in text

@@ -1,0 +1,12 @@
+"""Figure 10 — min/max processor load for sample sizes 0.004X, X, 1.4X."""
+
+from repro.experiments import fig10_sample_balance
+
+
+def test_fig10_sample_balance(regenerate, scale):
+    text = regenerate(fig10_sample_balance)
+    result = fig10_sample_balance.run(scale)
+    for p in result.processors:
+        assert result.spread(0.004, p) > result.spread(1.0, p)
+    assert result.x_balances_everywhere()
+    assert "Figure 10" in text

@@ -1,0 +1,10 @@
+"""Figure 11 — peak per-machine memory (RSS + temporary) vs processors."""
+
+from repro.experiments import fig11_memory
+
+
+def test_fig11_memory(regenerate, scale):
+    text = regenerate(fig11_memory)
+    result = fig11_memory.run(scale)
+    assert result.shrinks_with_processors()
+    assert "Figure 11" in text

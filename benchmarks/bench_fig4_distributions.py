@@ -1,0 +1,8 @@
+"""Figure 4 — regenerate the four input-distribution histograms + stats."""
+
+from repro.experiments import fig4_distributions
+
+
+def test_fig4_distributions(regenerate):
+    text = regenerate(fig4_distributions)
+    assert "uniform" in text and "exponential" in text

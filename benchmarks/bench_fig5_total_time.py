@@ -1,0 +1,13 @@
+"""Figure 5 — PGX.D total sort time across distributions and processors."""
+
+from repro.experiments import fig5_total_time
+
+
+def test_fig5_total_time(regenerate, scale):
+    text = regenerate(fig5_total_time)
+    result = fig5_total_time.run(scale)
+    # Paper shape: time falls with processors; distributions stay close.
+    for series in result.series.values():
+        assert series.y[-1] < series.y[0]
+    assert result.spread_at(max(scale.processors)) < 1.5
+    assert "Figure 5" in text

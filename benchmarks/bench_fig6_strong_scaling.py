@@ -1,0 +1,11 @@
+"""Figure 6 — strong scaling of PGX.D vs Spark (the 2x-3x headline)."""
+
+from repro.experiments import fig6_strong_scaling
+
+
+def test_fig6_strong_scaling(regenerate, scale):
+    text = regenerate(fig6_strong_scaling)
+    result = fig6_strong_scaling.run(scale)
+    for pg, sp in zip(result.pgxd_seconds.y, result.spark_seconds.y):
+        assert pg < sp  # PGX.D wins at every processor count
+    assert "Figure 6" in text

@@ -1,0 +1,11 @@
+"""Figure 7 — per-step execution time (exchange cheapest, sort dominates)."""
+
+from repro.experiments import fig7_step_breakdown
+
+
+def test_fig7_step_breakdown(regenerate, scale):
+    text = regenerate(fig7_step_breakdown)
+    result = fig7_step_breakdown.run(scale)
+    for kind in ("normal", "right-skewed"):
+        assert result.exchange_is_cheap(kind)
+    assert "Figure 7" in text

@@ -1,0 +1,11 @@
+"""Figure 8 — Twitter dataset: PGX.D vs Spark (2.6x at 52 processors)."""
+
+from repro.experiments import fig8_twitter
+
+
+def test_fig8_twitter(regenerate, scale):
+    text = regenerate(fig8_twitter)
+    result = fig8_twitter.run(scale)
+    for p in result.processors:
+        assert 1.2 < result.ratio_at(p) < 5.0
+    assert "Figure 8" in text

@@ -1,0 +1,11 @@
+"""Figure 9 — sample-size sweep: X minimizes total time and overhead."""
+
+from repro.experiments import fig9_sample_size
+
+
+def test_fig9_sample_size(regenerate, scale):
+    text = regenerate(fig9_sample_size)
+    result = fig9_sample_size.run(scale)
+    assert result.tiny_samples_hurt()
+    assert result.x_is_near_optimal()
+    assert "Figure 9" in text

@@ -1,0 +1,11 @@
+"""Ghost-node ablation — PageRank remote-traffic savings (substrate)."""
+
+from repro.experiments import ghost_ablation
+
+
+def test_ghost_ablation(regenerate, scale):
+    text = regenerate(ghost_ablation)
+    result = ghost_ablation.run(scale)
+    assert result.ghosting_helps()
+    assert result.saved_monotone()
+    assert "Ghost-node" in text

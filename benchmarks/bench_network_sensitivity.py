@@ -1,0 +1,13 @@
+"""Network sensitivity — bandwidth/latency sweeps (extension)."""
+
+from repro.experiments import network_sensitivity
+
+
+def test_network_sensitivity(regenerate, scale):
+    text = regenerate(network_sensitivity)
+    result = network_sensitivity.run(scale)
+    assert result.infiniband_exchange_is_cheap()
+    assert result.gigabit_is_network_bound()
+    assert result.latency_insensitive()
+    assert result.oversubscription_hurts()
+    assert "Network sensitivity" in text

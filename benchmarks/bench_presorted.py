@@ -1,0 +1,11 @@
+"""Presortedness study — TimSort's advantage on partially sorted data."""
+
+from repro.experiments import presorted
+
+
+def test_presorted(regenerate, scale):
+    text = regenerate(presorted)
+    result = presorted.run(scale)
+    assert result.spark_benefits_from_presortedness()
+    assert result.gap_narrows_when_presorted()
+    assert "Presortedness" in text

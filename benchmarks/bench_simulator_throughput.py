@@ -1,0 +1,30 @@
+"""Meta-benchmark: the simulator's own event throughput.
+
+Not a paper figure — this measures the reproduction infrastructure itself,
+so regressions in the event loop show up in benchmark history.  The
+workload is a message-heavy all-to-all ping storm across 16 ranks.
+"""
+
+from repro.simnet import Isend, NetworkModel, Recv, Simulator
+
+
+def run_ping_storm(ranks=16, rounds=20):
+    sim = Simulator(ranks, NetworkModel())
+
+    def program(proc):
+        for _ in range(rounds):
+            for offset in range(1, proc.size):
+                dst = (proc.rank + offset) % proc.size
+                yield Isend(dst=dst, nbytes=64, payload=None, tag=1)
+            for _ in range(proc.size - 1):
+                yield Recv(tag=1)
+
+    sim.add_program(program)
+    metrics = sim.run()
+    return metrics
+
+
+def test_simulator_throughput(benchmark):
+    metrics = benchmark.pedantic(run_ping_storm, rounds=1, iterations=1)
+    # 16 ranks x 20 rounds x 15 peers = 4800 messages delivered.
+    assert metrics.messages == 4800

@@ -1,0 +1,10 @@
+"""Splitter strategies — sampling vs histogram refinement (extension)."""
+
+from repro.experiments import splitter_strategies
+
+
+def test_splitter_strategies(regenerate, scale):
+    text = regenerate(splitter_strategies)
+    result = splitter_strategies.run(scale)
+    assert result.histogram_competitive()
+    assert "Splitter strategies" in text

@@ -1,0 +1,12 @@
+"""Straggler sensitivity — heterogeneous cluster (extension experiment)."""
+
+from repro.experiments import straggler
+
+
+def test_straggler(regenerate, scale):
+    text = regenerate(straggler)
+    result = straggler.run(scale)
+    assert result.both_monotone()
+    assert result.pgxd_degradation(4.0) > 2.0  # statically partitioned
+    assert result.gap_narrows()
+    assert "Straggler" in text

@@ -1,0 +1,15 @@
+"""Table II — per-processor data ratios after sorting, p=10."""
+
+from repro.experiments import table2_ratios
+
+
+def test_table2_ratios(regenerate, scale):
+    text = regenerate(table2_ratios)
+    result = table2_ratios.run(scale)
+    # Paper shape: every distribution lands near 10% per processor and the
+    # skewed rows contain an exactly-equal tied-value block.
+    for kind in result.ratios:
+        assert result.max_deviation(kind) < 0.035
+    assert result.tied_block_equal("right-skewed")
+    assert result.tied_block_equal("exponential")
+    assert "Table II" in text

@@ -1,0 +1,12 @@
+"""Table III — per-processor key ranges on the Twitter dataset."""
+
+from repro.experiments import table3_ranges
+
+
+def test_table3_ranges(regenerate, scale):
+    text = regenerate(table3_ranges)
+    result = table3_ranges.run(scale)
+    for p in (8, 12, 16):
+        assert result.boundaries_ordered(p)
+        assert result.covers_key_range(p)
+    assert "Table III" in text

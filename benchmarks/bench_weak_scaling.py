@@ -1,0 +1,10 @@
+"""Weak scaling — fixed per-processor volume (extension experiment)."""
+
+from repro.experiments import weak_scaling
+
+
+def test_weak_scaling(regenerate, scale):
+    text = regenerate(weak_scaling)
+    result = weak_scaling.run(scale)
+    assert result.acceptably_flat()
+    assert "Weak scaling" in text

@@ -1,0 +1,61 @@
+"""Writing your own cluster programs with the mpi4py-style facade.
+
+The simulator isn't only for the paper's sort: any MPI-flavoured program
+runs on the virtual cluster with `SimComm` + `mpi_run`, giving deterministic
+timing, traffic accounting, and a drop-in path to real mpi4py later.
+
+This example implements a distributed odd-even transposition sort — a third
+sorting algorithm in ~30 lines — and cross-checks it against the library's
+sample sort.
+
+Run:  python examples/mpi_style_program.py
+"""
+
+import numpy as np
+
+from repro import distributed_sort
+from repro.simnet import Compute
+from repro.simnet.mpi import mpi_run
+
+P = 8
+rng = np.random.default_rng(5)
+data = rng.integers(0, 100_000, 80_000)
+blocks = np.array_split(data, P)
+
+
+def odd_even_sort(comm):
+    """Block odd-even transposition: p phases of neighbour compare-splits."""
+    local = np.sort(blocks[comm.rank])
+    yield Compute(len(local) * 20 / 60e6)  # local sort cost
+    for phase in range(comm.size):
+        if phase % 2 == 0:
+            partner = comm.rank + 1 if comm.rank % 2 == 0 else comm.rank - 1
+        else:
+            partner = comm.rank + 1 if comm.rank % 2 == 1 else comm.rank - 1
+        if not 0 <= partner < comm.size:
+            yield from comm.barrier()
+            continue
+        theirs = yield from comm.sendrecv(local, dest=partner, source=partner)
+        merged = np.sort(np.concatenate([local, theirs]))
+        # Lower rank keeps the small half, higher rank the large half.
+        local = merged[: len(local)] if comm.rank < partner else merged[len(merged) - len(local):]
+        yield Compute(len(merged) / 250e6)  # merge cost
+        yield from comm.barrier()
+    return local
+
+
+results, metrics = mpi_run(P, odd_even_sort)
+flat = np.concatenate(results)
+assert np.array_equal(flat, np.sort(data)), "odd-even sort disagrees!"
+print(f"odd-even transposition sort: correct over {P} ranks")
+print(f"  virtual time: {metrics.makespan * 1e3:.3f} ms")
+print(f"  wire traffic: {metrics.remote_bytes / 1e6:.1f} MB in {metrics.messages} messages")
+
+reference = distributed_sort(data, num_processors=P)
+print(f"\nlibrary sample sort on the same data:")
+print(f"  virtual time: {reference.elapsed_seconds * 1e3:.3f} ms")
+print(f"  wire traffic: {reference.metrics.remote_bytes / 1e6:.1f} MB")
+print(
+    f"\nsample sort moves each key once; odd-even moves blocks {P} times "
+    f"({metrics.remote_bytes / max(reference.metrics.remote_bytes, 1):.1f}x the bytes)."
+)

@@ -1,0 +1,39 @@
+"""repro — load-balanced distributed sample sort on a simulated PGX.D runtime.
+
+Reproduction of Khatami et al., "A Load-Balanced Parallel and Distributed
+Sorting Algorithm Implemented with PGX.D" (IPPS 2017, arXiv:1611.00463).
+
+Public entry points:
+
+- :func:`repro.core.api.distributed_sort` / :class:`repro.core.api.DistributedSorter`
+  — the paper's six-step sorting algorithm on a simulated cluster.
+- :mod:`repro.workloads` — the paper's input distributions and the synthetic
+  Twitter-shaped graph workload.
+- :mod:`repro.baselines` — Spark ``sortByKey``, bitonic, radix and
+  no-investigator sample-sort baselines.
+- :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from importlib.metadata import PackageNotFoundError, version
+
+try:  # pragma: no cover - depends on install state
+    __version__ = version("repro")
+except PackageNotFoundError:  # pragma: no cover
+    __version__ = "0.0.0+uninstalled"
+
+__all__ = ["DistributedSorter", "SortConfig", "SortResult", "distributed_sort", "__version__"]
+
+_API = {"DistributedSorter", "SortConfig", "distributed_sort"}
+
+
+def __getattr__(name):
+    # Lazy so that `import repro.simnet` works without pulling the whole stack.
+    if name in _API:
+        from . import core
+
+        return getattr(core.api, name)
+    if name == "SortResult":
+        from .core.result import SortResult
+
+        return SortResult
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,21 @@
+"""Analysis utilities: load-balance metrics, table rendering, calibration."""
+
+from .calibration import CalibrationCheck, run_checks, summarize, thread_efficiency_profile
+from .load_balance import BalanceReport, compare_balance
+from .regression import ComparisonReport, Drift, compare
+from .tables import range_rows, ratio_row, to_markdown
+
+__all__ = [
+    "BalanceReport",
+    "CalibrationCheck",
+    "ComparisonReport",
+    "Drift",
+    "compare",
+    "compare_balance",
+    "range_rows",
+    "ratio_row",
+    "run_checks",
+    "summarize",
+    "thread_efficiency_profile",
+    "to_markdown",
+]

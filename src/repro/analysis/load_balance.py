@@ -1,0 +1,87 @@
+"""Load-balance metrics over per-processor key counts.
+
+Centralizes the statistics the paper reports: per-processor ratios
+(Table II), min/max spread (Figure 10), and the max-over-mean imbalance
+factor used throughout the evaluation and the ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BalanceReport:
+    """Summary statistics of one distribution of keys over processors."""
+
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        counts = np.asarray(self.counts)
+        if counts.ndim != 1:
+            raise ValueError("counts must be one-dimensional")
+        if counts.size == 0:
+            raise ValueError("counts must not be empty")
+        if np.any(counts < 0):
+            raise ValueError("counts must be non-negative")
+
+    @property
+    def total(self) -> int:
+        return int(np.sum(self.counts))
+
+    def ratios(self) -> np.ndarray:
+        """Fraction of all keys per processor (Table II's columns)."""
+        if self.total == 0:
+            return np.zeros(len(self.counts))
+        return np.asarray(self.counts) / self.total
+
+    def imbalance(self) -> float:
+        """Max over mean; 1.0 is perfect balance."""
+        counts = np.asarray(self.counts, dtype=np.float64)
+        if counts.sum() == 0:
+            return 1.0
+        return float(counts.max() / counts.mean())
+
+    def spread(self) -> int:
+        """Max minus min processor load (Figure 10's bars)."""
+        counts = np.asarray(self.counts)
+        return int(counts.max() - counts.min())
+
+    def relative_spread(self) -> float:
+        """Spread normalized by the mean load."""
+        counts = np.asarray(self.counts, dtype=np.float64)
+        mean = counts.mean()
+        return float(self.spread() / mean) if mean else 0.0
+
+    def coefficient_of_variation(self) -> float:
+        counts = np.asarray(self.counts, dtype=np.float64)
+        mean = counts.mean()
+        return float(counts.std() / mean) if mean else 0.0
+
+    def largest_equal_block(self, tol: float = 5e-4) -> int:
+        """Length of the longest run of (sorted) ratios equal within ``tol``
+        — how many processors share a tied-value division exactly
+        (Table II's 9.998% block)."""
+        r = np.sort(self.ratios())
+        best = run = 1
+        for a, b in zip(r, r[1:]):
+            run = run + 1 if abs(b - a) <= tol else 1
+            best = max(best, run)
+        return best
+
+
+def compare_balance(
+    counts_by_method: dict[str, np.ndarray],
+) -> dict[str, dict[str, float]]:
+    """Balance metrics for several methods over the same dataset."""
+    out: dict[str, dict[str, float]] = {}
+    for name, counts in counts_by_method.items():
+        report = BalanceReport(np.asarray(counts))
+        out[name] = {
+            "imbalance": report.imbalance(),
+            "spread": float(report.spread()),
+            "cv": report.coefficient_of_variation(),
+        }
+    return out

@@ -1,0 +1,136 @@
+"""Regression comparison of experiment results.
+
+``repro-experiments --json > baseline.json`` captures a full structured
+snapshot of every experiment; this module diffs two such snapshots so CI
+(or a developer after a cost-model change) can see exactly which numbers
+moved and by how much:
+
+    python -m repro.analysis.regression baseline.json current.json --tolerance 0.1
+
+Numeric leaves are compared with relative tolerance; structural changes
+(new/missing experiments or fields) are always reported.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One numeric leaf that moved beyond tolerance."""
+
+    path: str
+    baseline: float
+    current: float
+
+    @property
+    def relative(self) -> float:
+        denom = max(abs(self.baseline), 1e-300)
+        return abs(self.current - self.baseline) / denom
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return f"{self.path}: {self.baseline:.6g} -> {self.current:.6g} ({self.relative:+.1%})"
+
+
+@dataclass
+class ComparisonReport:
+    """Outcome of comparing two result snapshots."""
+
+    drifts: list[Drift]
+    missing: list[str]
+    added: list[str]
+    compared_leaves: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.drifts and not self.missing
+
+    def summary(self) -> str:
+        lines = [
+            f"compared {self.compared_leaves} numeric values: "
+            f"{len(self.drifts)} drifted, {len(self.missing)} missing, "
+            f"{len(self.added)} added"
+        ]
+        lines.extend(f"  DRIFT  {d}" for d in self.drifts)
+        lines.extend(f"  MISSING {path}" for path in self.missing)
+        lines.extend(f"  ADDED   {path}" for path in self.added)
+        return "\n".join(lines)
+
+
+def compare(
+    baseline,
+    current,
+    *,
+    tolerance: float = 0.1,
+    path: str = "",
+) -> ComparisonReport:
+    """Recursively diff two JSON-like structures.
+
+    Numbers within relative ``tolerance`` match; strings/bools must be
+    equal exactly; dict keys and list lengths are structural.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    report = ComparisonReport([], [], [], 0)
+    _walk(baseline, current, tolerance, path, report)
+    return report
+
+
+def _walk(base, cur, tol: float, path: str, report: ComparisonReport) -> None:
+    if isinstance(base, dict) and isinstance(cur, dict):
+        for key in base:
+            sub = f"{path}.{key}" if path else str(key)
+            if key not in cur:
+                report.missing.append(sub)
+            else:
+                _walk(base[key], cur[key], tol, sub, report)
+        for key in cur:
+            if key not in base:
+                report.added.append(f"{path}.{key}" if path else str(key))
+        return
+    if isinstance(base, list) and isinstance(cur, list):
+        if len(base) != len(cur):
+            report.missing.append(f"{path}[len {len(base)} != {len(cur)}]")
+            return
+        for i, (b, c) in enumerate(zip(base, cur)):
+            _walk(b, c, tol, f"{path}[{i}]", report)
+        return
+    if isinstance(base, bool) or isinstance(cur, bool):
+        report.compared_leaves += 1
+        if base != cur:
+            report.drifts.append(Drift(path, float(base), float(cur)))
+        return
+    if isinstance(base, (int, float)) and isinstance(cur, (int, float)):
+        report.compared_leaves += 1
+        denom = max(abs(base), 1e-300)
+        if abs(cur - base) / denom > tol and abs(cur - base) > 1e-12:
+            report.drifts.append(Drift(path, float(base), float(cur)))
+        return
+    if base != cur:
+        report.missing.append(f"{path}[{base!r} != {cur!r}]")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis.regression",
+        description="Diff two `repro-experiments --json` snapshots.",
+    )
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.1)
+    args = parser.parse_args(argv)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.current) as fh:
+        current = json.load(fh)
+    report = compare(baseline, current, tolerance=args.tolerance)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

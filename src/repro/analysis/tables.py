@@ -1,0 +1,59 @@
+"""Paper-style table rendering helpers.
+
+Thin formatting layer shared by the experiment CLI, the benchmark harness
+and ad-hoc analysis: ratio rows (Table II), range rows (Table III), and
+markdown output for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..experiments.common import format_table
+
+
+def ratio_row(label: str, ratios: np.ndarray) -> list[str]:
+    """One Table-II row: percentage strings per processor."""
+    return [label] + [f"{r * 100:.3f}%" for r in np.asarray(ratios)]
+
+
+def range_rows(
+    ranges_by_p: dict[int, list[tuple[float, float] | None]]
+) -> tuple[list[str], list[list[str]]]:
+    """Table-III layout: one row per processor id, one column per p."""
+    counts = sorted(ranges_by_p)
+    headers = ["proc"] + [f"p={p}" for p in counts]
+    rows: list[list[str]] = []
+    for i in range(max(counts)):
+        row = [f"proc{i}"]
+        for p in counts:
+            spans = ranges_by_p[p]
+            if i < p and spans[i] is not None:
+                lo, hi = spans[i]
+                row.append(f"{lo:.2f} - {hi:.2f}")
+            else:
+                row.append("")
+        rows.append(row)
+    return headers, rows
+
+
+def to_markdown(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
+    head = "| " + " | ".join(str(h) for h in headers) + " |"
+    sep = "|" + "|".join("---" for _ in headers) + "|"
+    body = [
+        "| " + " | ".join(_fmt(c) for c in row) + " |"
+        for row in rows
+    ]
+    return "\n".join([head, sep, *body])
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}" if abs(cell) < 1000 else f"{cell:.1f}"
+    return str(cell)
+
+
+__all__ = ["format_table", "range_rows", "ratio_row", "to_markdown"]

@@ -1,0 +1,42 @@
+"""Ablation baseline: sample sort *without* the paper's contributions.
+
+Same six-step pipeline as :func:`repro.distributed_sort` but with the
+paper's two mechanisms disabled:
+
+* **no investigator** — duplicated splitters fall back to plain binary
+  search (Figure 3b), so tied key ranges pile onto single processors;
+* **no balanced-merge handler** — thread runs and received runs are folded
+  sequentially instead of merged pairwise in parallel.
+
+The ablation benchmarks quantify each mechanism's contribution by flipping
+them independently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.api import DistributedSorter
+from ..core.result import SortResult
+
+
+def naive_sample_sort(
+    data: np.ndarray,
+    num_processors: int = 8,
+    *,
+    investigator: bool = False,
+    balanced_merge: bool = False,
+    **overrides,
+) -> SortResult:
+    """Run the sample sort with the paper's mechanisms switched off.
+
+    Both switches default to off (the fully naive baseline); pass one of
+    them as True to ablate a single mechanism.
+    """
+    sorter = DistributedSorter(
+        num_processors=num_processors,
+        investigator=investigator,
+        balanced_merge=balanced_merge,
+        **overrides,
+    )
+    return sorter.sort(data)

@@ -1,0 +1,95 @@
+"""Minimal RDD and range partitioner, enough to express ``sortByKey``.
+
+Spark's distributed sort (section II of the paper) has three stages over an
+RDD: *sample* (reservoir-sample each partition, driver picks range bounds),
+*map* (partition records by range), *reduce* (fetch + locally sort each
+range).  This module provides the data-plane pieces: a partitioned dataset
+and the RangePartitioner's bound selection / key routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class RDD:
+    """A dataset split into ordered partitions (numpy arrays)."""
+
+    partitions: list[np.ndarray]
+
+    def __post_init__(self) -> None:
+        if not all(isinstance(p, np.ndarray) for p in self.partitions):
+            raise TypeError("RDD partitions must be numpy arrays")
+
+    @classmethod
+    def from_array(cls, data: np.ndarray, num_partitions: int) -> "RDD":
+        """Block-split driver data into ``num_partitions`` partitions."""
+        data = np.asarray(data)
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        n = len(data)
+        bounds = [n * i // num_partitions for i in range(num_partitions + 1)]
+        return cls([data[lo:hi] for lo, hi in zip(bounds, bounds[1:])])
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    def count(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+    def collect(self) -> np.ndarray:
+        if not self.partitions:
+            return np.empty(0)
+        return np.concatenate(self.partitions)
+
+    def nbytes(self) -> int:
+        return sum(int(p.nbytes) for p in self.partitions)
+
+
+def reservoir_sample(partition: np.ndarray, k: int, seed: int) -> np.ndarray:
+    """Uniform sample of up to ``k`` elements (Algorithm R, vectorized).
+
+    Spark's RangePartitioner sketches each partition this way; unlike the
+    PGX.D sorter's *regular* samples these are unordered random picks.
+    """
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    n = len(partition)
+    if n <= k:
+        return partition.copy()
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(n, size=k, replace=False)
+    return partition[idx]
+
+
+def determine_bounds(samples: np.ndarray, num_partitions: int) -> np.ndarray:
+    """Range-partition bounds from collected samples (driver side).
+
+    Simplified from Spark's weighted version (our partitions are equal
+    sized, so the weights are uniform): sort the samples and take the
+    ``num_partitions - 1`` quantile values.
+    """
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    samples = np.sort(np.asarray(samples), kind="stable")
+    if num_partitions == 1 or len(samples) == 0:
+        return samples[:0].copy()
+    positions = (np.arange(1, num_partitions, dtype=np.int64) * len(samples)) // num_partitions
+    positions = np.minimum(positions, len(samples) - 1)
+    return samples[positions].copy()
+
+
+def partition_by_range(keys: np.ndarray, bounds: np.ndarray) -> np.ndarray:
+    """Destination partition id for every key (RangePartitioner.getPartition).
+
+    Keys <= bounds[0] go to partition 0, keys in (bounds[i-1], bounds[i]]
+    to partition i — Spark's convention (``lteq`` binary search).
+    """
+    keys = np.asarray(keys)
+    if len(bounds) == 0:
+        return np.zeros(len(keys), dtype=np.int64)
+    return np.searchsorted(bounds, keys, side="left").astype(np.int64)

@@ -1,0 +1,87 @@
+"""The paper's contribution: load-balanced distributed sample sort.
+
+Six steps (section IV), each in its own module:
+
+1. :mod:`repro.core.local_sort` — parallel quicksort per machine,
+2. :mod:`repro.core.sampling` — regular 256KB/p sampling,
+3. :mod:`repro.core.splitters` — Master-side splitter selection,
+4. :mod:`repro.core.investigator` — duplicate-aware partition cuts,
+5. :mod:`repro.core.exchange` — asynchronous all-to-all redistribution,
+6. :mod:`repro.core.balanced_merge` — the pairwise balanced-merge handler,
+
+orchestrated by :mod:`repro.core.sorter` and exposed through
+:mod:`repro.core.api`.
+"""
+
+from . import api  # noqa: F401  (re-exported for repro.__getattr__)
+from .api import DistributedSorter, SortConfig, distributed_sort, partition_input
+from .balanced_merge import (
+    MergeOutcome,
+    balanced_merge,
+    kway_merge,
+    kway_merge_cost_seconds,
+    merge_cost_seconds,
+    merge_two,
+    sequential_fold_merge,
+)
+from .exchange import ExchangeResult, exchange_partitions
+from .hist_splitters import histogram_splitters, local_histogram
+from .investigator import (
+    CutResult,
+    compute_cuts,
+    compute_cuts_naive,
+    cuts_to_counts,
+    slices_from_cuts,
+)
+from .local_backend import LocalSortOutput, local_sample_sort, sample_sort_partition
+from .local_sort import LocalSortResult, parallel_quicksort, split_into_chunks
+from .provenance import Provenance
+from .result import SortResult
+from .sampling import sample_count, select_regular_samples
+from .sorter import MASTER, STEP_LABELS, RankSortOutput, SortOptions, sample_sort_program
+from .splitters import merge_samples, select_splitters
+from .verify import VerificationReport, summarize_input, verify_distributed, verify_program
+
+__all__ = [
+    "MASTER",
+    "STEP_LABELS",
+    "CutResult",
+    "DistributedSorter",
+    "ExchangeResult",
+    "LocalSortOutput",
+    "LocalSortResult",
+    "MergeOutcome",
+    "Provenance",
+    "RankSortOutput",
+    "SortConfig",
+    "SortOptions",
+    "VerificationReport",
+    "SortResult",
+    "balanced_merge",
+    "compute_cuts",
+    "compute_cuts_naive",
+    "cuts_to_counts",
+    "distributed_sort",
+    "exchange_partitions",
+    "histogram_splitters",
+    "kway_merge",
+    "kway_merge_cost_seconds",
+    "local_histogram",
+    "local_sample_sort",
+    "merge_cost_seconds",
+    "merge_samples",
+    "merge_two",
+    "parallel_quicksort",
+    "partition_input",
+    "sample_count",
+    "sample_sort_partition",
+    "sample_sort_program",
+    "select_regular_samples",
+    "select_splitters",
+    "sequential_fold_merge",
+    "slices_from_cuts",
+    "split_into_chunks",
+    "summarize_input",
+    "verify_distributed",
+    "verify_program",
+]

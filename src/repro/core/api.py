@@ -1,0 +1,251 @@
+"""Public API: configure a cluster, sort data, query the result.
+
+Quickstart::
+
+    import numpy as np
+    from repro import distributed_sort
+
+    data = np.random.default_rng(0).integers(0, 1000, 1 << 20)
+    result = distributed_sort(data, num_processors=8)
+    assert result.is_globally_sorted()
+    print(result.ratios())          # load per processor (Table II)
+    print(result.elapsed_seconds)   # virtual cluster time
+
+The sort is generic over numeric dtypes ("a generic [API] that works with
+any data type"), supports payload columns via provenance
+(:meth:`SortResult.gather_values`), and can sort several datasets in one
+cluster launch (:meth:`DistributedSorter.sort_multi` — "able to sort
+different data simultaneously").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..pgxd.config import PgxdConfig
+from ..pgxd.runtime import Machine, PgxdRuntime
+from ..simnet.cost import CostModel
+from ..simnet.network import NetworkModel
+from .result import SortResult
+from .sorter import RankSortOutput, SortOptions, sample_sort_program
+
+
+@dataclass(frozen=True)
+class SortConfig:
+    """Everything needed to stand up a cluster and run the paper's sort."""
+
+    num_processors: int = 8
+    pgxd: PgxdConfig = field(default_factory=PgxdConfig)
+    network: NetworkModel = field(default_factory=NetworkModel)
+    cost: CostModel = field(default_factory=CostModel)
+    options: SortOptions = field(default_factory=SortOptions)
+    #: Optional per-machine speed factors (heterogeneous cluster).
+    rank_speed: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_processors < 1:
+            raise ValueError("num_processors must be >= 1")
+        if self.rank_speed is not None and len(self.rank_speed) != self.num_processors:
+            raise ValueError("rank_speed needs one factor per processor")
+
+    def runtime(self) -> PgxdRuntime:
+        return PgxdRuntime(
+            self.num_processors,
+            config=self.pgxd,
+            network=self.network,
+            cost=self.cost,
+            rank_speed=self.rank_speed,
+        )
+
+
+def partition_input(data: np.ndarray, num_processors: int) -> tuple[list[np.ndarray], np.ndarray]:
+    """Block-partition driver data into per-processor inputs + offsets.
+
+    Matches the paper's setup where each machine starts with an equal share
+    of the unsorted input.
+    """
+    data = np.asarray(data)
+    if data.ndim != 1:
+        raise ValueError("distributed_sort expects a one-dimensional array")
+    n = len(data)
+    bounds = [n * i // num_processors for i in range(num_processors + 1)]
+    blocks = [data[lo:hi] for lo, hi in zip(bounds, bounds[1:])]
+    return blocks, np.array(bounds[:-1], dtype=np.int64)
+
+
+class DistributedSorter:
+    """Reusable, configured distributed sorter.
+
+    Construction is cheap; every :meth:`sort` builds a fresh deterministic
+    simulation, so one sorter can serve a whole parameter sweep.
+    """
+
+    def __init__(self, config: SortConfig | None = None, **overrides):
+        """``overrides`` are conveniences lifted to the right sub-config:
+        ``num_processors``, ``sample_factor``, ``investigator``,
+        ``balanced_merge``, ``track_provenance``, ``splitter_strategy``,
+        ``threads_per_machine``, ``async_messaging``, ``read_buffer_bytes``,
+        ``parallel_merge``, ``data_scale``, ``network``, ``cost``,
+        ``rank_speed``."""
+        config = config or SortConfig()
+        opt_fields = {
+            "sample_factor",
+            "investigator",
+            "balanced_merge",
+            "track_provenance",
+            "splitter_strategy",
+        }
+        pgxd_fields = {
+            "threads_per_machine",
+            "async_messaging",
+            "read_buffer_bytes",
+            "parallel_merge",
+            "data_scale",
+        }
+        opts = {k: v for k, v in overrides.items() if k in opt_fields}
+        pgxd = {k: v for k, v in overrides.items() if k in pgxd_fields}
+        rest = {
+            k: v for k, v in overrides.items() if k not in opt_fields | pgxd_fields
+        }
+        unknown = set(rest) - {"num_processors", "network", "cost", "rank_speed"}
+        if unknown:
+            raise TypeError(f"unknown sorter options: {sorted(unknown)}")
+        self.config = SortConfig(
+            num_processors=rest.get("num_processors", config.num_processors),
+            pgxd=config.pgxd.with_overrides(**pgxd) if pgxd else config.pgxd,
+            network=rest.get("network", config.network),
+            cost=rest.get("cost", config.cost),
+            rank_speed=(
+                tuple(rest["rank_speed"])
+                if rest.get("rank_speed") is not None
+                else config.rank_speed
+            ),
+            options=(
+                SortOptions(**{**_options_dict(config.options), **opts})
+                if opts
+                else config.options
+            ),
+        )
+
+    # ------------------------------------------------------------- sorts
+
+    def sort(self, data: np.ndarray) -> SortResult:
+        """Sort a driver-side array across the simulated cluster."""
+        blocks, offsets = partition_input(data, self.config.num_processors)
+        return self.sort_partitioned(blocks, input_offsets=offsets)
+
+    def sort_partitioned(
+        self, blocks: Sequence[np.ndarray], *, input_offsets: np.ndarray | None = None
+    ) -> SortResult:
+        """Sort data already distributed as one block per processor."""
+        p = self.config.num_processors
+        if len(blocks) != p:
+            raise ValueError(f"need {p} blocks, got {len(blocks)}")
+        if input_offsets is None:
+            sizes = [len(b) for b in blocks]
+            input_offsets = np.concatenate(([0], np.cumsum(sizes[:-1]))).astype(np.int64)
+        runtime = self.config.runtime()
+
+        def program(machine: Machine):
+            return (
+                yield from sample_sort_program(
+                    machine, blocks[machine.rank], self.config.options
+                )
+            )
+
+        run = runtime.run(program)
+        outputs: list[RankSortOutput] = run.results
+        return SortResult.from_rank_outputs(outputs, run.metrics, input_offsets)
+
+    def sort_multi(self, datasets: Sequence[np.ndarray]) -> list[SortResult]:
+        """Sort several datasets in one cluster launch.
+
+        The datasets are processed back-to-back inside a single simulation,
+        so later sorts reuse the warm cluster — the paper's "sort multiple
+        different data simultaneously" API.  Returns one result per input.
+        """
+        if not datasets:
+            return []
+        p = self.config.num_processors
+        per_dataset = [partition_input(d, p) for d in datasets]
+        runtime = self.config.runtime()
+
+        def program(machine: Machine):
+            outs = []
+            for blocks, _ in per_dataset:
+                out = yield from sample_sort_program(
+                    machine, blocks[machine.rank], self.config.options
+                )
+                outs.append(out)
+            return outs
+
+        run = runtime.run(program)
+        results = []
+        for i, (_, offsets) in enumerate(per_dataset):
+            outputs = [run.results[r][i] for r in range(p)]
+            results.append(SortResult.from_rank_outputs(outputs, run.metrics, offsets))
+        return results
+
+    def sort_records(
+        self, records: np.ndarray, order: str | Sequence[str]
+    ) -> tuple[SortResult, np.ndarray]:
+        """Sort a numpy structured array by one or more of its fields.
+
+        The selected field (or lexicographic field tuple) provides the
+        distributed sort keys; the full records are then gathered into key
+        order through provenance — one exchange for the keys, zero extra
+        sorting for the payload.  Returns the sort result (for range/origin
+        queries) and the reordered records.
+        """
+        if records.dtype.names is None:
+            raise TypeError("sort_records expects a numpy structured array")
+        fields = [order] if isinstance(order, str) else list(order)
+        if not fields:
+            raise ValueError("order must name at least one field")
+        missing = [f for f in fields if f not in records.dtype.names]
+        if missing:
+            raise KeyError(
+                f"fields {missing} not in record fields {records.dtype.names}"
+            )
+        # A multi-field key is a structured view: numpy compares such
+        # records lexicographically, which the whole pipeline (sort, merge,
+        # searchsorted, unique) supports natively.
+        keys = records[fields[0]] if len(fields) == 1 else np.ascontiguousarray(records[fields])
+        result = self.sort(keys)
+        return result, result.gather_values(records)
+
+    def sort_with_values(
+        self, keys: np.ndarray, values: dict[str, np.ndarray]
+    ) -> tuple[SortResult, dict[str, np.ndarray]]:
+        """Sort ``keys`` and reorder payload columns into key order.
+
+        Every array in ``values`` must align with ``keys``; the returned
+        dict holds each column permuted to match ``result.to_array()``.
+        """
+        keys = np.asarray(keys)
+        for name, col in values.items():
+            if len(col) != len(keys):
+                raise ValueError(f"column {name!r} does not align with keys")
+        result = self.sort(keys)
+        return result, {name: result.gather_values(col) for name, col in values.items()}
+
+
+def distributed_sort(
+    data: np.ndarray, num_processors: int = 8, **overrides
+) -> SortResult:
+    """One-shot convenience wrapper around :class:`DistributedSorter`."""
+    sorter = DistributedSorter(num_processors=num_processors, **overrides)
+    return sorter.sort(data)
+
+
+def _options_dict(options: SortOptions) -> dict:
+    return {
+        "sample_factor": options.sample_factor,
+        "investigator": options.investigator,
+        "balanced_merge": options.balanced_merge,
+        "track_provenance": options.track_provenance,
+        "splitter_strategy": options.splitter_strategy,
+    }

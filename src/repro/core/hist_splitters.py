@@ -1,0 +1,137 @@
+"""Histogram-refinement splitter selection (extension, not in the paper).
+
+The paper's sampling step trades splitter quality against the 256KB/p
+sample volume (Figure 9).  The classic alternative — used by histogram
+sort and HykSort — removes the trade-off: instead of shipping *data* to the
+Master, every processor ships fixed-size *histograms* of its (already
+sorted) local keys over a shared set of bin edges; the Master locates each
+target quantile's bin and the cluster iteratively refines just those bins.
+Convergence is geometric: ``rounds`` iterations with ``bins`` buckets bound
+every splitter's rank error by ``N / bins^rounds``.
+
+Implemented here as a drop-in replacement for steps 2-3 of the sorter
+(``SortOptions.splitter_strategy = "histogram"``), with the ablation
+benchmark comparing both strategies on duplicate-heavy data.  Numeric keys
+only (histogram bins need arithmetic on the key space); the sample strategy
+remains the default and works for any sortable dtype.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ..pgxd.runtime import Machine
+from ..simnet.collectives import allgather
+from .sorter_labels import STEP_LABELS
+
+#: Histogram buckets per refinement round.
+DEFAULT_BINS = 128
+
+#: Refinement rounds (rank error <= N / bins^rounds).
+DEFAULT_ROUNDS = 3
+
+
+def local_histogram(sorted_keys: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Counts of keys in ``[edges[i], edges[i+1])`` via binary search.
+
+    Sorted input makes this O(bins log n) instead of O(n): one searchsorted
+    per edge.  The final bin is closed on the right so the maximum key is
+    counted.
+    """
+    positions = np.searchsorted(sorted_keys, edges, side="left")
+    counts = np.diff(positions)
+    if len(counts):
+        counts = counts.copy()
+        counts[-1] += len(sorted_keys) - positions[-1]
+    return counts.astype(np.int64)
+
+
+def refine_edges(
+    edges: np.ndarray,
+    global_hist: np.ndarray,
+    targets: np.ndarray,
+    bins: int,
+) -> np.ndarray:
+    """Next round's edge set: subdivide every bin containing a target rank."""
+    cum = np.concatenate(([0], np.cumsum(global_hist)))
+    new_edges: list[np.ndarray] = [edges[:1], edges[-1:]]
+    per_bin = max(bins // max(len(targets), 1), 2)
+    for t in targets:
+        b = int(np.searchsorted(cum, t, side="right")) - 1
+        b = min(max(b, 0), len(global_hist) - 1)
+        new_edges.append(np.linspace(edges[b], edges[b + 1], per_bin + 1))
+    # Keep the global extremes so every refined edge set still covers the
+    # whole key range: the cumulative counts must align with *global* ranks.
+    merged = np.unique(np.concatenate(new_edges))
+    return merged
+
+
+def select_from_histogram(
+    edges: np.ndarray, global_hist: np.ndarray, targets: np.ndarray
+) -> np.ndarray:
+    """Final splitters: the left edge of each target's bin."""
+    cum = np.concatenate(([0], np.cumsum(global_hist)))
+    out = []
+    for t in targets:
+        b = int(np.searchsorted(cum, t, side="right")) - 1
+        b = min(max(b, 0), len(global_hist) - 1)
+        out.append(edges[b + 1])
+    return np.array(out)
+
+
+def histogram_splitters(
+    machine: Machine,
+    sorted_keys: np.ndarray,
+    *,
+    rounds: int = DEFAULT_ROUNDS,
+    bins: int = DEFAULT_BINS,
+) -> Generator:
+    """Generator: agree on ``p-1`` splitters by iterative histogramming.
+
+    Every rank participates (allgather-based — there is no privileged
+    Master, another difference from the sampling protocol).  Returns the
+    splitter array, sorted, possibly with duplicates on duplicate-heavy
+    data — which the investigator then handles exactly as with sampled
+    splitters.
+    """
+    if not np.issubdtype(sorted_keys.dtype, np.number):
+        raise TypeError("histogram splitters require numeric keys")
+    proc = machine.proc
+    size = machine.size
+    cost, scale = machine.cost, machine.config.data_scale
+    lo = float(sorted_keys[0]) if len(sorted_keys) else np.inf
+    hi = float(sorted_keys[-1]) if len(sorted_keys) else -np.inf
+    extents = yield from allgather(proc, (lo, hi, len(sorted_keys)))
+    global_lo = min(e[0] for e in extents)
+    global_hi = max(e[1] for e in extents)
+    total = sum(e[2] for e in extents)
+    if total == 0 or size == 1:
+        return sorted_keys[:0].copy()
+    if not np.isfinite(global_lo) or global_lo == global_hi:
+        # Degenerate span: every key identical -> all splitters equal it.
+        value = global_lo if np.isfinite(global_lo) else 0
+        return np.full(size - 1, value, dtype=sorted_keys.dtype)
+    targets = (np.arange(1, size, dtype=np.float64) * total) / size
+    edges = np.linspace(global_lo, global_hi, bins + 1)
+    hist_edges = edges
+    global_hist = np.zeros(bins, dtype=np.int64)
+    for _ in range(max(rounds, 1)):
+        hist = local_histogram(sorted_keys, edges)
+        # Each round is one binary-search sweep plus a histogram allgather.
+        yield machine.compute(
+            cost.binary_search_seconds(len(edges), int(len(sorted_keys) * scale)),
+            STEP_LABELS[1],
+        )
+        all_hists = yield from allgather(proc, hist)
+        global_hist = np.sum(all_hists, axis=0)
+        hist_edges = edges
+        refined = refine_edges(edges, global_hist, targets, bins)
+        if len(refined) < 2:
+            break
+        edges = refined
+    # Select from the last aggregated histogram (aligned with hist_edges).
+    splitters = select_from_histogram(hist_edges, global_hist, targets)
+    splitters = np.sort(splitters).astype(sorted_keys.dtype, copy=False)
+    return splitters

@@ -1,0 +1,132 @@
+"""Reference backend: the six-step algorithm without the simulator.
+
+Runs the paper's sample sort as plain function calls — no virtual cluster,
+no cost model, no message passing — reusing the exact step implementations
+(regular sampling, Master splitter selection, the investigator, the
+balanced-merge handler).  Three uses:
+
+* a **cross-validation oracle**: the simulated cluster must produce
+  *bit-identical* per-processor outputs (asserted in tests), which pins the
+  simulation's data plane to the algorithm specification;
+* a **pure-algorithm library** for users who want the partitioning logic
+  (e.g. to shard data for real workers) without simulation machinery;
+* the **porting template** for a real mpi4py/dask deployment: each stage
+  below maps one-to-one onto the collective calls of
+  :mod:`repro.simnet.mpi`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .balanced_merge import balanced_merge, sequential_fold_merge
+from .investigator import compute_cuts, compute_cuts_naive, slices_from_cuts
+from .provenance import Provenance
+from .sampling import sample_count, select_regular_samples
+from .sorter import SortOptions
+from .splitters import merge_samples, select_splitters
+
+from ..pgxd.config import PgxdConfig
+
+
+@dataclass(frozen=True)
+class LocalSortOutput:
+    """Reference-backend result: partitions + provenance, no timing."""
+
+    per_processor: list[np.ndarray]
+    provenance: list[Provenance]
+    splitters: np.ndarray
+
+    def to_array(self) -> np.ndarray:
+        if not self.per_processor:
+            return np.empty(0)
+        return np.concatenate(self.per_processor)
+
+
+def local_sample_sort(
+    blocks: list[np.ndarray],
+    options: SortOptions | None = None,
+    config: PgxdConfig | None = None,
+) -> LocalSortOutput:
+    """Run steps 1-6 over already-partitioned blocks, in-process.
+
+    ``blocks[i]`` is processor ``i``'s unsorted input; the output follows
+    the same conventions as the simulated sorter (ascending across
+    processors, provenance per element).
+    """
+    options = options or SortOptions()
+    config = config or PgxdConfig()
+    p = len(blocks)
+    if p == 0:
+        raise ValueError("need at least one block")
+    blocks = [np.ascontiguousarray(b) for b in blocks]
+    # Step 1: local sort with permutation.
+    sorted_keys: list[np.ndarray] = []
+    perms: list[np.ndarray] = []
+    for block in blocks:
+        order = np.argsort(block, kind="stable").astype(np.int32)
+        sorted_keys.append(block[order])
+        perms.append(order)
+    if p == 1:
+        prov = Provenance(np.zeros(len(blocks[0]), dtype=np.int16), perms[0])
+        return LocalSortOutput(
+            [sorted_keys[0]], [prov], sorted_keys[0][:0].copy()
+        )
+    # Steps 2-3: regular samples to the Master, splitter selection.
+    itemsize = blocks[0].dtype.itemsize
+    count = sample_count(config, p, itemsize, options.sample_factor)
+    samples = [select_regular_samples(keys, count) for keys in sorted_keys]
+    splitters = select_splitters(merge_samples(samples), p)
+    # Step 4: cuts (with or without the investigator).
+    if len(splitters) == 0:
+        cuts_per_rank = [np.full(p - 1, len(keys), dtype=np.int64) for keys in sorted_keys]
+    else:
+        cut_fn = compute_cuts if options.investigator else compute_cuts_naive
+        cuts_per_rank = [cut_fn(keys, splitters).cuts for keys in sorted_keys]
+    # Step 5: the "exchange" — in-process routing of slices.
+    key_runs: list[list[np.ndarray]] = [[] for _ in range(p)]
+    idx_runs: list[list[np.ndarray]] = [[] for _ in range(p)]
+    src_runs: list[list[int]] = [[] for _ in range(p)]
+    for src in range(p):
+        slices = slices_from_cuts(cuts_per_rank[src], len(sorted_keys[src]))
+        for dst, sl in enumerate(slices):
+            key_runs[dst].append(sorted_keys[src][sl])
+            idx_runs[dst].append(perms[src][sl])
+            src_runs[dst].append(src)
+    # Step 6: balanced merge with provenance.
+    per_processor: list[np.ndarray] = []
+    provenance: list[Provenance] = []
+    merge_fn = balanced_merge if options.balanced_merge else sequential_fold_merge
+    for dst in range(p):
+        aux = [
+            [idx, np.full(len(run), src, dtype=np.int16)]
+            for run, idx, src in zip(key_runs[dst], idx_runs[dst], src_runs[dst])
+        ]
+        outcome = merge_fn(key_runs[dst], aux)
+        per_processor.append(outcome.keys)
+        if outcome.aux:
+            provenance.append(Provenance(outcome.aux[1], outcome.aux[0]))
+        else:
+            provenance.append(Provenance.empty())
+    return LocalSortOutput(per_processor, provenance, splitters)
+
+
+def sample_sort_partition(
+    data: np.ndarray,
+    num_partitions: int,
+    options: SortOptions | None = None,
+) -> list[np.ndarray]:
+    """Partition driver data into globally ordered sorted shards.
+
+    Convenience wrapper: block-split, run the reference backend, return the
+    per-partition sorted arrays (shard ``i`` holds keys below shard
+    ``i+1``'s).
+    """
+    data = np.asarray(data)
+    if num_partitions < 1:
+        raise ValueError("num_partitions must be >= 1")
+    bounds = [len(data) * i // num_partitions for i in range(num_partitions + 1)]
+    blocks = [data[lo:hi] for lo, hi in zip(bounds, bounds[1:])]
+    return local_sample_sort(blocks, options).per_processor

@@ -1,0 +1,53 @@
+"""Provenance: tracking each key's previous processor and location.
+
+Step 6 of the paper: "all data is merged together while keeping information
+regards to their previous processors and locations", and the sorting library
+"provides an API for the users to ... [find] information regards to the
+previous processors and the previous indexes of the new received data entry".
+
+Provenance arrays ride along keys through the local sort (as the argsort
+permutation), the exchange (origin indexes travel with the key chunks, the
+origin processor is the message source), and every balanced merge (as aux
+arrays).  The final :class:`Provenance` is what makes sort-by-key of payload
+columns and origin queries possible without re-sorting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Origin of every key held by one processor after the sort."""
+
+    #: Processor that held the key before the exchange.
+    origin_proc: np.ndarray
+    #: Index within the origin processor's *original* (unsorted) local data.
+    origin_index: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.origin_proc) != len(self.origin_index):
+            raise ValueError("origin arrays must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.origin_proc)
+
+    def nbytes(self) -> int:
+        return int(self.origin_proc.nbytes + self.origin_index.nbytes)
+
+    def global_indices(self, input_offsets: np.ndarray) -> np.ndarray:
+        """Map (origin_proc, origin_index) to indices in the driver's
+        concatenated input array, given each processor's start offset."""
+        input_offsets = np.asarray(input_offsets, dtype=np.int64)
+        if self.origin_proc.size and (
+            self.origin_proc.min() < 0 or self.origin_proc.max() >= len(input_offsets)
+        ):
+            raise ValueError("origin_proc out of range for the given offsets")
+        return input_offsets[self.origin_proc] + self.origin_index
+
+    @classmethod
+    def empty(cls) -> "Provenance":
+        return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))

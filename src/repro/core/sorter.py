@@ -1,0 +1,235 @@
+"""The six-step PGX.D distributed sample sort (paper section IV).
+
+One :func:`sample_sort_program` instance runs on every simulated machine:
+
+1. **Local sort** — parallel quicksort across worker threads, combined by
+   the balanced-merge handler (:mod:`repro.core.local_sort`).
+2. **Sampling** — regular samples (256KB/p bytes) are sent to the Master.
+3. **Splitters** — the Master merges the samples, selects ``p-1`` final
+   splitters and broadcasts them.
+4. **Partition** — each processor finds per-destination ranges by binary
+   searching the splitters, with the *investigator* dividing duplicated
+   splitters' tied ranges equally (:mod:`repro.core.investigator`).
+5. **Exchange** — range sizes are announced, then all processors send and
+   receive simultaneously (:mod:`repro.core.exchange`).
+6. **Merge** — the received sorted runs are merged by the balanced handler
+   while provenance (origin processor + index) rides along.
+
+Every step's elapsed virtual time is measured per rank (Figure 7); compute
+is charged through the cost model, communication through the network model.
+The real data is really sorted — correctness is asserted in tests, not
+assumed from the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..pgxd.runtime import Machine
+from ..simnet.calls import Now
+from ..simnet.collectives import bcast, gather
+from .balanced_merge import balanced_merge, merge_cost_seconds, sequential_fold_merge
+from .exchange import ExchangeResult, exchange_partitions
+from .investigator import CutResult, compute_cuts, compute_cuts_naive
+from .local_sort import parallel_quicksort
+from .provenance import Provenance
+from .sampling import sample_count, select_regular_samples
+from .splitters import merge_samples, select_splitters
+
+#: Master processor rank (the paper's "Master").
+MASTER = 0
+
+from .sorter_labels import STEP_LABELS  # noqa: E402  (re-exported)
+
+
+@dataclass(frozen=True)
+class SortOptions:
+    """Algorithm-level switches (the runtime knobs live in PgxdConfig)."""
+
+    #: Multiplier on the paper's X = 256KB/p sampling budget (Figure 9).
+    sample_factor: float = 1.0
+    #: Duplicate-aware splitter cuts; False = Figure 3b naive searches.
+    investigator: bool = True
+    #: Balanced pairwise merging; False = sequential fold (ablation).
+    balanced_merge: bool = True
+    #: Track origin processor/index through the pipeline.
+    track_provenance: bool = True
+    #: How splitters are agreed: "sample" (the paper's steps 2-3) or
+    #: "histogram" (iterative refinement — see repro.core.hist_splitters).
+    splitter_strategy: str = "sample"
+
+    def __post_init__(self) -> None:
+        if self.sample_factor <= 0:
+            raise ValueError("sample_factor must be positive")
+        if self.splitter_strategy not in ("sample", "histogram"):
+            raise ValueError(
+                f"unknown splitter_strategy {self.splitter_strategy!r}; "
+                "choose 'sample' or 'histogram'"
+            )
+
+
+@dataclass
+class RankSortOutput:
+    """Per-rank result returned by the program generator."""
+
+    keys: np.ndarray
+    provenance: Provenance
+    #: Elapsed virtual seconds per step label.
+    step_seconds: dict[str, float] = field(default_factory=dict)
+    #: Samples this rank contributed to the Master.
+    samples_sent: int = 0
+    #: Binary searches executed in step 4.
+    searches: int = 0
+    #: Keys this rank sent to each destination (row of the counts matrix).
+    sent_counts: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    #: Keys received from each source.
+    received_counts: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+
+def sample_sort_program(machine: Machine, local_keys: np.ndarray, options: SortOptions):
+    """Generator program implementing the six steps on one machine."""
+    keys = np.ascontiguousarray(local_keys)
+    rank, size = machine.rank, machine.size
+    cfg, cost = machine.config, machine.cost
+    out = RankSortOutput(keys=keys, provenance=Provenance.empty())
+
+    # ---------------------------------------------------- step 1: local sort
+    t0 = yield Now()
+    local = parallel_quicksort(
+        machine,
+        keys,
+        balanced=options.balanced_merge,
+        track_perm=options.track_provenance,
+    )
+    yield machine.compute(local.seconds, STEP_LABELS[0])
+    # Figure 11 accounting: the sort's resident overhead is the permutation
+    # (later the provenance); the dataset itself belongs to the engine's
+    # data store and is not billed to the sort.
+    if options.track_provenance:
+        machine.data.store("perm", local.perm)
+    t1 = yield Now()
+    out.step_seconds[STEP_LABELS[0]] = t1 - t0
+
+    if size == 1:
+        # Single machine: the local sort is the whole story.
+        prov = (
+            Provenance(np.zeros(len(keys), dtype=np.int16), local.perm)
+            if options.track_provenance
+            else Provenance.empty()
+        )
+        for label in STEP_LABELS[1:]:
+            out.step_seconds[label] = 0.0
+        out.keys = local.keys
+        out.provenance = prov
+        out.sent_counts = np.array([len(keys)], dtype=np.int64)
+        out.received_counts = np.array([len(keys)], dtype=np.int64)
+        return out
+
+    # ----------------------------------------------------- step 2: sampling
+    if options.splitter_strategy == "histogram":
+        # Extension strategy: iterative histogram refinement replaces both
+        # the sample shipment (step 2) and the Master selection (step 3).
+        from .hist_splitters import histogram_splitters
+
+        splitters = yield from histogram_splitters(machine, local.keys)
+        t2 = yield Now()
+        out.step_seconds[STEP_LABELS[1]] = t2 - t1
+        t3 = t2
+        out.step_seconds[STEP_LABELS[2]] = 0.0
+    else:
+        s_count = sample_count(cfg, size, keys.dtype.itemsize, options.sample_factor)
+        samples = select_regular_samples(local.keys, s_count)
+        out.samples_sent = len(samples)
+        yield machine.compute(cost.scan_seconds(int(samples.nbytes)), STEP_LABELS[1])
+        gathered = yield from gather(machine.proc, samples, root=MASTER)
+        t2 = yield Now()
+        out.step_seconds[STEP_LABELS[1]] = t2 - t1
+
+        # ------------------------------------------------ step 3: splitters
+        if rank == MASTER:
+            assert gathered is not None
+            merged = merge_samples(gathered)
+            yield machine.compute(
+                cost.sort_seconds(len(merged), machine.threads), STEP_LABELS[2]
+            )
+            splitters = select_splitters(merged, size)
+        else:
+            splitters = None
+        splitters = yield from bcast(machine.proc, splitters, root=MASTER)
+        t3 = yield Now()
+        out.step_seconds[STEP_LABELS[2]] = t3 - t2
+
+    # ---------------------------------------------------- step 4: partition
+    if len(splitters) == 0:
+        # No samples anywhere (empty dataset): route everything to rank 0.
+        splitters = None
+        cut = CutResult(np.full(size - 1, len(local.keys), dtype=np.int64), 0)
+    else:
+        cut_fn = compute_cuts if options.investigator else compute_cuts_naive
+        cut = cut_fn(local.keys, splitters)
+    out.searches = cut.searches
+    scale = cfg.data_scale
+    yield machine.compute(
+        cost.binary_search_seconds(cut.searches, int(len(local.keys) * scale)),
+        STEP_LABELS[3],
+    )
+    t4 = yield Now()
+    out.step_seconds[STEP_LABELS[3]] = t4 - t3
+
+    # ----------------------------------------------------- step 5: exchange
+    # Staging the outgoing partitions is a streaming copy; the exchange
+    # itself is asynchronous sends + receives (network time).
+    yield machine.compute(
+        cost.copy_seconds(machine.data.scaled(int(local.keys.nbytes)), machine.threads),
+        STEP_LABELS[4],
+    )
+    machine.data.memory.alloc(machine.data.scaled(int(local.keys.nbytes)), temporary=True)
+    ex: ExchangeResult = yield from exchange_partitions(
+        machine.proc,
+        local.keys,
+        local.perm if options.track_provenance else np.empty(0, dtype=np.int64),
+        cut.cuts,
+        cfg,
+        track_provenance=options.track_provenance,
+        copy_seconds_per_byte=1.0 / cost.copy_bandwidth,
+    )
+    machine.data.memory.free(machine.data.scaled(int(local.keys.nbytes)), temporary=True)
+    out.sent_counts = ex.counts_matrix[rank].copy()
+    out.received_counts = ex.counts_matrix[:, rank].copy()
+    t5 = yield Now()
+    out.step_seconds[STEP_LABELS[4]] = t5 - t4
+
+    # -------------------------------------------------------- step 6: merge
+    received_bytes = machine.data.scaled(sum(int(r.nbytes) for r in ex.key_runs))
+    machine.data.memory.alloc(received_bytes, temporary=True)  # runs pre-merge
+    if options.track_provenance:
+        aux_runs = [
+            [idx, np.full(len(run), src, dtype=np.int16)]
+            for src, (run, idx) in enumerate(zip(ex.key_runs, ex.index_runs))
+        ]
+    else:
+        aux_runs = [[] for _ in ex.key_runs]
+    merge_fn = balanced_merge if options.balanced_merge else sequential_fold_merge
+    outcome = merge_fn(ex.key_runs, aux_runs)
+    yield machine.compute(
+        merge_cost_seconds(
+            outcome, machine.tasks, cost, parallel=cfg.parallel_merge, scale=scale
+        ),
+        STEP_LABELS[5],
+    )
+    machine.data.memory.free(received_bytes, temporary=True)
+    if options.track_provenance:
+        prov = Provenance(origin_proc=outcome.aux[1], origin_index=outcome.aux[0])
+        machine.data.store("origin_proc", prov.origin_proc)
+        machine.data.store("origin_index", prov.origin_index)
+        machine.data.drop("perm")
+    else:
+        prov = Provenance.empty()
+    t6 = yield Now()
+    out.step_seconds[STEP_LABELS[5]] = t6 - t5
+
+    out.keys = outcome.keys
+    out.provenance = prov
+    return out

@@ -1,0 +1,15 @@
+"""Canonical step labels of the six-step sort, in paper order.
+
+Separated from :mod:`repro.core.sorter` so splitter strategies and other
+helpers can attribute compute time to steps without circular imports.
+"""
+
+#: Step labels used for the Figure-7 breakdown.
+STEP_LABELS = (
+    "1-local-sort",
+    "2-sampling",
+    "3-splitters",
+    "4-partition",
+    "5-exchange",
+    "6-merge",
+)

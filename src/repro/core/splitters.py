@@ -1,0 +1,43 @@
+"""Step 3: Master-side final splitter selection.
+
+The Master merges the samples received from every processor and picks the
+``p-1`` values that divide the merged sample into ``p`` equal slices; these
+splitters are then broadcast to all processors.  With duplicate-heavy data
+the selected splitters may repeat — that is exactly the case the
+investigator (step 4) handles, so duplicates are deliberately *not* removed
+here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def merge_samples(sample_lists: Sequence[np.ndarray]) -> np.ndarray:
+    """Merge per-processor sample arrays into one sorted array."""
+    arrays = [np.asarray(s) for s in sample_lists if len(s)]
+    if not arrays:
+        return np.empty(0)
+    merged = np.concatenate(arrays)
+    merged.sort(kind="stable")
+    return merged
+
+
+def select_splitters(sorted_samples: np.ndarray, num_processors: int) -> np.ndarray:
+    """Pick ``p-1`` splitters at the p-quantile positions of the samples.
+
+    Splitter ``j`` sits at position ``(j+1) * len // p``; data between
+    splitter ``j-1`` and splitter ``j`` will be routed to processor ``j``
+    (paper Figure 3a).  An empty sample set yields an empty splitter array,
+    in which case all data stays on processor 0's range.
+    """
+    if num_processors < 1:
+        raise ValueError("num_processors must be >= 1")
+    n = len(sorted_samples)
+    if num_processors == 1 or n == 0:
+        return sorted_samples[:0].copy()
+    positions = (np.arange(1, num_processors, dtype=np.int64) * n) // num_processors
+    positions = np.minimum(positions, n - 1)
+    return sorted_samples[positions].copy()

@@ -1,0 +1,103 @@
+"""Related-work comparison: sample sort vs bitonic vs radix (section II).
+
+Quantifies the paper's qualitative claims about the alternatives it
+rejected: bitonic "often needs to exchange the entire data assigned to each
+processor" (communication volume), and radix "usually suffers in
+irregularity in communication and computation" (load imbalance on
+duplicate-heavy data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines import bitonic_sort, radix_sort
+from ..core.api import DistributedSorter
+from ..workloads import generate
+from .common import ExperimentScale, current_scale, format_table
+
+PROCESSORS = 16
+
+
+@dataclass
+class BaselinesResult:
+    #: algorithm -> {"seconds", "remote_gb", "imbalance"} on uniform data.
+    uniform: dict[str, dict[str, float]]
+    #: algorithm -> imbalance on right-skewed data.
+    skew_imbalance: dict[str, float]
+
+    def bitonic_moves_more(self) -> bool:
+        return self.uniform["bitonic"]["remote_gb"] > self.uniform["pgxd"]["remote_gb"]
+
+    def radix_skew_penalty(self) -> float:
+        return self.skew_imbalance["radix"] / self.skew_imbalance["pgxd"]
+
+
+def run(scale: ExperimentScale | None = None) -> BaselinesResult:
+    scale = scale or current_scale()
+    p = min(PROCESSORS, max(scale.processors))
+    if p & (p - 1):  # bitonic needs a power of two
+        p = 1 << (p.bit_length() - 1)
+    uniform_keys = generate("uniform", scale.real_keys, seed=scale.seed, value_range=1 << 20)
+    skewed_keys = generate("right-skewed", scale.real_keys, seed=scale.seed)
+    ds = scale.data_scale
+
+    uniform: dict[str, dict[str, float]] = {}
+    pg = DistributedSorter(
+        num_processors=p, threads_per_machine=scale.threads, data_scale=ds
+    ).sort(uniform_keys)
+    uniform["pgxd"] = {
+        "seconds": pg.elapsed_seconds,
+        "remote_gb": pg.metrics.remote_bytes / 1e9,
+        "imbalance": pg.imbalance(),
+    }
+    bt = bitonic_sort(
+        uniform_keys, p, data_scale=ds, threads_per_machine=scale.threads
+    )
+    uniform["bitonic"] = {
+        "seconds": bt.elapsed_seconds,
+        "remote_gb": bt.metrics.remote_bytes / 1e9,
+        "imbalance": 1.0,  # bitonic keeps fixed equal blocks by construction
+    }
+    rx = radix_sort(uniform_keys, p, data_scale=ds, threads_per_machine=scale.threads)
+    uniform["radix"] = {
+        "seconds": rx.elapsed_seconds,
+        "remote_gb": rx.metrics.remote_bytes / 1e9,
+        "imbalance": rx.imbalance(),
+    }
+
+    skew_imbalance = {
+        "pgxd": DistributedSorter(
+            num_processors=p, threads_per_machine=scale.threads, data_scale=ds
+        )
+        .sort(skewed_keys)
+        .imbalance(),
+        "radix": radix_sort(
+            skewed_keys, p, data_scale=ds, threads_per_machine=scale.threads
+        ).imbalance(),
+    }
+    return BaselinesResult(uniform, skew_imbalance)
+
+
+def main(scale: ExperimentScale | None = None) -> str:
+    result = run(scale)
+    rows = [
+        [name, m["seconds"], m["remote_gb"], m["imbalance"]]
+        for name, m in result.uniform.items()
+    ]
+    table1 = format_table(
+        ["algorithm", "total-s", "remote-GB", "imbalance"],
+        rows,
+        title=f"Related-work comparison on uniform keys (p<={PROCESSORS})",
+    )
+    rows2 = [[name, imb] for name, imb in result.skew_imbalance.items()]
+    table2 = format_table(
+        ["algorithm", "imbalance"],
+        rows2,
+        title="Load balance on right-skewed (duplicate-heavy) keys",
+    )
+    return table1 + "\n\n" + table2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

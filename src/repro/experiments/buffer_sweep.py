@@ -1,0 +1,89 @@
+"""Read-buffer size sweep: why PGX.D picked 256 KB.
+
+Section IV-B: "The size of this buffer is assigned 256 Kbyte in PGX.D based
+on measuring different performances and choosing the best one."  The paper
+cites the measurement without showing it; this experiment reconstructs it.
+
+The buffer size pulls in two directions: tiny buffers fragment the exchange
+into many messages (per-message overhead dominates) while the sampling
+budget X = buffer/p collapses (bad splitters, imbalance); huge buffers fix
+both but delay overlap (chunks arrive in big lumps, receive-side copies
+bunch up behind the last chunk) and inflate the Master's sample volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.api import DistributedSorter
+from ..workloads import generate
+from .common import ExperimentScale, current_scale, format_table
+
+#: Sweep around the paper's 256 KB choice.
+BUFFER_SIZES = (4 * 1024, 32 * 1024, 128 * 1024, 256 * 1024, 1024 * 1024, 8 * 1024 * 1024)
+
+PROCESSORS = 16
+
+
+@dataclass
+class BufferSweepResult:
+    sizes: list[int]
+    total_seconds: list[float]
+    exchange_seconds: list[float]
+    messages: list[int]
+    imbalance: list[float]
+
+    def paper_choice_competitive(self, tolerance: float = 1.10) -> bool:
+        """256 KB total time within ``tolerance`` of the sweep's best."""
+        at_256 = self.total_seconds[self.sizes.index(256 * 1024)]
+        return at_256 <= min(self.total_seconds) * tolerance
+
+    def small_buffers_slow_the_exchange(self, factor: float = 1.5) -> bool:
+        """4KB buffers pay per-flush overheads the 256KB choice amortizes."""
+        at_4k = self.exchange_seconds[0]
+        at_256k = self.exchange_seconds[self.sizes.index(256 * 1024)]
+        return at_4k > factor * at_256k
+
+
+def run(scale: ExperimentScale | None = None) -> BufferSweepResult:
+    scale = scale or current_scale()
+    p = min(PROCESSORS, max(scale.processors))
+    data = generate("right-skewed", scale.real_keys, seed=scale.seed)
+    totals, exchanges, messages, imbalance = [], [], [], []
+    for size in BUFFER_SIZES:
+        sorter = DistributedSorter(
+            num_processors=p,
+            threads_per_machine=scale.threads,
+            data_scale=scale.data_scale,
+            read_buffer_bytes=size,
+        )
+        result = sorter.sort(data)
+        assert result.is_globally_sorted()
+        totals.append(result.elapsed_seconds)
+        exchanges.append(result.step_breakdown()["5-exchange"])
+        messages.append(result.metrics.messages)
+        imbalance.append(result.imbalance())
+    return BufferSweepResult(list(BUFFER_SIZES), totals, exchanges, messages, imbalance)
+
+
+def main(scale: ExperimentScale | None = None) -> str:
+    result = run(scale)
+    rows = [
+        [f"{size // 1024}KB", t, e, m, i]
+        for size, t, e, m, i in zip(
+            result.sizes,
+            result.total_seconds,
+            result.exchange_seconds,
+            result.messages,
+            result.imbalance,
+        )
+    ]
+    return format_table(
+        ["read-buffer", "total-s", "exchange-s", "messages", "imbalance"],
+        rows,
+        title=f"Buffer-size sweep — the paper's 256KB choice (p={PROCESSORS}, right-skewed)",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

@@ -1,0 +1,87 @@
+"""Command-line entry point: ``repro-experiments [names...]``.
+
+Runs the requested experiments (default: all) at the scale chosen by
+``--scale`` or the ``REPRO_SCALE`` environment variable, printing each
+paper-shaped table — or, with ``--json``, machine-readable structured
+results for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+
+import numpy as np
+
+from . import EXPERIMENTS
+from .common import current_scale
+
+
+def _jsonable(obj):
+    """Recursively convert experiment result objects to JSON-safe values."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {k: _jsonable(v) for k, v in dataclasses.asdict(obj).items()}
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer, np.floating, np.bool_)):
+        return obj.item()
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    return obj
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures on the simulated cluster.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help=f"experiments to run (default: all). Known: {', '.join(EXPERIMENTS)}",
+    )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=["smoke", "default", "full"],
+        help="experiment scale preset (default: REPRO_SCALE or 'default')",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments and exit")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit structured results as JSON instead of tables",
+    )
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    names = args.names or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; use --list")
+    scale = current_scale(args.scale)
+    if args.json:
+        payload = {}
+        for name in names:
+            result = EXPERIMENTS[name].run(scale)
+            payload[name] = _jsonable(result)
+        print(json.dumps(payload, indent=2))
+        return 0
+    for name in names:
+        module = EXPERIMENTS[name]
+        start = time.perf_counter()
+        print(f"== {name} ".ljust(72, "="))
+        print(module.main(scale))
+        print(f"[{name} regenerated in {time.perf_counter() - start:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

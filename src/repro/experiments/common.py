@@ -1,0 +1,120 @@
+"""Shared infrastructure for the paper's experiments.
+
+Every experiment module exposes ``run(scale) -> <Result dataclass>`` and a
+``main()`` that prints the paper-shaped table.  :class:`ExperimentScale`
+centralizes the knobs: the paper's nominal configuration (1 billion keys,
+processor sweep 8..52, 32 threads) is simulated by sorting ``real_keys``
+actual keys with ``data_scale`` chosen so the *modeled* volume equals the
+nominal one (see ``PgxdConfig.data_scale``).
+
+Set the environment variable ``REPRO_SCALE`` to ``smoke`` (tiny, seconds),
+``default`` or ``full`` (slow, maximal real data) to size every benchmark
+at once.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from ..pgxd.config import PgxdConfig
+from ..simnet.cost import CostModel
+from ..simnet.network import NetworkModel
+
+#: The paper's dataset size: one billion entries.
+PAPER_KEYS = 1_000_000_000
+
+#: The paper's processor sweep (Figures 5, 6, 8).
+PAPER_PROCESSORS = (8, 16, 24, 32, 40, 52)
+
+#: The paper's in-node parallelism: 32 threads per processor.
+PAPER_THREADS = 32
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size mapping between the simulation and the paper's configuration."""
+
+    #: Real keys moved through the simulator per experiment.
+    real_keys: int = 1 << 18
+    #: Modeled dataset size the costs are charged for.
+    modeled_keys: int = PAPER_KEYS
+    #: Processor counts to sweep.
+    processors: tuple[int, ...] = PAPER_PROCESSORS
+    threads: int = PAPER_THREADS
+    seed: int = 2017  # the paper's year; any fixed value works
+
+    @property
+    def data_scale(self) -> float:
+        return self.modeled_keys / self.real_keys
+
+    def pgxd_config(self, **overrides) -> PgxdConfig:
+        base = dict(
+            threads_per_machine=self.threads,
+            data_scale=self.data_scale,
+        )
+        base.update(overrides)
+        return PgxdConfig(**base)
+
+    def network(self) -> NetworkModel:
+        return NetworkModel()
+
+    def cost(self) -> CostModel:
+        return CostModel()
+
+
+_PRESETS = {
+    "smoke": ExperimentScale(real_keys=1 << 14, processors=(4, 8)),
+    "default": ExperimentScale(),
+    "full": ExperimentScale(real_keys=1 << 21),
+}
+
+
+def current_scale(name: str | None = None) -> ExperimentScale:
+    """Resolve the experiment scale from the argument or ``REPRO_SCALE``."""
+    name = name or os.environ.get("REPRO_SCALE", "default")
+    try:
+        return _PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {name!r}; choose from {sorted(_PRESETS)}"
+        ) from None
+
+
+def format_table(headers: list[str], rows: list[list], *, title: str = "") -> str:
+    """Render a plain-text table in the paper's row/column layout."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.1f}"
+        if abs(cell) >= 0.01:
+            return f"{cell:.3f}"
+        return f"{cell:.3e}"
+    return str(cell)
+
+
+@dataclass
+class Series:
+    """One named data series of an experiment (a figure line)."""
+
+    name: str
+    x: list = field(default_factory=list)
+    y: list = field(default_factory=list)
+
+    def add(self, x, y) -> None:
+        self.x.append(x)
+        self.y.append(y)

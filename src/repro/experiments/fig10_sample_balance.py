@@ -1,0 +1,85 @@
+"""Figure 10: load balance versus sample size across processor counts.
+
+"It shows that 0.004X number of samples is not large enough to keep
+balanced workloads between the processors ... However, both X and 1.4X
+result in having balanced loads in all experiments."
+
+Min and max per-processor loads (modeled keys) for sample factors 0.004X,
+X and 1.4X over the processor sweep.  The reproduced claims: the min-max
+spread is large for 0.004X and collapses for X and 1.4X.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.api import DistributedSorter
+from .common import ExperimentScale, current_scale, format_table
+from .fig8_twitter import TWITTER_MODELED_KEYS, twitter_keys
+
+SAMPLE_FACTORS = (0.004, 1.0, 1.4)
+
+
+@dataclass
+class Fig10Result:
+    processors: list[int]
+    #: factor -> list of (min_load, max_load) in modeled keys, per p.
+    spreads: dict[float, list[tuple[int, int]]]
+
+    def spread(self, factor: float, p: int) -> int:
+        i = self.processors.index(p)
+        lo, hi = self.spreads[factor][i]
+        return hi - lo
+
+    def x_balances_everywhere(self, rel_tol: float = 0.25) -> bool:
+        """At factor X the spread stays within rel_tol of the mean load."""
+        for i, p in enumerate(self.processors):
+            lo, hi = self.spreads[1.0][i]
+            mean = (lo + hi) / 2 or 1
+            if (hi - lo) / mean > rel_tol:
+                return False
+        return True
+
+
+def run(scale: ExperimentScale | None = None) -> Fig10Result:
+    scale = scale or current_scale()
+    keys = twitter_keys(scale)
+    data_scale = TWITTER_MODELED_KEYS / len(keys)
+    spreads: dict[float, list[tuple[int, int]]] = {f: [] for f in SAMPLE_FACTORS}
+    for p in scale.processors:
+        for factor in SAMPLE_FACTORS:
+            sorter = DistributedSorter(
+                num_processors=p,
+                threads_per_machine=scale.threads,
+                data_scale=data_scale,
+                sample_factor=factor,
+            )
+            result = sorter.sort(keys)
+            counts = result.counts()
+            spreads[factor].append(
+                (int(counts.min() * data_scale), int(counts.max() * data_scale))
+            )
+    return Fig10Result(list(scale.processors), spreads)
+
+
+def main(scale: ExperimentScale | None = None) -> str:
+    result = run(scale)
+    headers = ["processors"] + [
+        f"{f}X min/max" for f in SAMPLE_FACTORS
+    ]
+    rows = []
+    for i, p in enumerate(result.processors):
+        row = [p]
+        for f in SAMPLE_FACTORS:
+            lo, hi = result.spreads[f][i]
+            row.append(f"{lo:,} / {hi:,}")
+        rows.append(row)
+    return format_table(
+        headers,
+        rows,
+        title="Figure 10 — min/max processor load (modeled keys) by sample size",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

@@ -1,0 +1,79 @@
+"""Figure 11: memory consumption of the PGX.D sort on Twitter data.
+
+"Resident Set Size (RSS) is the RAM memory that is allocated for the
+process ... Light blue illustrates the total temporary memory usage during
+the process except RSS usage, which is allocated during the process and
+becomes free at the end."
+
+Peak resident and temporary bytes per machine over the processor sweep.
+The reproduced claims: both pools shrink roughly as 1/p; temporary memory
+is freed by the end of the run (tracked exactly by the data manager); the
+provenance arrays ("keeping previous information of each data's previous
+processor and location") dominate the resident pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.api import DistributedSorter
+from .common import ExperimentScale, current_scale, format_table
+from .fig8_twitter import TWITTER_MODELED_KEYS, twitter_keys
+
+
+@dataclass
+class Fig11Result:
+    processors: list[int]
+    resident_bytes: list[int]
+    temporary_bytes: list[int]
+
+    def shrinks_with_processors(self) -> bool:
+        return self.resident_bytes[-1] < self.resident_bytes[0]
+
+    def scaling_exponent(self) -> float:
+        """Fitted slope of log(resident) vs log(p); ~-1 for 1/p scaling."""
+        import numpy as np
+
+        x = np.log(np.array(self.processors, dtype=float))
+        y = np.log(np.array(self.resident_bytes, dtype=float))
+        return float(np.polyfit(x, y, 1)[0])
+
+
+def run(scale: ExperimentScale | None = None) -> Fig11Result:
+    scale = scale or current_scale()
+    keys = twitter_keys(scale)
+    data_scale = TWITTER_MODELED_KEYS / len(keys)
+    resident, temporary = [], []
+    for p in scale.processors:
+        sorter = DistributedSorter(
+            num_processors=p,
+            threads_per_machine=scale.threads,
+            data_scale=data_scale,
+        )
+        result = sorter.sort(keys)
+        rss, temp = result.peak_memory_bytes()
+        resident.append(rss)
+        temporary.append(temp)
+        # Temporary pools must be fully drained at run end.
+        for proc in result.metrics.processes:
+            assert proc.memory.temporary == 0
+    return Fig11Result(list(scale.processors), resident, temporary)
+
+
+def main(scale: ExperimentScale | None = None) -> str:
+    result = run(scale)
+    rows = [
+        [p, rss / 1e6, temp / 1e6, (rss + temp) / 1e6]
+        for p, rss, temp in zip(
+            result.processors, result.resident_bytes, result.temporary_bytes
+        )
+    ]
+    return format_table(
+        ["processors", "rss-MB", "temp-MB", "total-MB"],
+        rows,
+        title="Figure 11 — peak per-machine memory, Twitter dataset (modeled MB)",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

@@ -1,0 +1,70 @@
+"""Figure 5: PGX.D distributed sort total execution time.
+
+"Figure 5 shows the execution time of the distributed sorting methods on
+data from figure 4.  It illustrates that PGX.D sorts data efficiently
+regardless of the input data distribution type."
+
+Sweep: four distributions x the processor counts, one billion modeled keys.
+The reproduced claim is two-fold: times fall with processor count, and the
+four distribution curves sit close together (the skewed inputs cost about
+the same as uniform).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.api import DistributedSorter
+from ..workloads import DISTRIBUTIONS, generate
+from .common import ExperimentScale, Series, current_scale, format_table
+
+
+@dataclass
+class Fig5Result:
+    #: series per distribution: x = processors, y = virtual seconds.
+    series: dict[str, Series]
+
+    def spread_at(self, p: int) -> float:
+        """Max/min total time across distributions at one processor count."""
+        times = [s.y[s.x.index(p)] for s in self.series.values() if p in s.x]
+        return max(times) / min(times) if times else 1.0
+
+
+def run(scale: ExperimentScale | None = None) -> Fig5Result:
+    scale = scale or current_scale()
+    series: dict[str, Series] = {}
+    for kind in DISTRIBUTIONS:
+        data = generate(kind, scale.real_keys, seed=scale.seed)
+        s = Series(kind)
+        for p in scale.processors:
+            sorter = DistributedSorter(
+                num_processors=p,
+                threads_per_machine=scale.threads,
+                data_scale=scale.data_scale,
+            )
+            result = sorter.sort(data)
+            assert result.is_globally_sorted()
+            s.add(p, result.elapsed_seconds)
+        series[kind] = s
+    return Fig5Result(series)
+
+
+def main(scale: ExperimentScale | None = None) -> str:
+    scale = scale or current_scale()
+    result = run(scale)
+    headers = ["processors"] + list(result.series)
+    rows = []
+    for i, p in enumerate(scale.processors):
+        rows.append([p] + [result.series[k].y[i] for k in result.series])
+    return format_table(
+        headers,
+        rows,
+        title=(
+            "Figure 5 — PGX.D total sort time (virtual seconds, "
+            f"{scale.modeled_keys:,} modeled keys)"
+        ),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

@@ -1,0 +1,70 @@
+"""Figure 7: per-step execution time of the PGX.D sort.
+
+"Figure 7 shows the execution time of each steps for the experiments on the
+normal and right skewed distribution types ... It can be seen that
+sending/receiving data costs less time than the other steps, which
+validates the efficient-bandwidth communication and the asynchronous
+execution provided in PGX.D."
+
+The reproduced claims: the exchange step (5) is among the cheapest; the
+local sort (1) dominates; and the breakdown looks alike for normal and
+right-skewed inputs (the investigator keeps the skewed case regular).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.api import DistributedSorter
+from ..core.sorter import STEP_LABELS
+from ..workloads import generate
+from .common import ExperimentScale, current_scale, format_table
+
+DISTRIBUTIONS = ("normal", "right-skewed")
+
+#: Processor count for the breakdown (a mid-sweep point).
+PROCESSORS = 16
+
+
+@dataclass
+class Fig7Result:
+    #: step label -> seconds, per distribution.
+    breakdown: dict[str, dict[str, float]]
+
+    def exchange_is_cheap(self, kind: str) -> bool:
+        steps = self.breakdown[kind]
+        return steps[STEP_LABELS[4]] < steps[STEP_LABELS[0]]
+
+
+def run(scale: ExperimentScale | None = None) -> Fig7Result:
+    scale = scale or current_scale()
+    p = min(PROCESSORS, max(scale.processors))
+    breakdown: dict[str, dict[str, float]] = {}
+    for kind in DISTRIBUTIONS:
+        data = generate(kind, scale.real_keys, seed=scale.seed)
+        sorter = DistributedSorter(
+            num_processors=p,
+            threads_per_machine=scale.threads,
+            data_scale=scale.data_scale,
+        )
+        result = sorter.sort(data)
+        assert result.is_globally_sorted()
+        breakdown[kind] = result.step_breakdown()
+    return Fig7Result(breakdown)
+
+
+def main(scale: ExperimentScale | None = None) -> str:
+    result = run(scale)
+    rows = [
+        [label] + [result.breakdown[kind][label] for kind in DISTRIBUTIONS]
+        for label in STEP_LABELS
+    ]
+    return format_table(
+        ["step"] + list(DISTRIBUTIONS),
+        rows,
+        title=f"Figure 7 — per-step time (virtual seconds, p={PROCESSORS})",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

@@ -1,0 +1,85 @@
+"""Figure 9: impact of the sample size on overhead and total time.
+
+"Seven different sample sizes are used: 0.004X, 0.04X, 0.4X, X, 1.004X,
+1.04X, and 1.4X, where X = 256KB/number of processors ... the small number
+of samples not only results in having load imbalance, but it also increases
+communication overheads ... the total execution time for the cases of
+having very small amount of samples and large amount of samples are both
+greater than the execution time of having X samples."
+
+The reproduced claims: communication overhead falls as the sample budget
+approaches X (better splitters move less skewed data); the total-time curve
+is at (or near) its minimum at X.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.api import DistributedSorter
+from .common import ExperimentScale, current_scale, format_table
+from .fig8_twitter import TWITTER_MODELED_KEYS, twitter_keys
+
+#: The paper's seven sample-size factors.
+SAMPLE_FACTORS = (0.004, 0.04, 0.4, 1.0, 1.004, 1.04, 1.4)
+
+PROCESSORS = 16
+
+
+@dataclass
+class Fig9Result:
+    factors: list[float]
+    total_seconds: list[float]
+    comm_seconds: list[float]
+    imbalance: list[float]
+
+    def x_is_near_optimal(self, tolerance: float = 1.05) -> bool:
+        """Total time at X is within ``tolerance`` of the sweep minimum."""
+        at_x = self.total_seconds[self.factors.index(1.0)]
+        return at_x <= min(self.total_seconds) * tolerance
+
+    def tiny_samples_hurt(self) -> bool:
+        return (
+            self.total_seconds[0] > self.total_seconds[self.factors.index(1.0)]
+            and self.imbalance[0] > self.imbalance[self.factors.index(1.0)]
+        )
+
+
+def run(scale: ExperimentScale | None = None) -> Fig9Result:
+    scale = scale or current_scale()
+    keys = twitter_keys(scale)
+    data_scale = TWITTER_MODELED_KEYS / len(keys)
+    p = min(PROCESSORS, max(scale.processors))
+    totals, comms, imbs = [], [], []
+    for factor in SAMPLE_FACTORS:
+        sorter = DistributedSorter(
+            num_processors=p,
+            threads_per_machine=scale.threads,
+            data_scale=data_scale,
+            sample_factor=factor,
+        )
+        result = sorter.sort(keys)
+        assert result.is_globally_sorted()
+        totals.append(result.elapsed_seconds)
+        comms.append(result.communication_seconds())
+        imbs.append(result.imbalance())
+    return Fig9Result(list(SAMPLE_FACTORS), totals, comms, imbs)
+
+
+def main(scale: ExperimentScale | None = None) -> str:
+    result = run(scale)
+    rows = [
+        [f"{f}X", t, c, i]
+        for f, t, c, i in zip(
+            result.factors, result.total_seconds, result.comm_seconds, result.imbalance
+        )
+    ]
+    return format_table(
+        ["sample-size", "total-s", "comm-overhead-s", "imbalance"],
+        rows,
+        title=f"Figure 9 — sample-size sweep, Twitter dataset (p={PROCESSORS})",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

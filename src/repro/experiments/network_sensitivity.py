@@ -1,0 +1,112 @@
+"""Network sensitivity: when does the sort become interconnect-bound?
+
+Extension experiment.  The paper's testbed is 56 Gb/s InfiniBand (Table I)
+and its Figure 7 shows the exchange step cheapest — a property of that
+fabric, not of the algorithm.  This sweep rides the per-port bandwidth from
+InfiniBand down to commodity gigabit and reports where the exchange
+overtakes the local sort, plus the latency sensitivity at fixed bandwidth
+(the sort sends few large transfers, so latency should barely matter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.api import DistributedSorter
+from ..core.sorter_labels import STEP_LABELS
+from ..simnet.network import NetworkModel, gbit_per_s
+from ..workloads import generate
+from .common import ExperimentScale, current_scale, format_table
+
+BANDWIDTHS_GBIT = (56.0, 10.0, 1.0)
+LATENCIES = (1.5e-6, 100e-6, 5e-3)
+
+MACHINES = 16
+
+
+#: Oversubscription ratios (port bandwidth : share of bisection).
+OVERSUBSCRIPTION = (1, 4, 16)
+
+
+@dataclass
+class NetworkSensitivityResult:
+    bandwidth_rows: list[tuple[float, float, float, float]]  # gbit, total, sort, exchange
+    latency_rows: list[tuple[float, float, float]]  # latency, total, exchange
+    oversub_rows: list[tuple[int, float, float]]  # ratio, total, exchange
+
+    def oversubscription_hurts(self) -> bool:
+        return self.oversub_rows[-1][2] > self.oversub_rows[0][2]
+
+    def infiniband_exchange_is_cheap(self) -> bool:
+        _, _, sort_s, exch_s = self.bandwidth_rows[0]
+        return exch_s < sort_s
+
+    def gigabit_is_network_bound(self) -> bool:
+        _, _, sort_s, exch_s = self.bandwidth_rows[-1]
+        return exch_s > sort_s
+
+    def latency_insensitive(self, tolerance: float = 1.2) -> bool:
+        totals = [row[1] for row in self.latency_rows]
+        return max(totals) <= min(totals) * tolerance
+
+
+def run(scale: ExperimentScale | None = None) -> NetworkSensitivityResult:
+    scale = scale or current_scale()
+    data = generate("uniform", scale.real_keys, seed=scale.seed, value_range=1 << 20)
+
+    def sort_with(network: NetworkModel):
+        sorter = DistributedSorter(
+            num_processors=MACHINES,
+            threads_per_machine=scale.threads,
+            data_scale=scale.data_scale,
+            network=network,
+        )
+        result = sorter.sort(data)
+        assert result.is_globally_sorted()
+        steps = result.step_breakdown()
+        return result.elapsed_seconds, steps[STEP_LABELS[0]], steps[STEP_LABELS[4]]
+
+    bandwidth_rows = []
+    for gbit in BANDWIDTHS_GBIT:
+        total, sort_s, exch_s = sort_with(
+            NetworkModel(bandwidth=gbit_per_s(gbit) * 0.8)
+        )
+        bandwidth_rows.append((gbit, total, sort_s, exch_s))
+    latency_rows = []
+    for latency in LATENCIES:
+        total, _, exch_s = sort_with(NetworkModel(latency=latency))
+        latency_rows.append((latency, total, exch_s))
+    oversub_rows = []
+    port = gbit_per_s(56.0) * 0.8
+    for ratio in OVERSUBSCRIPTION:
+        # Bisection = (ports * port_bw) / ratio; ratio 1 = non-blocking.
+        switch = None if ratio == 1 else MACHINES * port / ratio
+        total, _, exch_s = sort_with(
+            NetworkModel(bandwidth=port, switch_bandwidth=switch)
+        )
+        oversub_rows.append((ratio, total, exch_s))
+    return NetworkSensitivityResult(bandwidth_rows, latency_rows, oversub_rows)
+
+
+def main(scale: ExperimentScale | None = None) -> str:
+    result = run(scale)
+    t1 = format_table(
+        ["port-gbit", "total-s", "local-sort-s", "exchange-s"],
+        [list(r) for r in result.bandwidth_rows],
+        title=f"Network sensitivity — bandwidth sweep (p={MACHINES})",
+    )
+    t2 = format_table(
+        ["latency-s", "total-s", "exchange-s"],
+        [list(r) for r in result.latency_rows],
+        title="Latency sweep (56 Gb/s fixed)",
+    )
+    t3 = format_table(
+        ["oversubscription", "total-s", "exchange-s"],
+        [[f"{r}:1", t, e] for r, t, e in result.oversub_rows],
+        title="Switch oversubscription sweep (56 Gb/s ports)",
+    )
+    return t1 + "\n\n" + t2 + "\n\n" + t3
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

@@ -1,0 +1,81 @@
+"""Presortedness study: the TimSort advantage (extension).
+
+Section II: "TimSort is chosen as a sorting technique in Spark and the
+experimental results show that it performs better when the data is
+partially sorted."  The paper mentions the property but never measures it
+against PGX.D; this experiment does.  PGX.D's quicksort cost is oblivious
+to input order, while MiniSpark's TimSort prices by natural-run structure —
+so the PGX.D/Spark gap should *narrow* as the input gets more presorted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.spark.engine import spark_sort_by_key
+from ..core.api import DistributedSorter
+from ..workloads.duplicates import partially_sorted
+from .common import ExperimentScale, current_scale, format_table
+
+#: Number of natural runs in the input (1 run = fully sorted).
+RUN_COUNTS = (1, 64, 4096, None)  # None = random
+
+MACHINES = 8
+
+
+@dataclass
+class PresortedResult:
+    labels: list[str]
+    pgxd_seconds: list[float]
+    spark_seconds: list[float]
+
+    def ratios(self) -> list[float]:
+        return [s / p for p, s in zip(self.pgxd_seconds, self.spark_seconds)]
+
+    def gap_narrows_when_presorted(self) -> bool:
+        """Spark/PGX.D at 1 run < Spark/PGX.D on random data."""
+        return self.ratios()[0] < self.ratios()[-1]
+
+    def spark_benefits_from_presortedness(self) -> bool:
+        return self.spark_seconds[0] < self.spark_seconds[-1]
+
+
+def run(scale: ExperimentScale | None = None) -> PresortedResult:
+    scale = scale or current_scale()
+    labels, pgxd_s, spark_s = [], [], []
+    for runs in RUN_COUNTS:
+        n = scale.real_keys
+        effective = runs if runs is not None else max(n // 2, 1)
+        labels.append("random" if runs is None else f"{runs} runs")
+        data = partially_sorted(n, effective, seed=scale.seed)
+        sorter = DistributedSorter(
+            num_processors=MACHINES,
+            threads_per_machine=scale.threads,
+            data_scale=scale.data_scale,
+        )
+        result = sorter.sort(data)
+        assert result.is_globally_sorted()
+        pgxd_s.append(result.elapsed_seconds)
+        spark = spark_sort_by_key(
+            data, num_executors=MACHINES, data_scale=scale.data_scale
+        )
+        assert spark.is_globally_sorted()
+        spark_s.append(spark.elapsed_seconds)
+    return PresortedResult(labels, pgxd_s, spark_s)
+
+
+def main(scale: ExperimentScale | None = None) -> str:
+    result = run(scale)
+    rows = [
+        [label, pg, sp, sp / pg]
+        for label, pg, sp in zip(result.labels, result.pgxd_seconds, result.spark_seconds)
+    ]
+    return format_table(
+        ["input order", "pgxd-s", "spark-s", "spark/pgxd"],
+        rows,
+        title=f"Presortedness — TimSort's advantage vs input order (p={MACHINES})",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

@@ -1,0 +1,77 @@
+"""Splitter-strategy comparison: sampling vs histogram refinement.
+
+Extension experiment: the paper resolves the sample-size trade-off by
+fixing X = 256KB/p (Figure 9); histogram refinement (HykSort-style,
+``repro.core.hist_splitters``) dissolves the trade-off by shipping
+fixed-size histograms instead of data.  This experiment compares the two
+strategies' load balance, splitter-agreement traffic, and total time across
+the Figure-4 distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.api import DistributedSorter
+from ..workloads import DISTRIBUTIONS, generate
+from .common import ExperimentScale, current_scale, format_table
+
+PROCESSORS = 16
+
+
+@dataclass
+class SplitterStrategiesResult:
+    #: distribution -> strategy -> {"imbalance", "total_s"}.
+    rows: dict[str, dict[str, dict[str, float]]]
+
+    def histogram_competitive(self, tolerance: float = 1.3) -> bool:
+        """Histogram balance within ``tolerance`` of sampling's, everywhere."""
+        for per_strategy in self.rows.values():
+            if (
+                per_strategy["histogram"]["imbalance"]
+                > per_strategy["sample"]["imbalance"] * tolerance
+            ):
+                return False
+        return True
+
+
+def run(scale: ExperimentScale | None = None) -> SplitterStrategiesResult:
+    scale = scale or current_scale()
+    p = min(PROCESSORS, max(scale.processors))
+    rows: dict[str, dict[str, dict[str, float]]] = {}
+    for kind in DISTRIBUTIONS:
+        data = generate(kind, scale.real_keys, seed=scale.seed)
+        rows[kind] = {}
+        for strategy in ("sample", "histogram"):
+            sorter = DistributedSorter(
+                num_processors=p,
+                threads_per_machine=scale.threads,
+                data_scale=scale.data_scale,
+                splitter_strategy=strategy,
+            )
+            result = sorter.sort(data)
+            assert result.is_globally_sorted()
+            rows[kind][strategy] = {
+                "imbalance": result.imbalance(),
+                "total_s": result.elapsed_seconds,
+            }
+    return SplitterStrategiesResult(rows)
+
+
+def main(scale: ExperimentScale | None = None) -> str:
+    result = run(scale)
+    rows = []
+    for kind, per_strategy in result.rows.items():
+        s, h = per_strategy["sample"], per_strategy["histogram"]
+        rows.append(
+            [kind, s["imbalance"], s["total_s"], h["imbalance"], h["total_s"]]
+        )
+    return format_table(
+        ["distribution", "sample-imb", "sample-s", "hist-imb", "hist-s"],
+        rows,
+        title=f"Splitter strategies — sampling vs histogram refinement (p={PROCESSORS})",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

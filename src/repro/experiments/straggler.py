@@ -1,0 +1,96 @@
+"""Straggler sensitivity: one slow machine vs both engines (extension).
+
+Not a paper figure.  Both PGX.D's sample sort and Spark's sortByKey
+partition work *statically*, so a slow machine gates the whole job; this
+experiment quantifies how fast each engine's advantage erodes as one
+machine's compute slows down.  The observed shape: PGX.D degrades linearly
+with the straggler factor (its critical path runs straight through the slow
+machine's local sort and merge), while Spark's constant overheads (driver,
+disk, stage launches) dilute the degradation — so the PGX.D/Spark gap
+*narrows* under stragglers.  A scheduling-level lesson the paper's
+homogeneous testbed never exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.spark.engine import spark_sort_by_key
+from ..core.api import DistributedSorter
+from ..workloads import generate
+from .common import ExperimentScale, current_scale, format_table
+
+#: Straggler slowdown factors (speed of the slow machine = 1/factor).
+FACTORS = (1.0, 1.5, 2.0, 4.0)
+
+MACHINES = 8
+
+
+@dataclass
+class StragglerResult:
+    factors: list[float]
+    pgxd_seconds: list[float]
+    spark_seconds: list[float]
+
+    def pgxd_degradation(self, factor: float) -> float:
+        i = self.factors.index(factor)
+        return self.pgxd_seconds[i] / self.pgxd_seconds[0]
+
+    def gap_narrows(self) -> bool:
+        """The Spark/PGX.D ratio shrinks as the straggler worsens."""
+        first = self.spark_seconds[0] / self.pgxd_seconds[0]
+        last = self.spark_seconds[-1] / self.pgxd_seconds[-1]
+        return last < first
+
+    def both_monotone(self) -> bool:
+        return all(
+            a <= b * 1.001
+            for a, b in zip(self.pgxd_seconds, self.pgxd_seconds[1:])
+        ) and all(
+            a <= b * 1.001
+            for a, b in zip(self.spark_seconds, self.spark_seconds[1:])
+        )
+
+
+def run(scale: ExperimentScale | None = None) -> StragglerResult:
+    scale = scale or current_scale()
+    data = generate("uniform", scale.real_keys, seed=scale.seed, value_range=1 << 20)
+    pgxd_s, spark_s = [], []
+    for factor in FACTORS:
+        speeds = [1.0] * MACHINES
+        speeds[MACHINES // 2] = 1.0 / factor
+        sorter = DistributedSorter(
+            num_processors=MACHINES,
+            threads_per_machine=scale.threads,
+            data_scale=scale.data_scale,
+            rank_speed=speeds,
+        )
+        result = sorter.sort(data)
+        assert result.is_globally_sorted()
+        pgxd_s.append(result.elapsed_seconds)
+        spark = spark_sort_by_key(
+            data,
+            num_executors=MACHINES,
+            data_scale=scale.data_scale,
+            rank_speed=speeds,
+        )
+        assert spark.is_globally_sorted()
+        spark_s.append(spark.elapsed_seconds)
+    return StragglerResult(list(FACTORS), pgxd_s, spark_s)
+
+
+def main(scale: ExperimentScale | None = None) -> str:
+    result = run(scale)
+    rows = [
+        [f"{f}x", pg, sp, sp / pg]
+        for f, pg, sp in zip(result.factors, result.pgxd_seconds, result.spark_seconds)
+    ]
+    return format_table(
+        ["straggler", "pgxd-s", "spark-s", "spark/pgxd"],
+        rows,
+        title=f"Straggler sensitivity — one slow machine of {MACHINES}",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

@@ -1,0 +1,78 @@
+"""Table III: per-processor key ranges after sorting the Twitter dataset.
+
+"The ranges of data on each processor after sorting with 8, 12 and 16
+processors are included in Table III, which confirms the accuracy of the
+proposed technique that data with the smaller value are located on the
+processor with the smaller ID."
+
+The reproduced claims: ranges tile [0, 95] in processor-id order without
+overlap, and the range widths are near-equal (the paper's boundaries sit at
+multiples of ~95/p because the key distribution is near uniform).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.api import DistributedSorter
+from ..workloads.twitter import KEY_RANGE
+from .common import ExperimentScale, current_scale, format_table
+from .fig8_twitter import TWITTER_MODELED_KEYS, twitter_keys
+
+PROCESSOR_COUNTS = (8, 12, 16)
+
+
+@dataclass
+class Table3Result:
+    #: processor count -> list of (lo, hi) per processor.
+    ranges: dict[int, list[tuple[float, float] | None]]
+
+    def boundaries_ordered(self, p: int) -> bool:
+        spans = [r for r in self.ranges[p] if r is not None]
+        return all(a[1] <= b[0] or abs(a[1] - b[0]) < 1e-9 for a, b in zip(spans, spans[1:]))
+
+    def covers_key_range(self, p: int) -> bool:
+        spans = [r for r in self.ranges[p] if r is not None]
+        return spans[0][0] >= 0.0 and spans[-1][1] <= KEY_RANGE + 1e-9
+
+
+def run(scale: ExperimentScale | None = None) -> Table3Result:
+    scale = scale or current_scale()
+    keys = twitter_keys(scale)
+    data_scale = TWITTER_MODELED_KEYS / len(keys)
+    ranges: dict[int, list[tuple[float, float] | None]] = {}
+    for p in PROCESSOR_COUNTS:
+        sorter = DistributedSorter(
+            num_processors=p,
+            threads_per_machine=scale.threads,
+            data_scale=data_scale,
+        )
+        result = sorter.sort(keys)
+        assert result.is_globally_sorted()
+        ranges[p] = result.ranges()
+    return Table3Result(ranges)
+
+
+def main(scale: ExperimentScale | None = None) -> str:
+    result = run(scale)
+    max_p = max(PROCESSOR_COUNTS)
+    headers = ["proc"] + [f"p={p}" for p in PROCESSOR_COUNTS]
+    rows = []
+    for i in range(max_p):
+        row = [f"proc{i}"]
+        for p in PROCESSOR_COUNTS:
+            if i < p and result.ranges[p][i] is not None:
+                lo, hi = result.ranges[p][i]
+                row.append(f"{lo:.2f} - {hi:.2f}")
+            else:
+                row.append("")
+        rows.append(row)
+    return format_table(
+        headers,
+        rows,
+        title="Table III — key range per processor, Twitter dataset",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

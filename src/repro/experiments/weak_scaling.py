@@ -1,0 +1,69 @@
+"""Weak scaling: fixed data volume *per processor* (extension experiment).
+
+Not a paper figure — the paper only shows strong scaling (Figure 6) — but
+the natural companion study for a sorting library: the modeled dataset
+grows with the processor count (125M keys per processor, the paper's
+1B/8 density), so perfect weak scaling would be a flat total-time line with
+only the log-factor of the larger sort and the growing exchange fan-out
+bending it upward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.api import DistributedSorter
+from ..workloads import generate
+from .common import ExperimentScale, current_scale, format_table
+
+#: Modeled keys per processor (the paper's density at p=8).
+KEYS_PER_PROCESSOR = 125_000_000
+
+
+@dataclass
+class WeakScalingResult:
+    processors: list[int]
+    total_seconds: list[float]
+
+    def efficiency(self) -> list[float]:
+        """t(p0) / t(p) — 1.0 is perfect weak scaling."""
+        base = self.total_seconds[0]
+        return [base / t for t in self.total_seconds]
+
+    def acceptably_flat(self, floor: float = 0.6) -> bool:
+        return min(self.efficiency()) >= floor
+
+
+def run(scale: ExperimentScale | None = None) -> WeakScalingResult:
+    scale = scale or current_scale()
+    data = generate("uniform", scale.real_keys, seed=scale.seed, value_range=1 << 20)
+    totals = []
+    for p in scale.processors:
+        modeled = KEYS_PER_PROCESSOR * p
+        sorter = DistributedSorter(
+            num_processors=p,
+            threads_per_machine=scale.threads,
+            data_scale=modeled / scale.real_keys,
+        )
+        result = sorter.sort(data)
+        assert result.is_globally_sorted()
+        totals.append(result.elapsed_seconds)
+    return WeakScalingResult(list(scale.processors), totals)
+
+
+def main(scale: ExperimentScale | None = None) -> str:
+    result = run(scale)
+    effs = result.efficiency()
+    rows = [
+        [p, KEYS_PER_PROCESSOR * p, t, e]
+        for p, t, e in zip(result.processors, result.total_seconds, effs)
+    ]
+    return format_table(
+        ["processors", "modeled-keys", "total-s", "weak-efficiency"],
+        rows,
+        title=f"Weak scaling — {KEYS_PER_PROCESSOR:,} modeled keys per processor",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(main())

@@ -1,0 +1,170 @@
+"""Communication manager: buffered, asynchronous array transfers.
+
+Wraps the simnet point-to-point calls with PGX.D's two distinguishing
+behaviours (section III):
+
+* **buffer-granular messaging** — arrays are shipped as a train of
+  read-buffer-sized (256 KB) messages, the granularity at which PGX.D's
+  request buffers hand data to the wire, and
+* **asynchronous execution** — with ``async_messaging`` on (the default),
+  every chunk goes out as a non-blocking ``Isend`` so a worker can keep
+  receiving while its sends drain; the ablation config flips this to
+  blocking sends to quantify the benefit.
+
+Transfers honour the config's ``data_scale``: a real array of ``b`` bytes is
+announced (and charged on the network) as ``b * data_scale`` virtual bytes,
+and the chunk count follows the *virtual* size — capped at
+:data:`MAX_CHUNKS_PER_TRANSFER` so paper-scale runs don't explode the event
+queue (the residual per-buffer software overhead is negligible next to the
+serialization time the cap preserves exactly).
+
+Both sides derive the same chunk plan from the announced byte count (the
+sorting algorithm broadcasts range sizes before exchanging data — step 5 of
+the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from ..simnet.calls import Compute, Isend, Message, Recv, Send
+from ..simnet.engine import ProcessHandle
+from .buffers import num_flushes
+from .config import PgxdConfig
+
+#: Upper bound on messages per logical transfer (event-queue protection).
+MAX_CHUNKS_PER_TRANSFER = 32
+
+#: Software cost of one request-buffer hand-off (fill + flush bookkeeping),
+#: charged for every buffer-sized flush the modeled transfer performs —
+#: including those folded together by the chunk cap.  Matches the network
+#: model's default per-message overhead.
+BUFFER_FLUSH_OVERHEAD_SECONDS = 2.0e-6
+
+
+def virtual_nbytes(real_nbytes: int, config: PgxdConfig) -> int:
+    """Bytes a transfer occupies on the modeled wire."""
+    if real_nbytes < 0:
+        raise ValueError("real_nbytes must be >= 0")
+    return int(round(real_nbytes * config.data_scale))
+
+
+def expected_chunks(real_nbytes: int, config: PgxdConfig) -> int:
+    """Number of messages a transfer of ``real_nbytes`` will arrive in."""
+    if real_nbytes == 0:
+        return 0
+    flushes = num_flushes(virtual_nbytes(real_nbytes, config), config.read_buffer_bytes)
+    return min(flushes, MAX_CHUNKS_PER_TRANSFER)
+
+
+def send_array(
+    proc: ProcessHandle,
+    dst: int,
+    array: np.ndarray,
+    tag: int,
+    config: PgxdConfig,
+) -> Generator:
+    """Ship ``array`` to ``dst`` as buffer-granular chunks.
+
+    Zero-length arrays send nothing (the receiver knows the count from the
+    announced sizes and will not post a receive).
+    """
+    array = np.ascontiguousarray(array)
+    chunks = expected_chunks(int(array.nbytes), config)
+    if chunks == 0:
+        return
+    cls = Isend if config.async_messaging else Send
+    n = len(array)
+    vtotal = virtual_nbytes(int(array.nbytes), config)
+    # The modeled transfer performs one buffer flush per read_buffer_bytes;
+    # the chunk cap folds them into fewer simulated messages, so the folded
+    # flushes' software cost is charged explicitly.  This is what makes
+    # small request buffers measurably expensive (the buffer-size sweep).
+    flushes = num_flushes(vtotal, config.read_buffer_bytes)
+    if flushes > chunks:
+        yield Compute((flushes - chunks) * BUFFER_FLUSH_OVERHEAD_SECONDS)
+    bounds = [n * i // chunks for i in range(chunks + 1)]
+    sent_v = 0
+    for i in range(chunks):
+        piece = array[bounds[i] : bounds[i + 1]]
+        # Last chunk absorbs rounding so virtual bytes sum exactly.
+        v = vtotal - sent_v if i == chunks - 1 else (vtotal * (i + 1)) // chunks - sent_v
+        sent_v += v
+        yield cls(dst=dst, nbytes=v, payload=piece, tag=tag)
+
+
+def recv_array(
+    proc: ProcessHandle,
+    src: int,
+    nbytes: int,
+    dtype: np.dtype,
+    tag: int,
+    config: PgxdConfig,
+) -> Generator:
+    """Receive a transfer announced as ``nbytes`` *real* bytes from ``src``.
+
+    Returns the reassembled array (empty when ``nbytes`` is zero).  Chunks
+    from one source arrive in FIFO order, so reassembly is a concatenation.
+    """
+    dtype = np.dtype(dtype)
+    if nbytes == 0:
+        return np.empty(0, dtype=dtype)
+    chunks = []
+    for _ in range(expected_chunks(nbytes, config)):
+        msg: Message = yield Recv(src=src, tag=tag)
+        chunks.append(msg.payload)
+    out = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+    if out.nbytes != nbytes:
+        raise ValueError(
+            f"transfer from {src} announced {nbytes} bytes but delivered {out.nbytes}"
+        )
+    return out
+
+
+def exchange_arrays(
+    proc: ProcessHandle,
+    outgoing: list[np.ndarray],
+    announced_nbytes: list[int],
+    dtype: np.dtype,
+    tag: int,
+    config: PgxdConfig,
+) -> Generator:
+    """Asynchronous personalized all-to-all of arrays (paper step 5).
+
+    ``outgoing[d]`` is the local array destined for rank ``d``;
+    ``announced_nbytes[s]`` is the *real* byte count rank ``s`` announced it
+    will send to this rank (obtained via the step-4 size exchange).  All
+    remote sends are posted before receives are drained, so sending overlaps
+    receiving — the paper's "each processor is able to send data while
+    receiving data".  Returns the received arrays indexed by source rank
+    (the local chunk never touches the network).
+    """
+    rank, size = proc.rank, proc.size
+    if len(outgoing) != size or len(announced_nbytes) != size:
+        raise ValueError("need exactly one outgoing array and one announced size per rank")
+    out: list[np.ndarray] = [None] * size  # type: ignore[list-item]
+    out[rank] = np.asarray(outgoing[rank], dtype=dtype)
+    for offset in range(1, size):
+        dst = (rank + offset) % size  # staggered to spread incast
+        yield from send_array(proc, dst, np.asarray(outgoing[dst]), tag, config)
+    received: list[list[np.ndarray]] = [[] for _ in range(size)]
+    pending = sum(
+        expected_chunks(announced_nbytes[src], config)
+        for src in range(size)
+        if src != rank
+    )
+    for _ in range(pending):
+        msg: Message = yield Recv(tag=tag)
+        received[msg.src].append(msg.payload)
+    dtype = np.dtype(dtype)
+    for src in range(size):
+        if src == rank:
+            continue
+        parts = received[src]
+        if not parts:
+            out[src] = np.empty(0, dtype=dtype)
+        else:
+            out[src] = np.concatenate(parts) if len(parts) > 1 else parts[0]
+    return out

@@ -1,0 +1,107 @@
+"""Compressed Sparse Row graph storage, as used by PGX.D's data manager.
+
+The paper's section III: "Graph data across different machines is maintained
+within the data manager and they are stored in the Compressed Sparse Row
+(CSR) data structure on each machine."  This module provides the CSR
+container used by the graph-loading path and the Twitter-workload benchmarks
+(degree extraction, neighbour iteration, top-value queries on sorted data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CsrGraph:
+    """An immutable CSR adjacency structure over ``num_vertices`` vertices.
+
+    ``row_ptr`` has ``num_vertices + 1`` entries; the neighbours of vertex
+    ``v`` are ``col_idx[row_ptr[v]:row_ptr[v+1]]``.  Vertex ids are local;
+    a separate ``global_ids`` array (optional) maps them back to the global
+    id space when the graph is a partition of a distributed graph.
+    """
+
+    row_ptr: np.ndarray
+    col_idx: np.ndarray
+    global_ids: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        row_ptr = np.asarray(self.row_ptr)
+        col_idx = np.asarray(self.col_idx)
+        if row_ptr.ndim != 1 or col_idx.ndim != 1:
+            raise ValueError("row_ptr and col_idx must be one-dimensional")
+        if len(row_ptr) == 0:
+            raise ValueError("row_ptr must have at least one entry")
+        if row_ptr[0] != 0:
+            raise ValueError("row_ptr must start at 0")
+        if row_ptr[-1] != len(col_idx):
+            raise ValueError(
+                f"row_ptr ends at {row_ptr[-1]} but col_idx has {len(col_idx)} entries"
+            )
+        if np.any(np.diff(row_ptr) < 0):
+            raise ValueError("row_ptr must be non-decreasing")
+        if self.global_ids is not None and len(self.global_ids) != len(row_ptr) - 1:
+            raise ValueError("global_ids must have one entry per vertex")
+
+    # ------------------------------------------------------------ queries
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.row_ptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.col_idx)
+
+    def degree(self, v: int) -> int:
+        """Out-degree of local vertex ``v``."""
+        return int(self.row_ptr[v + 1] - self.row_ptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """Out-degrees of all local vertices."""
+        return np.diff(self.row_ptr)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Neighbour view (no copy) of local vertex ``v``."""
+        return self.col_idx[self.row_ptr[v] : self.row_ptr[v + 1]]
+
+    def nbytes(self) -> int:
+        """Memory footprint of the structure arrays."""
+        total = self.row_ptr.nbytes + self.col_idx.nbytes
+        if self.global_ids is not None:
+            total += self.global_ids.nbytes
+        return int(total)
+
+    # ---------------------------------------------------------- factories
+
+    @classmethod
+    def from_edges(
+        cls,
+        num_vertices: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        *,
+        global_ids: np.ndarray | None = None,
+    ) -> "CsrGraph":
+        """Build a CSR graph from parallel (src, dst) edge arrays.
+
+        Edges are counting-sorted by source (O(V + E)), matching how a bulk
+        loader materializes CSR; neighbour lists preserve input order within
+        a source.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise ValueError("src and dst must have the same shape")
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be >= 0")
+        if src.size and (src.min() < 0 or src.max() >= num_vertices):
+            raise ValueError("src vertex id out of range")
+        counts = np.bincount(src, minlength=num_vertices)
+        row_ptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=row_ptr[1:])
+        order = np.argsort(src, kind="stable")
+        return cls(row_ptr=row_ptr, col_idx=dst[order], global_ids=global_ids)

@@ -1,0 +1,80 @@
+"""Ghost-node selection: replicating hub vertices to cut crossing edges.
+
+Section III of the paper: PGX.D "guarantees low communication overhead by
+applying ghost nodes selection that results in decreasing number of the
+crossing edges as well as decreasing communication between different
+processors."  The standard realisation (from the PGX.D SC'15 paper) is to
+replicate the highest-degree vertices on every machine so edges pointing at
+them become machine-local.
+
+This module selects ghost candidates from a degree profile and quantifies
+the crossing-edge reduction, which feeds the graph-loading communication
+cost in the runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .partition import BlockPartition
+
+
+@dataclass(frozen=True)
+class GhostSelection:
+    """Result of ghost-node selection for a distributed graph."""
+
+    #: Global ids of vertices replicated on every machine.
+    ghost_vertices: np.ndarray
+    #: Crossing edges before ghosting.
+    crossing_edges_before: int
+    #: Crossing edges after ghosting (edges into ghosts become local).
+    crossing_edges_after: int
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of crossing edges eliminated (0 when nothing crossed)."""
+        if self.crossing_edges_before == 0:
+            return 0.0
+        return 1.0 - self.crossing_edges_after / self.crossing_edges_before
+
+
+def count_crossing_edges(
+    src: np.ndarray, dst: np.ndarray, partition: BlockPartition
+) -> int:
+    """Edges whose endpoints live on different machines."""
+    return int(np.sum(partition.owners(src) != partition.owners(dst)))
+
+
+def select_ghosts(
+    src: np.ndarray,
+    dst: np.ndarray,
+    partition: BlockPartition,
+    budget: int,
+) -> GhostSelection:
+    """Pick up to ``budget`` vertices to replicate everywhere.
+
+    Candidates are ranked by *in-degree over crossing edges* — replicating a
+    vertex only helps for edges that would otherwise leave their source
+    machine, so hubs that attract remote edges rank first.  This mirrors
+    PGX.D's high-degree ghost selection.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if src.shape != dst.shape:
+        raise ValueError("src and dst must have the same shape")
+    crossing_mask = partition.owners(src) != partition.owners(dst)
+    before = int(crossing_mask.sum())
+    if budget <= 0 or before == 0:
+        return GhostSelection(np.empty(0, dtype=np.int64), before, before)
+    # In-degree restricted to crossing edges.
+    crossing_dst = dst[crossing_mask]
+    remote_in_degree = np.bincount(crossing_dst, minlength=partition.num_vertices)
+    order = np.argsort(remote_in_degree, kind="stable")[::-1]
+    ghosts = order[:budget]
+    ghosts = ghosts[remote_in_degree[ghosts] > 0]
+    ghost_set = np.zeros(partition.num_vertices, dtype=bool)
+    ghost_set[ghosts] = True
+    after = int(np.sum(crossing_mask & ~ghost_set[dst]))
+    return GhostSelection(np.sort(ghosts).astype(np.int64), before, after)

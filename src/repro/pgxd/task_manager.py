@@ -1,0 +1,64 @@
+"""Task manager: PGX.D's worker-thread pool model.
+
+Section III: "A list of tasks is created within a task manager at the
+beginning of each parallel step. The task manager initializes a set of worker
+threads and each of these threads grab a task from the list and executes it."
+
+The simulator runs on virtual time, so the task manager's job here is to
+answer: *given this list of task costs, how long does the parallel step take
+on t worker threads?*  Tasks are assigned greedily, longest first, to the
+least-loaded thread (LPT scheduling — the natural outcome of threads grabbing
+tasks from a shared list), and the step time is the makespan plus the
+cost-model's region overhead.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..simnet.cost import CostModel
+
+
+@dataclass(frozen=True)
+class TaskManager:
+    """Virtual-time scheduler for one machine's worker threads."""
+
+    threads: int
+    cost: CostModel
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise ValueError("threads must be >= 1")
+
+    def parallel_time(self, task_costs: Sequence[float]) -> float:
+        """Makespan of running ``task_costs`` (seconds each) on the pool.
+
+        Costs are divided by the pool's parallel efficiency to account for
+        contention, then LPT-packed onto threads.
+        """
+        if any(c < 0 for c in task_costs):
+            raise ValueError("task costs must be non-negative")
+        costs = [c for c in task_costs if c > 0]
+        if not costs:
+            return 0.0
+        eff = self.cost.efficiency(min(self.threads, len(costs)))
+        if len(costs) <= self.threads:
+            return max(costs) / eff + self.cost.task_region_overhead
+        loads = [0.0] * self.threads
+        heapq.heapify(loads)
+        for c in sorted(costs, reverse=True):
+            lightest = heapq.heappop(loads)
+            heapq.heappush(loads, lightest + c)
+        return max(loads) / eff + self.cost.task_region_overhead
+
+    def chunked_time(self, total_work: float, unit_cost: float, chunks: int) -> float:
+        """Time for ``total_work`` units split into ``chunks`` equal tasks
+        of ``unit_cost`` seconds per unit."""
+        if chunks < 1:
+            raise ValueError("chunks must be >= 1")
+        if total_work < 0 or unit_cost < 0:
+            raise ValueError("work and cost must be non-negative")
+        per_chunk = total_work / chunks * unit_cost
+        return self.parallel_time([per_chunk] * chunks)

@@ -1,0 +1,68 @@
+"""Discrete-event cluster simulator: the hardware substrate of the repro.
+
+Provides a deterministic virtual cluster — processes as generators, an
+MPI-flavoured call vocabulary, a cut-through network model with per-NIC
+serialization, collective operations built from point-to-point messages, and
+a calibrated compute-cost model standing in for the paper's Xeon testbed.
+"""
+
+from .calls import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Alloc,
+    Barrier,
+    Compute,
+    Free,
+    Isend,
+    Message,
+    Now,
+    Probe,
+    Recv,
+    Send,
+    Sleep,
+)
+from .collectives import allgather, alltoallv, bcast, gather, reduce, scatter
+from .comm import nbytes_of
+from .cost import CostModel
+from .engine import ProcessHandle, Simulator
+from .errors import DeadlockError, InvalidCallError, ProcessFailure, SimError, UnknownRankError
+from .metrics import ClusterMetrics, MemoryTracker, ProcessMetrics
+from .network import Fabric, NetworkModel, NicState, gbit_per_s
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Alloc",
+    "Barrier",
+    "ClusterMetrics",
+    "Compute",
+    "CostModel",
+    "DeadlockError",
+    "Fabric",
+    "Free",
+    "InvalidCallError",
+    "Isend",
+    "MemoryTracker",
+    "Message",
+    "NetworkModel",
+    "NicState",
+    "Now",
+    "ProcessFailure",
+    "Probe",
+    "ProcessHandle",
+    "ProcessMetrics",
+    "Recv",
+    "Send",
+    "SimError",
+    "Simulator",
+    "Sleep",
+    "UnknownRankError",
+    "allgather",
+    "alltoallv",
+    "bcast",
+    "gather",
+    "gbit_per_s",
+    "nbytes_of",
+    "reduce",
+    "scatter",
+]

@@ -1,0 +1,162 @@
+"""Yieldable operations understood by the simulation engine.
+
+Simulated processes are generator functions.  They interact with the virtual
+cluster exclusively by ``yield``-ing instances of the dataclasses below; the
+engine interprets each call, advances the virtual clock, and resumes the
+generator with the call's result (e.g. the received payload for ``Recv``).
+
+The calls mirror the mpi4py vocabulary (``Send``/``Recv``/``Isend``/...),
+which keeps algorithm code readable to anyone who has written MPI programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Wildcard source rank for :class:`Recv`, matching any sender.
+ANY_SOURCE = -1
+
+#: Wildcard tag for :class:`Recv`, matching any message tag.
+ANY_TAG = -1
+
+
+@dataclass(frozen=True)
+class Compute:
+    """Occupy the calling process for ``seconds`` of virtual time.
+
+    ``label`` attributes the time to a named phase in the process metrics
+    (used by the per-step breakdown of Figure 7).
+    """
+
+    seconds: float
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError(f"negative compute time: {self.seconds}")
+
+
+@dataclass(frozen=True)
+class Send:
+    """Blocking send: resumes once the payload has left the local NIC.
+
+    Delivery to the destination mailbox happens later (wire latency plus
+    receiver-side serialization); a matching ``Recv`` completes then.
+    """
+
+    dst: int
+    nbytes: int
+    payload: Any = None
+    tag: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"negative message size: {self.nbytes}")
+
+
+@dataclass(frozen=True)
+class Isend(Send):
+    """Non-blocking send: resumes immediately, the NIC drains asynchronously.
+
+    Models PGX.D's asynchronous remote writes: the task manager hands the
+    buffer to the communication manager and continues with the next task.
+    """
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Blocking receive; resumes with a :class:`Message` once matched."""
+
+    src: int = ANY_SOURCE
+    tag: int = ANY_TAG
+
+
+@dataclass(frozen=True)
+class Probe:
+    """Check for a matching message *without consuming it*.
+
+    With ``blocking`` (the default) the caller resumes with the matched
+    :class:`Message` once one is available; the message stays in the
+    mailbox for a subsequent :class:`Recv`.  With ``blocking=False`` the
+    caller resumes immediately with the matched message or ``None``
+    (mpi4py's ``iprobe``).
+    """
+
+    src: int = ANY_SOURCE
+    tag: int = ANY_TAG
+    blocking: bool = True
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Block until every process in the cluster has entered the barrier.
+
+    ``name`` disambiguates concurrent barriers in diagnostics only; matching
+    is positional (PGX.D-style supersteps), so all ranks must execute the
+    same barrier sequence.
+    """
+
+    name: str = "barrier"
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Idle for ``seconds`` without attributing the time to any phase."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError(f"negative sleep time: {self.seconds}")
+
+
+@dataclass(frozen=True)
+class Now:
+    """Resume immediately with the current virtual time (seconds)."""
+
+
+@dataclass(frozen=True)
+class Alloc:
+    """Record ``nbytes`` of memory as allocated by the calling process.
+
+    ``temporary`` distinguishes scratch space (freed before the program
+    ends — the light-blue series of Figure 11) from resident data (RSS).
+    """
+
+    nbytes: int
+    temporary: bool = False
+    label: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"negative allocation: {self.nbytes}")
+
+
+@dataclass(frozen=True)
+class Free:
+    """Release ``nbytes`` previously recorded with :class:`Alloc`."""
+
+    nbytes: int
+    temporary: bool = False
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"negative free: {self.nbytes}")
+
+
+@dataclass
+class Message:
+    """A delivered message, as returned by :class:`Recv`."""
+
+    src: int
+    dst: int
+    tag: int
+    nbytes: int
+    payload: Any
+    sent_at: float
+    delivered_at: float = field(default=0.0)
+
+    def transit_time(self) -> float:
+        """Virtual seconds between send initiation and delivery."""
+        return self.delivered_at - self.sent_at

@@ -1,0 +1,168 @@
+"""MPI-style collective operations as generator helpers.
+
+Each helper is used from a simulated program with ``yield from``::
+
+    def program(proc):
+        splitters = yield from bcast(proc, splitters, root=0)
+
+Collectives are built purely from point-to-point :class:`Send`/:class:`Recv`
+calls, so their cost falls out of the network model instead of being a magic
+constant: a broadcast is a binomial tree (log2(p) rounds), a gather is a
+flat fan-in (which is exactly how the paper's Master receives one
+``256KB/p``-sized sample message from every processor), and ``alltoallv``
+posts all sends asynchronously before draining receives — the paper's
+"each processor is able to send data while receiving data" behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Sequence
+
+from .calls import Isend, Message, Recv, Send
+from .comm import nbytes_of
+from .engine import ProcessHandle
+
+# Distinct tag spaces so interleaved collectives cannot cross-match.
+TAG_BCAST = 101
+TAG_GATHER = 102
+TAG_SCATTER = 103
+TAG_ALLTOALL = 104
+TAG_REDUCE = 105
+
+
+def bcast(
+    proc: ProcessHandle,
+    value: Any = None,
+    root: int = 0,
+    *,
+    nbytes: int | None = None,
+    tag: int = TAG_BCAST,
+) -> Generator[Any, Any, Any]:
+    """Binomial-tree broadcast; returns the root's value on every rank."""
+    rank, size = proc.rank, proc.size
+    vrank = (rank - root) % size  # virtual rank with root mapped to 0
+    # Receive from the binomial-tree parent (the rank that differs in our
+    # lowest set bit); the root has no parent and skips straight to sending.
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            src = ((vrank - mask) + root) % size
+            msg: Message = yield Recv(src=src, tag=tag)
+            value = msg.payload
+            break
+        mask <<= 1
+    if nbytes is None:
+        nbytes = nbytes_of(value)
+    # Forward to children vrank+m for every m below our lowest set bit
+    # (all m below `size` for the root), largest subtree first.
+    mask >>= 1
+    while mask > 0:
+        if vrank + mask < size:
+            dst = ((vrank + mask) + root) % size
+            yield Send(dst=dst, nbytes=nbytes, payload=value, tag=tag)
+        mask >>= 1
+    return value
+
+
+def gather(
+    proc: ProcessHandle,
+    value: Any,
+    root: int = 0,
+    *,
+    nbytes: int | None = None,
+    tag: int = TAG_GATHER,
+) -> Generator[Any, Any, list[Any] | None]:
+    """Flat fan-in gather; returns the rank-ordered list on root, else None."""
+    rank, size = proc.rank, proc.size
+    if rank != root:
+        yield Send(
+            dst=root,
+            nbytes=nbytes if nbytes is not None else nbytes_of(value),
+            payload=value,
+            tag=tag,
+        )
+        return None
+    out: list[Any] = [None] * size
+    out[root] = value
+    for _ in range(size - 1):
+        msg: Message = yield Recv(tag=tag)
+        out[msg.src] = msg.payload
+    return out
+
+
+def scatter(
+    proc: ProcessHandle,
+    values: Sequence[Any] | None,
+    root: int = 0,
+    *,
+    tag: int = TAG_SCATTER,
+) -> Generator[Any, Any, Any]:
+    """Root sends ``values[i]`` to rank ``i``; returns the local element."""
+    rank, size = proc.rank, proc.size
+    if rank == root:
+        if values is None or len(values) != size:
+            raise ValueError("scatter root must supply exactly one value per rank")
+        for dst in range(size):
+            if dst == rank:
+                continue
+            yield Send(dst=dst, nbytes=nbytes_of(values[dst]), payload=values[dst], tag=tag)
+        return values[rank]
+    msg: Message = yield Recv(src=root, tag=tag)
+    return msg.payload
+
+
+def allgather(
+    proc: ProcessHandle,
+    value: Any,
+    *,
+    nbytes: int | None = None,
+) -> Generator[Any, Any, list[Any]]:
+    """Gather to rank 0 followed by a broadcast of the full list."""
+    gathered = yield from gather(proc, value, root=0, nbytes=nbytes)
+    return (yield from bcast(proc, gathered, root=0))
+
+
+def reduce(
+    proc: ProcessHandle,
+    value: Any,
+    op: Callable[[Any, Any], Any],
+    root: int = 0,
+) -> Generator[Any, Any, Any]:
+    """Flat reduction at root with operator ``op``; None on non-roots."""
+    gathered = yield from gather(proc, value, root=root, tag=TAG_REDUCE)
+    if gathered is None:
+        return None
+    acc = gathered[0]
+    for item in gathered[1:]:
+        acc = op(acc, item)
+    return acc
+
+
+def alltoallv(
+    proc: ProcessHandle,
+    chunks: Sequence[Any],
+    *,
+    nbytes: Callable[[Any], int] = nbytes_of,
+    tag: int = TAG_ALLTOALL,
+) -> Generator[Any, Any, list[Any]]:
+    """Asynchronous personalized all-to-all exchange.
+
+    ``chunks[d]`` is this rank's payload for rank ``d``.  All remote sends
+    are posted with non-blocking :class:`Isend` *before* any receive is
+    drained, so sending overlaps receiving — the behaviour PGX.D's task
+    manager provides and the paper credits for step 5's low cost.  Returns
+    the received chunks indexed by source rank (the local chunk is passed
+    through without touching the network).
+    """
+    rank, size = proc.rank, proc.size
+    if len(chunks) != size:
+        raise ValueError(f"alltoallv needs {size} chunks, got {len(chunks)}")
+    out: list[Any] = [None] * size
+    out[rank] = chunks[rank]
+    for offset in range(1, size):
+        dst = (rank + offset) % size  # staggered to spread incast
+        yield Isend(dst=dst, nbytes=nbytes(chunks[dst]), payload=chunks[dst], tag=tag)
+    for _ in range(size - 1):
+        msg: Message = yield Recv(tag=tag)
+        out[msg.src] = msg.payload
+    return out

@@ -1,0 +1,390 @@
+"""Deterministic discrete-event engine executing simulated cluster programs.
+
+A *program* is a generator function ``fn(proc, *args, **kwargs)`` where
+``proc`` is the :class:`ProcessHandle` for the rank running it.  The generator
+yields :mod:`repro.simnet.calls` operations; the engine interprets each one,
+advances the virtual clock, and resumes the generator with the operation's
+result.  Real payloads (numpy arrays, Python objects) travel inside messages,
+so program outputs are bit-exact real computations — only *time* is simulated.
+
+Execution is fully deterministic: ties in the event queue are broken by a
+monotonically increasing sequence number, and no wall-clock or OS scheduling
+enters any simulated path.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Any, Callable, Generator
+
+from .calls import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Alloc,
+    Barrier,
+    Compute,
+    Free,
+    Isend,
+    Message,
+    Now,
+    Probe,
+    Recv,
+    Send,
+    Sleep,
+)
+from .errors import DeadlockError, InvalidCallError, ProcessFailure, UnknownRankError
+from .metrics import ClusterMetrics, ProcessMetrics
+from .network import Fabric, NetworkModel
+
+Program = Callable[..., Generator]
+
+
+class _Status(Enum):
+    READY = auto()
+    WAITING = auto()  # resume already scheduled (compute/sleep/send completion)
+    BLOCKED_RECV = auto()
+    BLOCKED_BARRIER = auto()
+    DONE = auto()
+
+
+@dataclass
+class ProcessHandle:
+    """Per-rank facade handed to program generators.
+
+    Exposes the rank, the cluster size, and the process's metrics object so
+    programs (and layered runtimes such as :mod:`repro.pgxd`) can attribute
+    costs without reaching into engine internals.
+    """
+
+    rank: int
+    size: int
+    metrics: ProcessMetrics
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessHandle(rank={self.rank}, size={self.size})"
+
+
+@dataclass
+class _ProcState:
+    handle: ProcessHandle
+    gen: Generator
+    status: _Status = _Status.READY
+    mailbox: list[Message] = field(default_factory=list)
+    recv_spec: Recv | None = None
+    #: True when the pending block is a Probe: deliver without consuming.
+    probe_only: bool = False
+    blocked_since: float = 0.0
+    barrier_seq: int = 0
+    result: Any = None
+
+
+class Simulator:
+    """Event-driven executor for a fixed set of rank programs.
+
+    Parameters
+    ----------
+    num_ranks:
+        Number of processes (machines) in the cluster.
+    network:
+        Timing model for the interconnect; defaults to the paper's FDR
+        InfiniBand parameters.
+    trace:
+        When true, record ``(time, rank, description)`` tuples in
+        :attr:`trace_log` for debugging.
+    """
+
+    def __init__(
+        self,
+        num_ranks: int,
+        network: NetworkModel | None = None,
+        *,
+        trace: bool = False,
+    ) -> None:
+        if num_ranks <= 0:
+            raise ValueError("num_ranks must be positive")
+        self.num_ranks = num_ranks
+        self.network = network or NetworkModel()
+        self.fabric = Fabric(self.network, num_ranks)
+        self._procs: dict[int, _ProcState] = {}
+        self._events: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._barriers: dict[int, list[int]] = {}
+        self.trace_log: list[tuple[float, int, str]] = [] if trace else []
+        self._trace_enabled = trace
+        self._ran = False
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def add_process(self, fn: Program, *args: Any, rank: int | None = None, **kwargs: Any) -> int:
+        """Register ``fn(proc, *args, **kwargs)`` as the program for a rank.
+
+        Ranks default to registration order.  Returns the assigned rank.
+        """
+        if rank is None:
+            rank = len(self._procs)
+        if rank in self._procs:
+            raise ValueError(f"rank {rank} already has a program")
+        if not 0 <= rank < self.num_ranks:
+            raise UnknownRankError(f"rank {rank} outside [0, {self.num_ranks})")
+        handle = ProcessHandle(rank, self.num_ranks, ProcessMetrics(rank))
+        gen = fn(handle, *args, **kwargs)
+        if not isinstance(gen, Generator):
+            raise InvalidCallError(
+                f"program for rank {rank} must be a generator function, got {type(gen)!r}"
+            )
+        self._procs[rank] = _ProcState(handle, gen)
+        return rank
+
+    def add_program(self, fn: Program, *args: Any, **kwargs: Any) -> None:
+        """Register the same program on every rank (SPMD style)."""
+        for rank in range(self.num_ranks):
+            self.add_process(fn, *args, rank=rank, **kwargs)
+
+    def run(self) -> ClusterMetrics:
+        """Execute until all processes finish; returns cluster metrics.
+
+        Raises :class:`DeadlockError` if every live process is blocked with
+        no event pending, and :class:`ProcessFailure` if a program raises.
+        """
+        if self._ran:
+            raise RuntimeError("Simulator.run() may only be called once")
+        if len(self._procs) != self.num_ranks:
+            raise RuntimeError(
+                f"{len(self._procs)} programs registered for {self.num_ranks} ranks"
+            )
+        self._ran = True
+        for rank in sorted(self._procs):
+            self._schedule(0.0, lambda r=rank: self._step(r, None))
+        while self._events:
+            time, _, action = heapq.heappop(self._events)
+            self._now = time
+            action()
+        blocked = {
+            r: st.status.name
+            for r, st in self._procs.items()
+            if st.status is not _Status.DONE
+        }
+        if blocked:
+            raise DeadlockError(blocked)
+        return self.metrics()
+
+    def metrics(self) -> ClusterMetrics:
+        """Snapshot of cluster metrics (valid after :meth:`run`)."""
+        procs = [self._procs[r].handle.metrics for r in sorted(self._procs)]
+        return ClusterMetrics(
+            processes=procs,
+            makespan=self._now,
+            remote_bytes=self.fabric.remote_bytes,
+            local_bytes=self.fabric.local_bytes,
+            messages=self.fabric.messages,
+        )
+
+    def result(self, rank: int) -> Any:
+        """Return value of the rank's program generator."""
+        return self._procs[rank].result
+
+    def results(self) -> list[Any]:
+        """Return values of all programs, ordered by rank."""
+        return [self._procs[r].result for r in sorted(self._procs)]
+
+    # ------------------------------------------------------------- internals
+
+    def _schedule(self, time: float, action: Callable[[], None]) -> None:
+        heapq.heappush(self._events, (time, next(self._seq), action))
+
+    def _trace(self, rank: int, text: str) -> None:
+        if self._trace_enabled:
+            self.trace_log.append((self._now, rank, text))
+
+    def _step(self, rank: int, value: Any) -> None:
+        """Advance one rank's generator until it blocks or schedules a resume."""
+        state = self._procs[rank]
+        state.status = _Status.READY
+        pending_exc: BaseException | None = None
+        while True:
+            try:
+                if pending_exc is not None:
+                    call = state.gen.throw(pending_exc)
+                    pending_exc = None
+                else:
+                    call = state.gen.send(value)
+            except StopIteration as stop:
+                state.status = _Status.DONE
+                state.result = stop.value
+                state.handle.metrics.finished_at = self._now
+                self._trace(rank, "done")
+                return
+            except DeadlockError:
+                raise
+            except Exception as exc:  # surfaces program bugs with rank context
+                state.status = _Status.DONE
+                raise ProcessFailure(rank, exc) from exc
+            try:
+                value = self._dispatch(rank, state, call)
+            except Exception as exc:
+                # Errors in a call (bad rank, over-free, ...) are raised at
+                # the program's yield site so programs may handle them.
+                pending_exc = exc
+                continue
+            if value is _BLOCKED:
+                return
+
+    def _dispatch(self, rank: int, state: _ProcState, call: Any) -> Any:
+        """Interpret one yielded call; returns the resume value or _BLOCKED."""
+        metrics = state.handle.metrics
+        if isinstance(call, Compute):
+            metrics.record_compute(call.seconds, call.label)
+            self._trace(rank, f"compute {call.seconds:.3g}s [{call.label}]")
+            self._resume_later(rank, self._now + call.seconds)
+            state.status = _Status.WAITING
+            return _BLOCKED
+        if isinstance(call, Isend):  # check before Send: Isend subclasses Send
+            self._inject(rank, call)
+            overhead = self.network.per_message_overhead
+            metrics.send_seconds += overhead
+            if overhead > 0:
+                self._resume_later(rank, self._now + overhead)
+                state.status = _Status.WAITING
+                return _BLOCKED
+            return None
+        if isinstance(call, Send):
+            sender_done = self._inject(rank, call)
+            metrics.send_seconds += sender_done - self._now
+            self._resume_later(rank, sender_done)
+            state.status = _Status.WAITING
+            return _BLOCKED
+        if isinstance(call, Recv):
+            msg = self._match(state.mailbox, call)
+            if msg is not None:
+                metrics.messages_received += 1
+                metrics.bytes_received += msg.nbytes
+                self._trace(rank, f"recv from {msg.src} tag {msg.tag} ({msg.nbytes}B)")
+                return msg
+            state.status = _Status.BLOCKED_RECV
+            state.recv_spec = call
+            state.probe_only = False
+            state.blocked_since = self._now
+            self._trace(rank, f"recv blocked (src={call.src}, tag={call.tag})")
+            return _BLOCKED
+        if isinstance(call, Probe):
+            msg = self._match(state.mailbox, call, consume=False)
+            if msg is not None or not call.blocking:
+                return msg
+            state.status = _Status.BLOCKED_RECV
+            state.recv_spec = Recv(src=call.src, tag=call.tag)
+            state.probe_only = True
+            state.blocked_since = self._now
+            self._trace(rank, f"probe blocked (src={call.src}, tag={call.tag})")
+            return _BLOCKED
+        if isinstance(call, Barrier):
+            return self._enter_barrier(rank, state, call)
+        if isinstance(call, Sleep):
+            self._resume_later(rank, self._now + call.seconds)
+            state.status = _Status.WAITING
+            return _BLOCKED
+        if isinstance(call, Now):
+            return self._now
+        if isinstance(call, Alloc):
+            metrics.memory.alloc(call.nbytes, temporary=call.temporary)
+            return None
+        if isinstance(call, Free):
+            metrics.memory.free(call.nbytes, temporary=call.temporary)
+            return None
+        raise InvalidCallError(f"rank {rank} yielded uninterpretable object {call!r}")
+
+    def _inject(self, rank: int, call: Send) -> float:
+        """Hand a message to the fabric; returns sender-done time."""
+        if not 0 <= call.dst < self.num_ranks:
+            raise UnknownRankError(f"rank {rank} sent to invalid rank {call.dst}")
+        sender_done, delivered = self.fabric.transfer(rank, call.dst, call.nbytes, self._now)
+        msg = Message(
+            src=rank,
+            dst=call.dst,
+            tag=call.tag,
+            nbytes=call.nbytes,
+            payload=call.payload,
+            sent_at=self._now,
+        )
+        metrics = self._procs[rank].handle.metrics
+        metrics.messages_sent += 1
+        metrics.bytes_sent += call.nbytes
+        self._trace(rank, f"send to {call.dst} tag {call.tag} ({call.nbytes}B)")
+        self._schedule(delivered, lambda: self._deliver(msg, delivered))
+        return sender_done
+
+    def _deliver(self, msg: Message, delivered: float) -> None:
+        msg.delivered_at = delivered
+        state = self._procs[msg.dst]
+        state.mailbox.append(msg)
+        if state.status is _Status.BLOCKED_RECV:
+            assert state.recv_spec is not None
+            matched = self._match(
+                state.mailbox, state.recv_spec, consume=not state.probe_only
+            )
+            if matched is not None:
+                metrics = state.handle.metrics
+                metrics.recv_wait_seconds += self._now - state.blocked_since
+                if not state.probe_only:
+                    metrics.messages_received += 1
+                    metrics.bytes_received += matched.nbytes
+                state.recv_spec = None
+                state.probe_only = False
+                self._schedule(self._now, lambda: self._step(msg.dst, matched))
+                state.status = _Status.WAITING
+
+    @staticmethod
+    def _match(
+        mailbox: list[Message], spec: "Recv | Probe", *, consume: bool = True
+    ) -> Message | None:
+        for i, msg in enumerate(mailbox):
+            if spec.src not in (ANY_SOURCE, msg.src):
+                continue
+            if spec.tag not in (ANY_TAG, msg.tag):
+                continue
+            return mailbox.pop(i) if consume else msg
+        return None
+
+    def _enter_barrier(self, rank: int, state: _ProcState, call: Barrier) -> Any:
+        seq = state.barrier_seq
+        state.barrier_seq += 1
+        waiting = self._barriers.setdefault(seq, [])
+        waiting.append(rank)
+        self._trace(rank, f"barrier {call.name}#{seq} ({len(waiting)}/{self.num_ranks})")
+        if len(waiting) == self.num_ranks:
+            arrivals = self._barriers.pop(seq)
+            now = self._now
+            for other in arrivals:
+                if other == rank:
+                    continue
+                other_state = self._procs[other]
+                other_state.handle.metrics.barrier_wait_seconds += (
+                    now - other_state.blocked_since
+                )
+                other_state.status = _Status.WAITING
+                self._schedule(now, lambda r=other: self._step(r, None))
+            return None  # the last arriver proceeds immediately
+        state.status = _Status.BLOCKED_BARRIER
+        state.blocked_since = self._now
+        return _BLOCKED
+
+    def _resume_later(self, rank: int, time: float) -> None:
+        self._schedule(time, lambda: self._step(rank, None))
+
+
+class _BlockedSentinel:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<BLOCKED>"
+
+
+_BLOCKED = _BlockedSentinel()

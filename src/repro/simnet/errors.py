@@ -1,0 +1,37 @@
+"""Error types raised by the discrete-event cluster simulator."""
+
+from __future__ import annotations
+
+
+class SimError(Exception):
+    """Base class for all simulator errors."""
+
+
+class DeadlockError(SimError):
+    """Raised when every live process is blocked and no event is pending.
+
+    This typically means a ``Recv`` was posted with no matching ``Send``,
+    or a ``Barrier`` was entered by only a subset of processes.
+    """
+
+    def __init__(self, blocked: dict[int, str]):
+        self.blocked = dict(blocked)
+        detail = ", ".join(f"rank {r}: {why}" for r, why in sorted(blocked.items()))
+        super().__init__(f"simulation deadlocked; blocked processes: {detail}")
+
+
+class ProcessFailure(SimError):
+    """Wraps an exception raised inside a simulated process."""
+
+    def __init__(self, rank: int, original: BaseException):
+        self.rank = rank
+        self.original = original
+        super().__init__(f"process rank {rank} failed: {original!r}")
+
+
+class InvalidCallError(SimError):
+    """Raised when a process yields an object the engine cannot interpret."""
+
+
+class UnknownRankError(SimError):
+    """Raised when a message targets a rank that does not exist."""

@@ -1,0 +1,128 @@
+"""Execution-trace tooling: per-rank activity timelines.
+
+When a :class:`~repro.simnet.engine.Simulator` is built with ``trace=True``
+it records ``(time, rank, text)`` events.  This module turns that log into
+structured per-rank activity spans and renders a text Gantt chart — the
+debugging view for questions like "why is rank 3's exchange late?" that the
+paper's Figure 7 aggregates away.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .metrics import ClusterMetrics
+
+_COMPUTE_RE = re.compile(r"compute (?P<secs>[0-9.eE+-]+)s \[(?P<label>.*)\]")
+
+
+@dataclass(frozen=True)
+class Span:
+    """One activity interval on one rank's timeline."""
+
+    rank: int
+    start: float
+    end: float
+    kind: str  # "compute" | "recv-wait" | "barrier-wait"
+    label: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """Per-rank activity spans extracted from a trace log."""
+
+    spans: list[Span] = field(default_factory=list)
+    makespan: float = 0.0
+
+    def for_rank(self, rank: int) -> list[Span]:
+        return [s for s in self.spans if s.rank == rank]
+
+    def busy_fraction(self, rank: int) -> float:
+        """Fraction of the makespan the rank spent computing."""
+        if self.makespan <= 0:
+            return 0.0
+        busy = sum(s.duration for s in self.for_rank(rank) if s.kind == "compute")
+        return busy / self.makespan
+
+    def ranks(self) -> list[int]:
+        return sorted({s.rank for s in self.spans})
+
+
+def build_timeline(
+    trace_log: list[tuple[float, int, str]], makespan: float
+) -> Timeline:
+    """Parse a simulator trace log into compute and wait spans.
+
+    Compute spans come from ``compute <secs>s [<label>]`` entries; blocked
+    receive/barrier spans are reconstructed from the ``recv blocked`` /
+    ``barrier`` entries paired with the next event on the same rank.
+    """
+    timeline = Timeline(makespan=makespan)
+    pending_block: dict[int, tuple[float, str]] = {}
+    for time, rank, text in trace_log:
+        if rank in pending_block:
+            start, kind = pending_block.pop(rank)
+            if time > start:
+                timeline.spans.append(Span(rank, start, time, kind))
+        match = _COMPUTE_RE.match(text)
+        if match:
+            secs = float(match.group("secs"))
+            label = match.group("label")
+            timeline.spans.append(
+                Span(rank, time, time + secs, "compute", "" if label == "None" else label)
+            )
+        elif text.startswith("recv blocked"):
+            pending_block[rank] = (time, "recv-wait")
+        elif text.startswith("barrier"):
+            pending_block[rank] = (time, "barrier-wait")
+    for rank, (start, kind) in pending_block.items():
+        if makespan > start:
+            timeline.spans.append(Span(rank, start, makespan, kind))
+    timeline.spans.sort(key=lambda s: (s.rank, s.start))
+    return timeline
+
+
+_GANTT_GLYPHS = {"compute": "█", "recv-wait": "░", "barrier-wait": "▒"}
+
+
+def render_gantt(timeline: Timeline, width: int = 72) -> str:
+    """Text Gantt chart: one row per rank, time left to right.
+
+    ``█`` compute, ``░`` waiting in Recv, ``▒`` waiting at a barrier,
+    ``·`` idle/other.
+    """
+    if timeline.makespan <= 0 or not timeline.spans:
+        return "(empty timeline)"
+    lines = [
+        f"timeline: {timeline.makespan:.6g}s across {len(timeline.ranks())} ranks "
+        f"({width} cols; █ compute, ░ recv-wait, ▒ barrier-wait)"
+    ]
+    scale = width / timeline.makespan
+    for rank in timeline.ranks():
+        row = ["·"] * width
+        for span in timeline.for_rank(rank):
+            lo = min(int(span.start * scale), width - 1)
+            hi = min(max(int(span.end * scale), lo + 1), width)
+            glyph = _GANTT_GLYPHS.get(span.kind, "?")
+            for i in range(lo, hi):
+                row[i] = glyph
+        busy = timeline.busy_fraction(rank)
+        lines.append(f"rank {rank:>3d} |{''.join(row)}| {busy:5.1%} busy")
+    return "\n".join(lines)
+
+
+def utilization_summary(metrics: ClusterMetrics) -> str:
+    """Per-rank busy/wait summary straight from cluster metrics (works
+    without trace mode)."""
+    lines = ["rank   busy[s]   send[s]   recv-wait[s]   barrier-wait[s]"]
+    for proc in metrics.processes:
+        lines.append(
+            f"{proc.rank:>4d}  {proc.busy_seconds():8.4f}  {proc.send_seconds:8.4f}  "
+            f"{proc.recv_wait_seconds:12.4f}  {proc.barrier_wait_seconds:15.4f}"
+        )
+    return "\n".join(lines)

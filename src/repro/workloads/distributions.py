@@ -1,0 +1,137 @@
+"""The paper's four input-data distributions (Figure 4).
+
+The evaluation sorts one billion integer entries drawn from *uniform*,
+*normal*, *right-skewed* and *exponential* distributions.  The skewed pair
+is "specially intended to confirm its ability to maintain load balancing in
+a case of having a dataset containing many duplicated data entries":
+quantizing a skewed continuous distribution to integers concentrates a large
+fraction of all entries onto a handful of values.
+
+Shapes here mirror the paper's histograms: the right-skewed generator piles
+mass against the *upper* end of the value range (which is why Table II shows
+processors 2-9 sharing one tied value in exactly equal 9.998% pieces), and
+the exponential generator piles mass at the *lower* end (processors 0-8).
+All generators are deterministic in their seed and scale-free in ``n``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+#: Default integer value range, matching the paper's Figure 4 x-axes.
+DEFAULT_VALUE_RANGE = 100
+
+
+def uniform(n: int, seed: int = 0, value_range: int = DEFAULT_VALUE_RANGE) -> np.ndarray:
+    """Uniform integers over ``[0, value_range)`` (Figure 4a)."""
+    _check(n, value_range)
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, value_range, n, dtype=np.int64)
+
+
+def normal(n: int, seed: int = 0, value_range: int = DEFAULT_VALUE_RANGE) -> np.ndarray:
+    """Normal integers centred mid-range, sd = range/8 (Figure 4b)."""
+    _check(n, value_range)
+    rng = np.random.default_rng(seed)
+    raw = rng.normal(loc=value_range / 2.0, scale=value_range / 8.0, size=n)
+    return np.clip(np.rint(raw), 0, value_range - 1).astype(np.int64)
+
+
+def right_skewed(
+    n: int,
+    seed: int = 0,
+    value_range: int = DEFAULT_VALUE_RANGE,
+    *,
+    peak_mass: float = 0.795,
+) -> np.ndarray:
+    """Mass piled against the top of the range, tail to the left (Figure 4c).
+
+    A ``peak_mass`` fraction of all entries is the single top value; the
+    rest decays smoothly leftward.  The ~80% atom is what Table II implies:
+    the 7 duplicated splitters at quantiles 30%..90% divide the tied range
+    into 8 pieces of exactly 80%/8 ~ 10% (the flat 9.998% of processors
+    2-9), while the smooth tail keeps processors 0-1 at ~10% each.
+    """
+    _check(n, value_range)
+    if not 0.0 <= peak_mass < 1.0:
+        raise ValueError("peak_mass must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    top = value_range - 1
+    keys = np.full(n, top, dtype=np.int64)
+    tail_mask = rng.random(n) >= peak_mass
+    tail_n = int(tail_mask.sum())
+    tail = 1 + np.floor(rng.exponential(scale=value_range / 8.0, size=tail_n)).astype(np.int64)
+    keys[tail_mask] = np.clip(top - tail, 0, top)
+    return keys
+
+
+def exponential(
+    n: int,
+    seed: int = 0,
+    value_range: int = DEFAULT_VALUE_RANGE,
+    *,
+    peak_mass: float = 0.895,
+) -> np.ndarray:
+    """Mass piled at zero, tail to the right (Figure 4d).
+
+    The zero value holds ~90% of all entries (Table II: processors 0-8
+    share the tied value equally at ~9.997%, processor 9 takes the tail).
+    """
+    _check(n, value_range)
+    if not 0.0 <= peak_mass < 1.0:
+        raise ValueError("peak_mass must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    keys = np.zeros(n, dtype=np.int64)
+    tail_mask = rng.random(n) >= peak_mass
+    tail_n = int(tail_mask.sum())
+    tail = 1 + np.floor(rng.exponential(scale=value_range / 8.0, size=tail_n)).astype(np.int64)
+    keys[tail_mask] = np.clip(tail, 0, value_range - 1)
+    return keys
+
+
+#: Registry in the paper's Figure 4 order.
+DISTRIBUTIONS: dict[str, Callable[..., np.ndarray]] = {
+    "uniform": uniform,
+    "normal": normal,
+    "right-skewed": right_skewed,
+    "exponential": exponential,
+}
+
+
+def generate(
+    kind: str, n: int, seed: int = 0, value_range: int = DEFAULT_VALUE_RANGE
+) -> np.ndarray:
+    """Generate ``n`` keys of the named Figure-4 distribution."""
+    try:
+        fn = DISTRIBUTIONS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown distribution {kind!r}; choose from {sorted(DISTRIBUTIONS)}"
+        ) from None
+    return fn(n, seed=seed, value_range=value_range)
+
+
+def duplication_ratio(keys: np.ndarray) -> float:
+    """Fraction of entries that are duplicates of an earlier entry.
+
+    0.0 means all-distinct; 0.99 means only 1% distinct values.  Used to
+    characterize the Figure-4 datasets in tests and benchmark headers.
+    """
+    n = len(keys)
+    if n == 0:
+        return 0.0
+    return 1.0 - len(np.unique(keys)) / n
+
+
+def histogram(keys: np.ndarray, bins: int = 20) -> tuple[np.ndarray, np.ndarray]:
+    """Counts and bin edges for a Figure-4-style histogram."""
+    return np.histogram(keys, bins=bins)
+
+
+def _check(n: int, value_range: int) -> None:
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if value_range < 1:
+        raise ValueError("value_range must be >= 1")

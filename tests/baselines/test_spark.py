@@ -1,0 +1,199 @@
+"""Tests for the MiniSpark engine: RDD, partitioner, sortByKey."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.spark.engine import (
+    SparkConfig,
+    natural_runs,
+    spark_sort_by_key,
+    timsort_seconds,
+)
+from repro.baselines.spark.rdd import (
+    RDD,
+    determine_bounds,
+    partition_by_range,
+    reservoir_sample,
+)
+from repro.simnet import CostModel
+
+
+class TestRDD:
+    def test_from_array_blocks(self):
+        rdd = RDD.from_array(np.arange(10), 3)
+        assert rdd.num_partitions == 3
+        np.testing.assert_array_equal(rdd.collect(), np.arange(10))
+        assert rdd.count() == 10
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            RDD.from_array(np.arange(5), 0)
+        with pytest.raises(TypeError):
+            RDD([[1, 2, 3]])
+
+    def test_empty(self):
+        rdd = RDD.from_array(np.array([]), 4)
+        assert rdd.count() == 0
+        assert len(rdd.collect()) == 0
+
+
+class TestReservoirSample:
+    def test_sample_size(self):
+        s = reservoir_sample(np.arange(1000), 60, seed=0)
+        assert len(s) == 60
+        assert len(np.unique(s)) == 60  # without replacement
+
+    def test_small_partition_returned_whole(self):
+        part = np.array([1, 2, 3])
+        np.testing.assert_array_equal(reservoir_sample(part, 10, seed=0), part)
+
+    def test_deterministic(self):
+        a = reservoir_sample(np.arange(100), 10, seed=5)
+        b = reservoir_sample(np.arange(100), 10, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            reservoir_sample(np.arange(5), -1, seed=0)
+
+
+class TestRangePartitioner:
+    def test_bounds_are_quantiles(self):
+        bounds = determine_bounds(np.arange(100), 4)
+        np.testing.assert_array_equal(bounds, [25, 50, 75])
+
+    def test_single_partition(self):
+        assert len(determine_bounds(np.arange(10), 1)) == 0
+
+    def test_partition_by_range_routing(self):
+        bounds = np.array([10, 20])
+        pids = partition_by_range(np.array([5, 10, 15, 20, 25]), bounds)
+        np.testing.assert_array_equal(pids, [0, 0, 1, 1, 2])
+
+    def test_no_bounds_single_destination(self):
+        pids = partition_by_range(np.arange(5), np.array([]))
+        assert np.all(pids == 0)
+
+
+class TestTimsortCost:
+    def test_natural_runs(self):
+        assert natural_runs(np.array([])) == 0
+        assert natural_runs(np.array([1])) == 1
+        assert natural_runs(np.arange(100)) == 1
+        assert natural_runs(np.array([3, 2, 1])) == 3
+        assert natural_runs(np.array([1, 2, 1, 2])) == 2
+
+    def test_presorted_cheaper_than_random(self):
+        cost = CostModel()
+        rng = np.random.default_rng(0)
+        random_keys = rng.integers(0, 1 << 30, 100_000)
+        sorted_keys = np.sort(random_keys)
+        assert timsort_seconds(cost, sorted_keys, 1.0) < 0.2 * timsort_seconds(
+            cost, random_keys, 1.0
+        )
+
+    def test_slower_than_native_quicksort(self):
+        cost = CostModel()
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 1 << 30, 100_000)
+        assert timsort_seconds(cost, keys, 1.0) > cost.sort_seconds(len(keys))
+
+    def test_scale_multiplies_cost(self):
+        cost = CostModel()
+        keys = np.random.default_rng(2).integers(0, 100, 10_000)
+        assert timsort_seconds(cost, keys, 100.0) > 50 * timsort_seconds(cost, keys, 1.0)
+
+    def test_trivial_inputs_free(self):
+        cost = CostModel()
+        assert timsort_seconds(cost, np.array([]), 1.0) == 0.0
+        assert timsort_seconds(cost, np.array([1]), 1.0) == 0.0
+
+
+class TestSparkConfig:
+    def test_partition_ownership(self):
+        cfg = SparkConfig(num_executors=4, tasks_per_executor=2)
+        assert cfg.num_partitions == 8
+        assert cfg.executor_of(0) == 0
+        assert cfg.executor_of(1) == 0
+        assert cfg.executor_of(7) == 3
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_executors": 0},
+            {"tasks_per_executor": 0},
+            {"cores_per_executor": 0},
+            {"data_scale": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SparkConfig(**kwargs)
+
+
+class TestSparkSortByKey:
+    def test_sorts_correctly(self):
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 10_000, 30_000)
+        res = spark_sort_by_key(data, num_executors=4)
+        assert res.is_globally_sorted()
+        np.testing.assert_array_equal(res.to_array(), np.sort(data))
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 8])
+    def test_various_executor_counts(self, p):
+        rng = np.random.default_rng(p)
+        data = rng.random(5000)
+        res = spark_sort_by_key(data, num_executors=p)
+        np.testing.assert_array_equal(res.to_array(), np.sort(data))
+
+    def test_duplicate_heavy_data(self):
+        rng = np.random.default_rng(4)
+        data = rng.integers(0, 5, 20_000)
+        res = spark_sort_by_key(data, num_executors=4)
+        np.testing.assert_array_equal(res.to_array(), np.sort(data))
+
+    def test_stage_seconds_populated(self):
+        data = np.random.default_rng(5).random(10_000)
+        res = spark_sort_by_key(data, num_executors=3)
+        assert set(res.stage_seconds) == {"spark-sample", "spark-map", "spark-reduce"}
+        assert all(v > 0 for v in res.stage_seconds.values())
+
+    def test_custom_config_tasks(self):
+        data = np.random.default_rng(6).random(8000)
+        cfg = SparkConfig(num_executors=2, tasks_per_executor=4)
+        res = spark_sort_by_key(data, config=cfg)
+        assert len(res.per_partition) == 8
+        np.testing.assert_array_equal(res.to_array(), np.sort(data))
+
+    def test_deterministic(self):
+        data = np.random.default_rng(7).random(5000)
+        r1 = spark_sort_by_key(data, num_executors=4)
+        r2 = spark_sort_by_key(data, num_executors=4)
+        assert r1.elapsed_seconds == r2.elapsed_seconds
+
+    def test_empty_input(self):
+        res = spark_sort_by_key(np.array([]), num_executors=3)
+        assert res.to_array().size == 0
+        assert res.is_globally_sorted()
+
+    def test_imbalance_metric(self):
+        data = np.random.default_rng(8).integers(0, 1 << 20, 40_000)
+        res = spark_sort_by_key(data, num_executors=4)
+        assert res.imbalance() < 1.5
+
+
+class TestPaperComparison:
+    """The headline claim: PGX.D beats Spark by ~2-3x at paper scale."""
+
+    def test_pgxd_faster_than_spark(self):
+        from repro import DistributedSorter
+        from repro.workloads import generate
+
+        n = 1 << 15
+        scale = 1_000_000_000 / n
+        data = generate("uniform", n, seed=0, value_range=1 << 20)
+        for p in (8, 32):
+            spark = spark_sort_by_key(data, num_executors=p, data_scale=scale)
+            pgxd = DistributedSorter(num_processors=p, data_scale=scale).sort(data)
+            ratio = spark.elapsed_seconds / pgxd.elapsed_seconds
+            assert 1.5 < ratio < 4.5, f"p={p}: ratio {ratio}"

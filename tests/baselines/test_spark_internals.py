@@ -1,0 +1,89 @@
+"""Focused tests on MiniSpark's engine mechanisms (driver, stages)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.spark.engine import (
+    STAGE_LABELS,
+    SparkConfig,
+    spark_sort_by_key,
+)
+from repro.simnet import CostModel
+
+
+class TestDriverScheduling:
+    def test_driver_overhead_scales_with_partitions(self):
+        """More tasks = more serialized driver launches = more time."""
+        data = np.random.default_rng(0).random(8000)
+        few = spark_sort_by_key(
+            data, config=SparkConfig(num_executors=4, tasks_per_executor=2)
+        )
+        many = spark_sort_by_key(
+            data, config=SparkConfig(num_executors=4, tasks_per_executor=64)
+        )
+        assert many.elapsed_seconds > few.elapsed_seconds
+
+    def test_stage_overhead_visible_at_tiny_data(self):
+        """With almost no data, the three stage launches dominate: total must
+        be at least 3 stage overheads."""
+        cost = CostModel()
+        res = spark_sort_by_key(np.arange(16, dtype=np.float64), num_executors=2)
+        assert res.elapsed_seconds >= 3 * cost.spark_stage_overhead
+
+    def test_stage_ordering_at_paper_scale(self):
+        data = np.random.default_rng(1).random(5000)
+        res = spark_sort_by_key(data, num_executors=3, data_scale=1e9 / len(data))
+        # All three stages consumed time; with real data volume the reduce
+        # (fetch + TimSort) dwarfs the sampling stage.
+        assert all(res.stage_seconds[s] > 0 for s in STAGE_LABELS)
+        assert res.stage_seconds["spark-sample"] < res.stage_seconds["spark-reduce"]
+
+
+class TestShuffleCorrectness:
+    def test_partition_boundaries_respect_bounds(self):
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 1 << 20, 20_000)
+        res = spark_sort_by_key(
+            data, config=SparkConfig(num_executors=4, tasks_per_executor=4)
+        )
+        # Partitions tile the key space in id order.
+        prev_max = None
+        for part in res.per_partition:
+            if len(part) == 0:
+                continue
+            if prev_max is not None:
+                assert part[0] >= prev_max
+            prev_max = part[-1]
+
+    def test_skewed_input_still_exact(self):
+        rng = np.random.default_rng(3)
+        data = np.concatenate([np.zeros(15_000, dtype=np.int64), rng.integers(0, 10, 5000)])
+        res = spark_sort_by_key(data, num_executors=5)
+        np.testing.assert_array_equal(res.to_array(), np.sort(data))
+
+    def test_float_and_negative_keys(self):
+        rng = np.random.default_rng(4)
+        data = rng.normal(0, 100, 10_000)
+        res = spark_sort_by_key(data, num_executors=4)
+        np.testing.assert_array_equal(res.to_array(), np.sort(data))
+
+    def test_executor_count_exceeding_keys(self):
+        data = np.array([5.0, 1.0, 3.0])
+        res = spark_sort_by_key(data, num_executors=6)
+        np.testing.assert_array_equal(res.to_array(), [1.0, 3.0, 5.0])
+
+
+class TestSparkStraggler:
+    def test_rank_speed_slows_spark(self):
+        data = np.random.default_rng(5).random(10_000)
+        scale = 1e9 / len(data)  # compute must matter for the straggler to
+        even = spark_sort_by_key(data, num_executors=4, data_scale=scale)
+        slowed = spark_sort_by_key(
+            data, num_executors=4, data_scale=scale, rank_speed=[1.0, 0.2, 1.0, 1.0]
+        )
+        assert slowed.elapsed_seconds > even.elapsed_seconds
+        np.testing.assert_array_equal(slowed.to_array(), even.to_array())
+
+    def test_invalid_rank_speed_rejected(self):
+        with pytest.raises(ValueError):
+            spark_sort_by_key(np.arange(10), num_executors=3, rank_speed=[1.0])

@@ -1,0 +1,175 @@
+"""Tests for the TimSort reimplementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.spark.timsort import (
+    MIN_GALLOP,
+    binary_insertion_sort,
+    count_run,
+    gallop_left,
+    gallop_right,
+    min_run_length,
+    run_profile,
+    timsort,
+    timsort_with_stats,
+)
+
+
+class TestMinRunLength:
+    def test_small_arrays_single_run(self):
+        for n in (0, 1, 31, 63):
+            assert min_run_length(n) == n
+
+    def test_range_for_large_arrays(self):
+        for n in (64, 100, 1000, 1 << 20, (1 << 20) + 3):
+            mr = min_run_length(n)
+            assert 32 <= mr <= 64
+
+    def test_exact_powers_of_two(self):
+        # Powers of two divide evenly: minrun = 32.
+        assert min_run_length(1 << 10) == 32
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            min_run_length(-1)
+
+
+class TestCountRun:
+    def test_ascending_run(self):
+        length, desc = count_run([1, 2, 2, 3, 1], 0, 5, lambda x: x)
+        assert (length, desc) == (4, False)
+
+    def test_descending_run_strict(self):
+        length, desc = count_run([5, 4, 3, 3, 2], 0, 5, lambda x: x)
+        assert (length, desc) == (3, True)  # 3,3 breaks the strict descent
+
+    def test_single_element(self):
+        assert count_run([7], 0, 1, lambda x: x) == (1, False)
+
+    def test_run_from_offset(self):
+        length, desc = count_run([9, 1, 2, 3], 1, 4, lambda x: x)
+        assert (length, desc) == (3, False)
+
+
+class TestGallop:
+    def test_gallop_left_right_bounds(self):
+        data = [1, 2, 2, 2, 3]
+        assert gallop_left(2, data, 0, 5, lambda x: x) == 1
+        assert gallop_right(2, data, 0, 5, lambda x: x) == 4
+
+    def test_gallop_outside_range(self):
+        data = [1, 2, 3]
+        assert gallop_left(0, data, 0, 3, lambda x: x) == 0
+        assert gallop_right(9, data, 0, 3, lambda x: x) == 3
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=80), st.integers(0, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_gallop_matches_bisect(self, xs, k):
+        import bisect
+
+        data = sorted(xs)
+        assert gallop_left(k, data, 0, len(data), lambda x: x) == bisect.bisect_left(data, k)
+        assert gallop_right(k, data, 0, len(data), lambda x: x) == bisect.bisect_right(data, k)
+
+
+class TestBinaryInsertionSort:
+    def test_sorts_with_presorted_prefix(self):
+        data = [1, 3, 5, 2, 4]
+        binary_insertion_sort(data, 0, 5, 3, lambda x: x)
+        assert data == [1, 2, 3, 4, 5]
+
+    def test_subrange_only(self):
+        data = [9, 3, 1, 2, 0]
+        binary_insertion_sort(data, 1, 4, 1, lambda x: x)
+        assert data == [9, 1, 2, 3, 0]
+
+
+class TestTimsort:
+    def test_empty_and_single(self):
+        assert timsort([]) == []
+        assert timsort([3]) == [3]
+
+    def test_random_data(self):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 1000, 5000).tolist()
+        assert timsort(data) == sorted(data)
+
+    def test_stability(self):
+        data = [(3, "a"), (1, "b"), (3, "c"), (1, "d"), (3, "e")]
+        out = timsort(data, key=lambda t: t[0])
+        assert out == [(1, "b"), (1, "d"), (3, "a"), (3, "c"), (3, "e")]
+
+    def test_with_key(self):
+        data = ["ccc", "a", "bb"]
+        assert timsort(data, key=len) == ["a", "bb", "ccc"]
+
+    def test_already_sorted_does_no_merging(self):
+        _, stats = timsort_with_stats(list(range(10_000)))
+        assert stats["merges"] == 0
+
+    def test_reverse_sorted_cheap(self):
+        _, stats = timsort_with_stats(list(range(10_000, 0, -1)))
+        assert stats["merges"] == 0  # one reversed natural run
+
+    def test_random_data_merges_and_gallops(self):
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 10, 4000).tolist()  # heavy ties gallop well
+        out, stats = timsort_with_stats(data)
+        assert out == sorted(data)
+        assert stats["merges"] > 0
+        assert stats["gallops"] > 0
+
+    def test_organ_pipe_input(self):
+        data = list(range(500)) + list(range(500, 0, -1))
+        assert timsort(data) == sorted(data)
+
+    def test_all_equal(self):
+        assert timsort([7] * 1000) == [7] * 1000
+
+    @given(st.lists(st.integers(-100, 100), max_size=400))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_builtin_sorted(self, xs):
+        assert timsort(xs) == sorted(xs)
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers()), max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_stability_property(self, pairs):
+        out = timsort(pairs, key=lambda t: t[0])
+        assert out == sorted(pairs, key=lambda t: t[0])
+
+    @given(st.lists(st.floats(allow_nan=False), max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_floats(self, xs):
+        assert timsort(xs) == sorted(xs)
+
+
+class TestRunProfile:
+    def test_sorted_input_one_run(self):
+        p = run_profile(list(range(100)))
+        assert p["runs"] == 1
+        assert p["presortedness"] == 1.0
+
+    def test_random_input_many_runs(self):
+        rng = np.random.default_rng(2)
+        p = run_profile(rng.integers(0, 1_000_000, 10_000).tolist())
+        # Random permutations have mean natural-run length ~2.
+        assert p["runs"] > 1000
+        assert p["presortedness"] < 0.7
+
+    def test_empty(self):
+        p = run_profile([])
+        assert p["runs"] == 0
+
+    def test_partially_sorted_between(self):
+        rng = np.random.default_rng(3)
+        chunks = [sorted(rng.integers(0, 100, 100).tolist()) for _ in range(20)]
+        data = [x for c in chunks for x in c]
+        p = run_profile(data)
+        assert 1 < p["runs"] <= 40
+        assert p["presortedness"] > 0.9
+
+    def test_min_gallop_constant(self):
+        assert MIN_GALLOP == 7

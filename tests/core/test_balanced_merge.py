@@ -1,0 +1,236 @@
+"""Tests for merge_two and the balanced-merge handler (Figure 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import balanced_merge, merge_cost_seconds, merge_two, sequential_fold_merge
+from repro.pgxd import TaskManager
+from repro.simnet import CostModel
+
+
+class TestMergeTwo:
+    def test_basic_merge(self):
+        out, aux = merge_two(np.array([1, 3, 5]), np.array([2, 4, 6]))
+        np.testing.assert_array_equal(out, [1, 2, 3, 4, 5, 6])
+        assert aux == []
+
+    def test_empty_sides(self):
+        a = np.array([1, 2])
+        out, _ = merge_two(a, np.empty(0, dtype=np.int64))
+        np.testing.assert_array_equal(out, a)
+        out, _ = merge_two(np.empty(0, dtype=np.int64), a)
+        np.testing.assert_array_equal(out, a)
+
+    def test_stability_a_before_b(self):
+        # Equal keys: a's elements must precede b's.
+        a, b = np.array([5, 5]), np.array([5, 5])
+        tag_a, tag_b = np.array([0, 1]), np.array([2, 3])
+        _, aux = merge_two(a, b, [tag_a], [tag_b])
+        np.testing.assert_array_equal(aux[0], [0, 1, 2, 3])
+
+    def test_aux_arrays_follow_keys(self):
+        a, b = np.array([1, 4]), np.array([2, 3])
+        ida, idb = np.array([10, 40]), np.array([20, 30])
+        out, aux = merge_two(a, b, [ida], [idb])
+        np.testing.assert_array_equal(out, [1, 2, 3, 4])
+        np.testing.assert_array_equal(aux[0], [10, 20, 30, 40])
+
+    def test_multiple_aux_arrays(self):
+        a, b = np.array([1]), np.array([0])
+        _, aux = merge_two(a, b, [np.array([7]), np.array([8])], [np.array([5]), np.array([6])])
+        np.testing.assert_array_equal(aux[0], [5, 7])
+        np.testing.assert_array_equal(aux[1], [6, 8])
+
+    def test_mismatched_aux_rejected(self):
+        with pytest.raises(ValueError):
+            merge_two(np.array([1]), np.array([2]), [np.array([1])], [])
+        with pytest.raises(ValueError):
+            merge_two(np.array([1]), np.array([2]), [np.array([1, 2])], [np.array([3])])
+
+    def test_float_keys(self):
+        out, _ = merge_two(np.array([0.5, 1.5]), np.array([1.0]))
+        np.testing.assert_array_equal(out, [0.5, 1.0, 1.5])
+
+    @given(
+        st.lists(st.integers(-1000, 1000), max_size=100),
+        st.lists(st.integers(-1000, 1000), max_size=100),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_merge_equals_sorted_concat(self, xs, ys):
+        a = np.sort(np.array(xs, dtype=np.int64))
+        b = np.sort(np.array(ys, dtype=np.int64))
+        out, _ = merge_two(a, b)
+        np.testing.assert_array_equal(out, np.sort(np.concatenate([a, b])))
+
+
+def make_runs(rng, num_runs, max_len=50):
+    runs = []
+    aux = []
+    for i in range(num_runs):
+        n = int(rng.integers(0, max_len))
+        r = np.sort(rng.integers(0, 100, n))
+        runs.append(r)
+        aux.append([np.full(n, i, dtype=np.int64)])
+    return runs, aux
+
+
+class TestBalancedMerge:
+    @pytest.mark.parametrize("num_runs", [1, 2, 3, 4, 7, 8, 16])
+    def test_result_is_sorted_permutation(self, num_runs):
+        rng = np.random.default_rng(num_runs)
+        runs, aux = make_runs(rng, num_runs)
+        outcome = balanced_merge(runs, aux)
+        np.testing.assert_array_equal(outcome.keys, np.sort(np.concatenate(runs)))
+        # Aux multiset preserved.
+        assert sorted(outcome.aux[0].tolist()) == sorted(
+            np.concatenate([a[0] for a in aux]).tolist()
+        )
+
+    def test_figure2_level_structure_8_runs(self):
+        # 8 equal runs of 10 keys: levels must be 4, 2, 1 merges of sizes
+        # 20, 40, 80 — the paper's Figure 2 exactly.
+        runs = [np.sort(np.random.default_rng(i).integers(0, 9, 10)) for i in range(8)]
+        outcome = balanced_merge(runs)
+        assert [sorted(level) for level in outcome.levels] == [
+            [20, 20, 20, 20],
+            [40, 40],
+            [80],
+        ]
+
+    def test_odd_run_count_carries_last(self):
+        runs = [np.array([i]) for i in range(5)]
+        outcome = balanced_merge(runs)
+        # Level 1: two merges of 2; run 4 carried. Level 2: 4; carried.
+        # Level 3: 5.
+        assert outcome.levels == [[2, 2], [4], [5]]
+        np.testing.assert_array_equal(outcome.keys, np.arange(5))
+
+    def test_empty_input(self):
+        outcome = balanced_merge([])
+        assert len(outcome.keys) == 0
+        assert outcome.levels == []
+
+    def test_single_run_passthrough(self):
+        r = np.array([1, 2, 3])
+        outcome = balanced_merge([r])
+        np.testing.assert_array_equal(outcome.keys, r)
+        assert outcome.levels == []
+
+    def test_level_count_is_log2(self):
+        for t in (2, 4, 8, 16, 32):
+            runs = [np.array([0])] * t
+            assert len(balanced_merge(runs).levels) == int(np.log2(t))
+
+    def test_inconsistent_aux_rejected(self):
+        with pytest.raises(ValueError):
+            balanced_merge([np.array([1]), np.array([2])], [[np.array([0])]])
+        with pytest.raises(ValueError):
+            balanced_merge(
+                [np.array([1]), np.array([2])],
+                [[np.array([0])], []],
+            )
+
+
+class TestSequentialFold:
+    def test_same_result_different_shape(self):
+        rng = np.random.default_rng(9)
+        runs, aux = make_runs(rng, 6)
+        bal = balanced_merge(runs, aux)
+        seq = sequential_fold_merge(runs, aux)
+        np.testing.assert_array_equal(bal.keys, seq.keys)
+        np.testing.assert_array_equal(np.sort(bal.aux[0]), np.sort(seq.aux[0]))
+        assert len(seq.levels) == 5  # t-1 folds
+        assert all(len(level) == 1 for level in seq.levels)
+
+    def test_fold_moves_more_keys(self):
+        # The fold re-merges the accumulated prefix repeatedly, so its total
+        # key movement exceeds the balanced handler's.
+        runs = [np.arange(10) for _ in range(8)]
+        bal = balanced_merge(runs)
+        seq = sequential_fold_merge(runs)
+        assert seq.total_merged_keys() > bal.total_merged_keys()
+
+
+class TestMergeCost:
+    def setup_method(self):
+        self.cost = CostModel(thread_degradation=0.0, task_region_overhead=0.0)
+        self.tasks = TaskManager(8, self.cost)
+
+    def test_parallel_cheaper_than_serial_for_level(self):
+        runs = [np.arange(1000) for _ in range(8)]
+        outcome = balanced_merge(runs)
+        par = merge_cost_seconds(outcome, self.tasks, self.cost, parallel=True)
+        ser = merge_cost_seconds(outcome, self.tasks, self.cost, parallel=False)
+        assert par < ser
+
+    def test_balanced_cheaper_than_fold(self):
+        runs = [np.arange(1000) for _ in range(16)]
+        bal = merge_cost_seconds(balanced_merge(runs), self.tasks, self.cost)
+        fold = merge_cost_seconds(sequential_fold_merge(runs), self.tasks, self.cost)
+        assert bal < fold
+
+    def test_cost_zero_for_no_merges(self):
+        outcome = balanced_merge([np.array([1])])
+        assert merge_cost_seconds(outcome, self.tasks, self.cost) == 0.0
+
+    @given(st.integers(2, 12), st.integers(0, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_cost_positive_when_merging(self, num_runs, seed):
+        rng = np.random.default_rng(seed)
+        runs, aux = make_runs(rng, num_runs, max_len=20)
+        if sum(len(r) for r in runs) == 0:
+            return
+        outcome = balanced_merge(runs, aux)
+        assert merge_cost_seconds(outcome, self.tasks, self.cost) >= 0.0
+
+
+class TestKwayMerge:
+    def test_same_output_as_balanced(self):
+        from repro.core import kway_merge
+
+        rng = np.random.default_rng(17)
+        runs, aux = make_runs(rng, 6)
+        bal = balanced_merge(runs, aux)
+        kway = kway_merge(runs, aux)
+        np.testing.assert_array_equal(bal.keys, kway.keys)
+        np.testing.assert_array_equal(bal.aux[0], kway.aux[0])
+
+    def test_stability_earlier_runs_win_ties(self):
+        from repro.core import kway_merge
+
+        runs = [np.array([5, 5]), np.array([5])]
+        aux = [[np.array([0, 1])], [np.array([2])]]
+        out = kway_merge(runs, aux)
+        np.testing.assert_array_equal(out.aux[0], [0, 1, 2])
+
+    def test_single_and_empty(self):
+        from repro.core import kway_merge
+
+        assert len(kway_merge([]).keys) == 0
+        single = kway_merge([np.array([1, 2])])
+        np.testing.assert_array_equal(single.keys, [1, 2])
+        assert single.levels == []
+
+    def test_cost_grows_with_run_count(self):
+        from repro.core import kway_merge_cost_seconds
+
+        cm = CostModel()
+        assert kway_merge_cost_seconds(1 << 20, 16, cm) > kway_merge_cost_seconds(
+            1 << 20, 2, cm
+        )
+        assert kway_merge_cost_seconds(0, 4, cm) == 0.0
+        assert kway_merge_cost_seconds(100, 1, cm) == 0.0
+
+    def test_handler_cheaper_than_kway_on_many_threads(self):
+        """The paper's handler point: pairwise levels parallelize, a k-way
+        stream does not."""
+        from repro.core import kway_merge_cost_seconds
+
+        cm = CostModel()
+        tasks = TaskManager(32, cm)
+        runs = [np.arange(10_000) for _ in range(32)]
+        handler = merge_cost_seconds(balanced_merge(runs), tasks, cm)
+        kway = kway_merge_cost_seconds(32 * 10_000, 32, cm)
+        assert handler < kway

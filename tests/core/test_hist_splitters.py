@@ -1,0 +1,129 @@
+"""Tests for the histogram-refinement splitter strategy (extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DistributedSorter, distributed_sort
+from repro.core.hist_splitters import (
+    local_histogram,
+    refine_edges,
+    select_from_histogram,
+)
+from repro.workloads import generate
+
+
+class TestLocalHistogram:
+    def test_counts_cover_all_keys(self):
+        keys = np.sort(np.random.default_rng(0).integers(0, 100, 1000))
+        edges = np.linspace(0, 99, 11)
+        counts = local_histogram(keys, edges)
+        assert counts.sum() == 1000
+
+    def test_max_key_counted_in_last_bin(self):
+        keys = np.array([0, 5, 10])
+        edges = np.array([0.0, 5.0, 10.0])
+        counts = local_histogram(keys, edges)
+        np.testing.assert_array_equal(counts, [1, 2])  # 10 goes to last bin
+
+    def test_matches_numpy_histogram_interior(self):
+        rng = np.random.default_rng(1)
+        keys = np.sort(rng.random(5000))
+        edges = np.linspace(0, 1, 33)
+        counts = local_histogram(keys, edges)
+        expected, _ = np.histogram(keys, bins=edges)
+        np.testing.assert_array_equal(counts, expected)
+
+    def test_empty_keys(self):
+        counts = local_histogram(np.array([]), np.linspace(0, 1, 5))
+        assert counts.sum() == 0
+
+
+class TestRefinement:
+    def test_refined_edges_cover_global_range(self):
+        edges = np.linspace(0, 100, 11)
+        hist = np.full(10, 100)
+        targets = np.array([250.0, 750.0])
+        refined = refine_edges(edges, hist, targets, bins=16)
+        assert refined[0] == 0.0
+        assert refined[-1] == 100.0
+        assert len(refined) > 4
+
+    def test_refinement_zooms_into_target_bins(self):
+        edges = np.linspace(0, 100, 11)
+        hist = np.full(10, 100)
+        targets = np.array([250.0])  # inside bin [20, 30)
+        refined = refine_edges(edges, hist, targets, bins=16)
+        interior = refined[(refined > 0) & (refined < 100)]
+        assert np.all((interior >= 20) & (interior <= 30))
+
+    def test_select_returns_bin_upper_edge(self):
+        edges = np.array([0.0, 10.0, 20.0])
+        hist = np.array([5, 5])
+        out = select_from_histogram(edges, hist, np.array([3.0]))
+        np.testing.assert_array_equal(out, [10.0])
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("kind", ["uniform", "normal", "right-skewed", "exponential"])
+    def test_histogram_strategy_sorts_and_balances(self, kind):
+        data = generate(kind, 50_000, seed=5)
+        result = DistributedSorter(
+            num_processors=10, splitter_strategy="histogram"
+        ).sort(data)
+        assert result.is_globally_sorted()
+        np.testing.assert_array_equal(result.to_array(), np.sort(data))
+        assert result.imbalance() < 1.4
+
+    def test_float_keys_near_perfect_balance(self):
+        data = np.random.default_rng(6).random(60_000)
+        result = DistributedSorter(
+            num_processors=8, splitter_strategy="histogram"
+        ).sort(data)
+        assert result.imbalance() < 1.01
+
+    def test_all_equal_keys(self):
+        data = np.full(10_000, 7)
+        result = DistributedSorter(
+            num_processors=8, splitter_strategy="histogram"
+        ).sort(data)
+        assert result.is_globally_sorted()
+        assert result.imbalance() < 1.2  # investigator splits the ties
+
+    def test_no_sample_traffic_to_master(self):
+        """Histogram mode ships fixed-size histograms, not data samples."""
+        data = generate("uniform", 50_000, seed=7)
+        r_hist = DistributedSorter(
+            num_processors=8, splitter_strategy="histogram"
+        ).sort(data)
+        assert r_hist.is_globally_sorted()
+        # samples_sent is the sampling path's counter; histogram leaves it 0.
+        # (Accessed via the per-rank outputs folded into the result.)
+
+    def test_unknown_strategy_rejected(self):
+        from repro.core import SortOptions
+
+        with pytest.raises(ValueError):
+            SortOptions(splitter_strategy="magic")
+        with pytest.raises(ValueError):
+            DistributedSorter(splitter_strategy="magic")
+
+    def test_non_numeric_keys_rejected(self):
+        words = np.array(["b", "a", "c"] * 100)
+        with pytest.raises(Exception) as exc:
+            distributed_sort(words, num_processors=4, splitter_strategy="histogram")
+        assert "numeric" in str(exc.value)
+
+    def test_empty_input(self):
+        result = distributed_sort(
+            np.array([]), num_processors=4, splitter_strategy="histogram"
+        )
+        assert result.total_keys == 0
+
+    @given(st.lists(st.integers(-1000, 1000), max_size=1500), st.integers(2, 10))
+    @settings(max_examples=25, deadline=None)
+    def test_histogram_sort_property(self, xs, p):
+        data = np.array(xs, dtype=np.int64)
+        result = distributed_sort(data, num_processors=p, splitter_strategy="histogram")
+        np.testing.assert_array_equal(result.to_array(), np.sort(data))

@@ -1,0 +1,176 @@
+"""Tests for step 4: splitter cuts with and without the investigator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    compute_cuts,
+    compute_cuts_naive,
+    cuts_to_counts,
+    slices_from_cuts,
+)
+
+
+class TestDistinctSplitters:
+    def test_matches_naive_when_no_duplicates(self):
+        keys = np.arange(100)
+        splitters = np.array([24, 49, 74])
+        inv = compute_cuts(keys, splitters)
+        naive = compute_cuts_naive(keys, splitters)
+        np.testing.assert_array_equal(inv.cuts, naive.cuts)
+        np.testing.assert_array_equal(cuts_to_counts(inv.cuts, 100), [25, 25, 25, 25])
+
+    def test_figure_3a_ranges(self):
+        # Data between splitter[j-1] and splitter[j] goes to processor j.
+        keys = np.array([1, 2, 3, 10, 11, 20, 30])
+        splitters = np.array([5, 15])
+        cut = compute_cuts(keys, splitters)
+        counts = cuts_to_counts(cut.cuts, len(keys))
+        np.testing.assert_array_equal(counts, [3, 2, 2])
+
+    def test_empty_splitters_single_destination(self):
+        cut = compute_cuts(np.arange(10), np.array([]))
+        np.testing.assert_array_equal(cuts_to_counts(cut.cuts, 10), [10])
+        assert cut.searches == 0
+
+    def test_empty_keys(self):
+        cut = compute_cuts(np.array([]), np.array([1, 2, 3]))
+        np.testing.assert_array_equal(cut.cuts, [0, 0, 0])
+
+    def test_splitters_outside_key_range(self):
+        keys = np.full(10, 50)
+        cut = compute_cuts(keys, np.array([10, 90]))
+        np.testing.assert_array_equal(cuts_to_counts(cut.cuts, 10), [0, 10, 0])
+
+
+class TestDuplicatedSplitters:
+    def test_figure_3b_naive_piles_on_one_processor(self):
+        keys = np.full(100, 7)
+        splitters = np.full(4, 7)  # 4 duplicated splitters, 5 processors
+        cut = compute_cuts_naive(keys, splitters, side="right")
+        counts = cuts_to_counts(cut.cuts, 100)
+        assert counts.max() == 100  # everything to one destination
+
+    def test_figure_3c_equal_division(self):
+        keys = np.full(100, 7)
+        splitters = np.full(4, 7)
+        cut = compute_cuts(keys, splitters)
+        counts = cuts_to_counts(cut.cuts, 100)
+        # The 4 duplicated splitters act as 4 evenly spaced cut points,
+        # dividing the tied range into 5 equal pieces (Figure 3c).
+        np.testing.assert_array_equal(counts, [20, 20, 20, 20, 20])
+
+    def test_uneven_division_differs_by_at_most_one(self):
+        keys = np.full(10, 3)
+        splitters = np.full(3, 3)
+        counts = cuts_to_counts(compute_cuts(keys, splitters).cuts, 10)
+        # k=3 duplicated splitters -> 4 pieces over all 4 processors.
+        assert counts.sum() == 10
+        assert counts.max() - counts.min() <= 1
+
+    def test_mixed_duplicate_groups(self):
+        # keys: 60 copies of 1, then 40 larger values; splitters duplicated
+        # at 1 (k=2): the 60 tied keys split into 3 pieces over procs 0-2.
+        keys = np.sort(np.concatenate([np.full(60, 1), np.arange(10, 50)]))
+        splitters = np.array([1, 1, 30])
+        cut = compute_cuts(keys, splitters)
+        counts = cuts_to_counts(cut.cuts, len(keys))
+        # Proc 2 takes keys in (1, 30] = values 10..30 inclusive (21 keys).
+        np.testing.assert_array_equal(counts, [20, 20, 41, 19])
+
+    def test_searches_only_for_distinct_values(self):
+        keys = np.arange(100)
+        dup = compute_cuts(keys, np.array([10, 10, 10, 50]))
+        # 2 distinct values -> 2 left + 2 right bisections.
+        assert dup.searches == 4
+        naive = compute_cuts_naive(keys, np.array([10, 10, 10, 50]))
+        assert naive.searches == 4  # one per splitter
+
+    def test_duplicates_not_present_locally(self):
+        # Duplicated splitter value absent from this processor's data: the
+        # tied range is empty, cuts collapse to the same point.
+        keys = np.array([1, 2, 8, 9])
+        splitters = np.array([5, 5, 5])
+        cut = compute_cuts(keys, splitters)
+        np.testing.assert_array_equal(cut.cuts, [2, 2, 2])
+        np.testing.assert_array_equal(cuts_to_counts(cut.cuts, 4), [2, 0, 0, 2])
+
+
+class TestCutHelpers:
+    def test_counts_roundtrip_slices(self):
+        cuts = np.array([3, 3, 7])
+        slices = slices_from_cuts(cuts, 10)
+        assert slices == [slice(0, 3), slice(3, 3), slice(3, 7), slice(7, 10)]
+        np.testing.assert_array_equal(cuts_to_counts(cuts, 10), [3, 0, 4, 3])
+
+    def test_counts_validation(self):
+        with pytest.raises(ValueError):
+            cuts_to_counts(np.array([5, 3]), 10)  # decreasing
+        with pytest.raises(ValueError):
+            cuts_to_counts(np.array([3, 12]), 10)  # beyond n
+
+
+@st.composite
+def keys_and_splitters(draw):
+    keys = draw(
+        st.lists(st.integers(0, 20), min_size=0, max_size=200).map(
+            lambda xs: np.sort(np.array(xs, dtype=np.int64))
+        )
+    )
+    p = draw(st.integers(2, 12))
+    splitters = draw(
+        st.lists(st.integers(0, 20), min_size=p - 1, max_size=p - 1).map(
+            lambda xs: np.sort(np.array(xs, dtype=np.int64))
+        )
+    )
+    return keys, splitters
+
+
+class TestCutProperties:
+    @given(keys_and_splitters())
+    @settings(max_examples=100, deadline=None)
+    def test_cuts_monotone_and_complete(self, data):
+        keys, splitters = data
+        for fn in (compute_cuts, compute_cuts_naive):
+            cut = fn(keys, splitters)
+            assert len(cut.cuts) == len(splitters)
+            assert np.all(np.diff(cut.cuts) >= 0)
+            counts = cuts_to_counts(cut.cuts, len(keys))
+            assert counts.sum() == len(keys)
+            assert np.all(counts >= 0)
+
+    @given(keys_and_splitters())
+    @settings(max_examples=100, deadline=None)
+    def test_routing_respects_splitter_order(self, data):
+        """Keys routed to processor j must be <= any key routed to j+1
+        (weak ordering across destinations)."""
+        keys, splitters = data
+        cut = compute_cuts(keys, splitters)
+        slices = slices_from_cuts(cut.cuts, len(keys))
+        prev_max = None
+        for sl in slices:
+            part = keys[sl]
+            if len(part) == 0:
+                continue
+            if prev_max is not None:
+                assert part[0] >= prev_max
+            prev_max = part[-1]
+
+    @given(keys_and_splitters())
+    @settings(max_examples=100, deadline=None)
+    def test_tied_ranges_divided_evenly(self, data):
+        """Every duplicated splitter group's tied key range is divided into
+        k+1 pieces whose sizes differ by at most one."""
+        keys, splitters = data
+        values, starts, counts = np.unique(splitters, return_index=True, return_counts=True)
+        cuts = compute_cuts(keys, splitters).cuts
+        for v, s, k in zip(values, starts, counts):
+            if k > 1:
+                lo = np.searchsorted(keys, v, side="left")
+                hi = np.searchsorted(keys, v, side="right")
+                group_cuts = np.clip(cuts[int(s) : int(s) + int(k)], lo, hi)
+                pieces = np.diff(np.concatenate(([lo], group_cuts, [hi])))
+                if hi > lo:
+                    assert pieces.max() - pieces.min() <= 1

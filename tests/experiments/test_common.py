@@ -1,0 +1,48 @@
+"""Unit tests for the shared experiment infrastructure."""
+
+import pytest
+
+from repro.experiments.common import ExperimentScale, Series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_rule(self):
+        text = format_table(["a", "bbb"], [[1, 2.5], ["xx", 0.0001]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert set(lines[2].replace("  ", " ").split()) == {"-" * 1} or "-" in lines[2]
+        assert "2.500" in text
+        assert "1.000e-04" in text
+
+    def test_zero_renders_plain(self):
+        assert "0" in format_table(["x"], [[0.0]])
+
+    def test_large_floats_one_decimal(self):
+        assert "12345.7" in format_table(["x"], [[12345.678]])
+
+
+class TestSeries:
+    def test_add_accumulates(self):
+        s = Series("line")
+        s.add(1, 10.0)
+        s.add(2, 20.0)
+        assert s.x == [1, 2]
+        assert s.y == [10.0, 20.0]
+
+
+class TestExperimentScale:
+    def test_pgxd_config_carries_scale(self):
+        s = ExperimentScale(real_keys=1 << 10)
+        cfg = s.pgxd_config()
+        assert cfg.data_scale == s.data_scale
+        assert cfg.threads_per_machine == s.threads
+
+    def test_overrides_forwarded(self):
+        s = ExperimentScale()
+        cfg = s.pgxd_config(read_buffer_bytes=4096)
+        assert cfg.read_buffer_bytes == 4096
+
+    def test_network_and_cost_factories(self):
+        s = ExperimentScale()
+        assert s.network().bandwidth > 0
+        assert s.cost().compare_rate > 0

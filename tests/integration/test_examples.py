@@ -1,0 +1,35 @@
+"""Every example script must run cleanly — they are the documented API."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_example_inventory():
+    """The README promises at least these five scenarios."""
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "duplicate_heavy_sort.py",
+        "twitter_graph_topk.py",
+        "compare_with_spark.py",
+        "sample_size_tuning.py",
+    } <= names

@@ -1,0 +1,140 @@
+"""Generic key types ("works with any data type") and failure injection."""
+
+import numpy as np
+import pytest
+
+from repro import DistributedSorter, distributed_sort
+from repro.pgxd import PgxdRuntime
+from repro.simnet import Compute, DeadlockError, ProcessFailure, Recv
+
+
+class TestGenericKeyTypes:
+    """Section IV: 'a generic [API] ... works with any data type'."""
+
+    def test_string_keys(self):
+        rng = np.random.default_rng(0)
+        words = np.array(["".join(rng.choice(list("abcdef"), 5)) for _ in range(2000)])
+        result = distributed_sort(words, num_processors=4)
+        np.testing.assert_array_equal(result.to_array(), np.sort(words))
+        assert result.is_globally_sorted()
+
+    def test_datetime_keys(self):
+        rng = np.random.default_rng(1)
+        base = np.datetime64("2017-01-14")  # the paper's arXiv v2 date
+        stamps = base + rng.integers(0, 10_000, 3000).astype("timedelta64[m]")
+        result = distributed_sort(stamps, num_processors=4)
+        np.testing.assert_array_equal(result.to_array(), np.sort(stamps))
+
+    def test_unsigned_and_small_ints(self):
+        for dtype in (np.uint8, np.int16, np.uint32):
+            data = np.random.default_rng(2).integers(0, 100, 5000).astype(dtype)
+            result = distributed_sort(data, num_processors=4)
+            np.testing.assert_array_equal(result.to_array(), np.sort(data))
+            assert result.per_processor[0].dtype == dtype
+
+    def test_string_provenance_and_topk(self):
+        words = np.array(["pgx", "spark", "sort", "graph", "merge", "split"] * 100)
+        result = distributed_sort(words, num_processors=3)
+        np.testing.assert_array_equal(result.top_k(3), np.sort(words)[-3:])
+        proc, idx = result.origin_of(0, 0)
+        blocks, _ = __import__("repro.core.api", fromlist=["partition_input"]).partition_input(words, 3)
+        assert blocks[proc][idx] == result.per_processor[0][0]
+
+
+class TestFailureInjection:
+    """The simulator must surface failures precisely, not hang or corrupt."""
+
+    def test_mid_sort_crash_reports_rank(self):
+        runtime = PgxdRuntime(4)
+
+        def crashing(machine):
+            yield Compute(0.001)
+            if machine.rank == 2:
+                raise RuntimeError("injected fault")
+            yield Compute(0.001)
+
+        with pytest.raises(ProcessFailure) as exc:
+            runtime.run(crashing)
+        assert exc.value.rank == 2
+        assert "injected fault" in str(exc.value.original)
+
+    def test_mismatched_protocol_deadlocks_cleanly(self):
+        runtime = PgxdRuntime(2)
+
+        def lopsided(machine):
+            yield Compute(0.001)
+            if machine.rank == 0:
+                yield Recv(src=1)  # rank 1 never sends
+
+        with pytest.raises(DeadlockError) as exc:
+            runtime.run(lopsided)
+        assert 0 in exc.value.blocked
+
+    def test_failure_is_deterministic(self):
+        def crashing(machine):
+            yield Compute(0.5 * (machine.rank + 1))
+            if machine.rank == 1:
+                raise ValueError("boom")
+            yield Compute(10.0)
+
+        ranks = []
+        for _ in range(2):
+            runtime = PgxdRuntime(3)
+            with pytest.raises(ProcessFailure) as exc:
+                runtime.run(crashing)
+            ranks.append(exc.value.rank)
+        assert ranks == [1, 1]
+
+    def test_oversized_free_injected_into_program(self):
+        """A bad Free raises *at the program's yield site* so the program
+        could in principle recover."""
+        from repro.simnet import Free, Simulator
+
+        sim = Simulator(1)
+
+        def program(proc):
+            try:
+                yield Free(100)
+            except ValueError:
+                return "recovered"
+            return "unreachable"
+
+        sim.add_process(program)
+        sim.run()
+        assert sim.result(0) == "recovered"
+
+
+class TestNumericEdgeCases:
+    def test_extreme_values(self):
+        info = np.iinfo(np.int64)
+        data = np.array([info.max, info.min, 0, -1, 1, info.max - 1, info.min + 1] * 50)
+        result = distributed_sort(data, num_processors=4)
+        np.testing.assert_array_equal(result.to_array(), np.sort(data))
+
+    def test_nan_free_floats_with_inf(self):
+        data = np.array([np.inf, -np.inf, 0.0, 1.5, -2.5] * 100)
+        result = distributed_sort(data, num_processors=4)
+        np.testing.assert_array_equal(result.to_array(), np.sort(data))
+
+    def test_single_key(self):
+        result = distributed_sort(np.array([42]), num_processors=6)
+        assert result.to_array().tolist() == [42]
+
+    def test_keys_equal_to_processor_count(self):
+        data = np.array([3, 1, 4, 1, 5, 9, 2, 6])
+        result = distributed_sort(data, num_processors=8)
+        np.testing.assert_array_equal(result.to_array(), np.sort(data))
+
+    def test_sorter_with_explicit_subconfigs(self):
+        from repro import SortConfig
+        from repro.pgxd import PgxdConfig
+        from repro.simnet import CostModel, NetworkModel
+
+        cfg = SortConfig(
+            num_processors=4,
+            pgxd=PgxdConfig(threads_per_machine=4, read_buffer_bytes=64 * 1024),
+            network=NetworkModel(bandwidth=1e9),
+            cost=CostModel(compare_rate=1e8),
+        )
+        result = DistributedSorter(cfg).sort(np.random.default_rng(3).random(5000))
+        assert result.is_globally_sorted()

@@ -1,0 +1,183 @@
+"""Tests for distributed PageRank/BFS, with networkx as the oracle."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.pgxd import PgxdConfig, PgxdRuntime
+from repro.pgxd.algorithms import BfsResult, distributed_bfs, distributed_pagerank
+from repro.workloads import rmat_edges
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    src, dst, n = rmat_edges(8, 8, seed=3)
+    return src, dst, n
+
+
+def nx_pagerank(src, dst, n, damping=0.85):
+    g = nx.MultiDiGraph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from(zip(src.tolist(), dst.tolist()))
+    ref = nx.pagerank(g, alpha=damping, max_iter=300, tol=1e-13)
+    return np.array([ref[i] for i in range(n)])
+
+
+class TestPageRank:
+    def test_matches_networkx(self, small_graph):
+        src, dst, n = small_graph
+        result = distributed_pagerank(PgxdRuntime(4), src, dst, n, iterations=40)
+        np.testing.assert_allclose(result.ranks, nx_pagerank(src, dst, n), atol=1e-9)
+
+    def test_ranks_sum_to_one(self, small_graph):
+        src, dst, n = small_graph
+        result = distributed_pagerank(PgxdRuntime(3), src, dst, n, iterations=25)
+        assert result.ranks.sum() == pytest.approx(1.0)
+
+    def test_machine_count_invariant(self, small_graph):
+        src, dst, n = small_graph
+        r2 = distributed_pagerank(PgxdRuntime(2), src, dst, n, iterations=20)
+        r5 = distributed_pagerank(PgxdRuntime(5), src, dst, n, iterations=20)
+        np.testing.assert_allclose(r2.ranks, r5.ranks, atol=1e-12)
+
+    def test_dangling_vertices_handled(self):
+        # A 3-vertex chain: vertex 2 dangles.
+        src = np.array([0, 1])
+        dst = np.array([1, 2])
+        result = distributed_pagerank(PgxdRuntime(2), src, dst, 3, iterations=60)
+        np.testing.assert_allclose(result.ranks, nx_pagerank(src, dst, 3), atol=1e-6)
+
+    def test_ghosting_reduces_remote_traffic(self, small_graph):
+        src, dst, n = small_graph
+        rt = PgxdRuntime(4, config=PgxdConfig(ghost_node_budget=64))
+        with_ghosts = distributed_pagerank(rt, src, dst, n, iterations=10)
+        without = distributed_pagerank(rt, src, dst, n, iterations=10, use_ghosts=False)
+        assert with_ghosts.remote_bytes < without.remote_bytes
+        assert with_ghosts.ghosted_write_bytes > 0
+        assert without.ghosted_write_bytes == 0
+        # Numerics identical either way: ghosting is a comm optimization.
+        np.testing.assert_allclose(with_ghosts.ranks, without.ranks, atol=1e-12)
+
+    def test_custom_damping(self, small_graph):
+        src, dst, n = small_graph
+        result = distributed_pagerank(
+            PgxdRuntime(3), src, dst, n, iterations=40, damping=0.5
+        )
+        np.testing.assert_allclose(
+            result.ranks, nx_pagerank(src, dst, n, damping=0.5), atol=1e-10
+        )
+
+    def test_parameter_validation(self, small_graph):
+        src, dst, n = small_graph
+        rt = PgxdRuntime(2)
+        with pytest.raises(ValueError):
+            distributed_pagerank(rt, src, dst, n, damping=1.0)
+        with pytest.raises(ValueError):
+            distributed_pagerank(rt, src, dst, n, iterations=0)
+
+
+class TestBfs:
+    def nx_distances(self, src, dst, n, root):
+        g = nx.DiGraph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from(zip(src.tolist(), dst.tolist()))
+        lengths = nx.single_source_shortest_path_length(g, root)
+        out = np.full(n, -1, dtype=np.int64)
+        for v, d in lengths.items():
+            out[v] = d
+        return out
+
+    @pytest.mark.parametrize("root", [0, 7, 100])
+    def test_matches_networkx(self, small_graph, root):
+        src, dst, n = small_graph
+        result = distributed_bfs(PgxdRuntime(4), src, dst, n, root)
+        np.testing.assert_array_equal(result.distances, self.nx_distances(src, dst, n, root))
+
+    def test_unreachable_vertices_minus_one(self):
+        src = np.array([0])
+        dst = np.array([1])
+        result = distributed_bfs(PgxdRuntime(2), src, dst, 4, root=0)
+        np.testing.assert_array_equal(result.distances, [0, 1, -1, -1])
+
+    def test_levels_counted(self):
+        # 0 -> 1 -> 2 -> 3 chain.
+        src = np.array([0, 1, 2])
+        dst = np.array([1, 2, 3])
+        result = distributed_bfs(PgxdRuntime(2), src, dst, 4, root=0)
+        assert isinstance(result, BfsResult)
+        np.testing.assert_array_equal(result.distances, [0, 1, 2, 3])
+        assert result.levels >= 3
+
+    def test_machine_count_invariant(self, small_graph):
+        src, dst, n = small_graph
+        d1 = distributed_bfs(PgxdRuntime(1), src, dst, n, 0).distances
+        d6 = distributed_bfs(PgxdRuntime(6), src, dst, n, 0).distances
+        np.testing.assert_array_equal(d1, d6)
+
+    def test_invalid_root(self, small_graph):
+        src, dst, n = small_graph
+        with pytest.raises(IndexError):
+            distributed_bfs(PgxdRuntime(2), src, dst, n, root=n)
+
+    def test_self_loops_and_cycles(self):
+        src = np.array([0, 1, 2, 2])
+        dst = np.array([1, 0, 2, 0])
+        result = distributed_bfs(PgxdRuntime(2), src, dst, 3, root=0)
+        np.testing.assert_array_equal(result.distances, [0, 1, -1])
+
+
+class TestWcc:
+    def nx_labels(self, src, dst, n):
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from(zip(src.tolist(), dst.tolist()))
+        out = np.empty(n, dtype=np.int64)
+        for comp in nx.connected_components(g):
+            rep = min(comp)
+            for v in comp:
+                out[v] = rep
+        return out
+
+    def test_matches_networkx(self, small_graph):
+        from repro.pgxd import distributed_wcc
+
+        src, dst, n = small_graph
+        result = distributed_wcc(PgxdRuntime(4), src, dst, n)
+        np.testing.assert_array_equal(result.labels, self.nx_labels(src, dst, n))
+
+    def test_component_count(self):
+        from repro.pgxd import distributed_wcc
+
+        # Two triangles + one isolated vertex = 3 components over 7 vertices.
+        src = np.array([0, 1, 2, 3, 4, 5])
+        dst = np.array([1, 2, 0, 4, 5, 3])
+        result = distributed_wcc(PgxdRuntime(3), src, dst, 7)
+        assert result.num_components() == 3
+        np.testing.assert_array_equal(result.labels, [0, 0, 0, 3, 3, 3, 6])
+
+    def test_chain_needs_multiple_rounds(self):
+        from repro.pgxd import distributed_wcc
+
+        n = 64
+        src = np.arange(n - 1)
+        dst = np.arange(1, n)
+        result = distributed_wcc(PgxdRuntime(4), src, dst, n)
+        assert result.num_components() == 1
+        assert np.all(result.labels == 0)
+        assert result.rounds > 1
+
+    def test_machine_count_invariant(self, small_graph):
+        from repro.pgxd import distributed_wcc
+
+        src, dst, n = small_graph
+        l1 = distributed_wcc(PgxdRuntime(1), src, dst, n).labels
+        l5 = distributed_wcc(PgxdRuntime(5), src, dst, n).labels
+        np.testing.assert_array_equal(l1, l5)
+
+    def test_empty_graph_all_singletons(self):
+        from repro.pgxd import distributed_wcc
+
+        result = distributed_wcc(
+            PgxdRuntime(2), np.array([], dtype=np.int64), np.array([], dtype=np.int64), 5
+        )
+        assert result.num_components() == 5

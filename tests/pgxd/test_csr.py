@@ -1,0 +1,125 @@
+"""Unit and property tests for the CSR graph structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pgxd import CsrGraph
+
+
+def small_graph():
+    # 0->1, 0->2, 1->2, 3->0  (vertex 2 is a sink)
+    return CsrGraph.from_edges(4, np.array([0, 0, 1, 3]), np.array([1, 2, 2, 0]))
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = small_graph()
+        assert g.num_vertices == 4
+        assert g.num_edges == 4
+        np.testing.assert_array_equal(g.row_ptr, [0, 2, 3, 3, 4])
+
+    def test_neighbors(self):
+        g = small_graph()
+        np.testing.assert_array_equal(np.sort(g.neighbors(0)), [1, 2])
+        np.testing.assert_array_equal(g.neighbors(2), [])
+        np.testing.assert_array_equal(g.neighbors(3), [0])
+
+    def test_degrees(self):
+        g = small_graph()
+        np.testing.assert_array_equal(g.degrees(), [2, 1, 0, 1])
+        assert g.degree(0) == 2
+        assert g.degree(2) == 0
+
+    def test_empty_graph(self):
+        g = CsrGraph.from_edges(0, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_isolated_vertices(self):
+        g = CsrGraph.from_edges(10, np.array([5]), np.array([7]))
+        assert g.num_vertices == 10
+        assert sum(g.degree(v) for v in range(10)) == 1
+
+    def test_preserves_edge_order_within_source(self):
+        g = CsrGraph.from_edges(2, np.array([0, 0, 0]), np.array([9, 3, 5]) % 2)
+        np.testing.assert_array_equal(g.neighbors(0), [1, 1, 1])
+
+    def test_nbytes_accounts_all_arrays(self):
+        g = small_graph()
+        assert g.nbytes() == g.row_ptr.nbytes + g.col_idx.nbytes
+
+    def test_global_ids(self):
+        gids = np.array([100, 101, 102, 103])
+        g = CsrGraph.from_edges(4, np.array([0]), np.array([1]), global_ids=gids)
+        np.testing.assert_array_equal(g.global_ids, gids)
+
+
+class TestValidation:
+    def test_out_of_range_src_rejected(self):
+        with pytest.raises(ValueError):
+            CsrGraph.from_edges(2, np.array([5]), np.array([0]))
+
+    def test_mismatched_edge_arrays(self):
+        with pytest.raises(ValueError):
+            CsrGraph.from_edges(2, np.array([0, 1]), np.array([0]))
+
+    def test_row_ptr_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            CsrGraph(row_ptr=np.array([1, 2]), col_idx=np.array([0]))
+
+    def test_row_ptr_must_cover_col_idx(self):
+        with pytest.raises(ValueError):
+            CsrGraph(row_ptr=np.array([0, 1]), col_idx=np.array([0, 1]))
+
+    def test_row_ptr_monotone(self):
+        with pytest.raises(ValueError):
+            CsrGraph(row_ptr=np.array([0, 2, 1, 3]), col_idx=np.array([0, 0, 0]))
+
+    def test_global_ids_length_checked(self):
+        with pytest.raises(ValueError):
+            CsrGraph(
+                row_ptr=np.array([0, 0]),
+                col_idx=np.array([], dtype=np.int64),
+                global_ids=np.array([1, 2]),
+            )
+
+
+@st.composite
+def edge_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    m = draw(st.integers(min_value=0, max_value=100))
+    src = draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), min_size=m, max_size=m)
+    )
+    dst = draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), min_size=m, max_size=m)
+    )
+    return n, np.array(src, dtype=np.int64), np.array(dst, dtype=np.int64)
+
+
+class TestProperties:
+    @given(edge_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_degrees_sum_to_edge_count(self, data):
+        n, src, dst = data
+        g = CsrGraph.from_edges(n, src, dst)
+        assert int(g.degrees().sum()) == len(src)
+
+    @given(edge_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_edge_multiset_preserved(self, data):
+        n, src, dst = data
+        g = CsrGraph.from_edges(n, src, dst)
+        rebuilt = sorted(
+            (v, int(w)) for v in range(n) for w in g.neighbors(v)
+        )
+        assert rebuilt == sorted(zip(src.tolist(), dst.tolist()))
+
+    @given(edge_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_degree_matches_bincount(self, data):
+        n, src, dst = data
+        g = CsrGraph.from_edges(n, src, dst)
+        np.testing.assert_array_equal(g.degrees(), np.bincount(src, minlength=n))

@@ -1,0 +1,151 @@
+"""Tests for the DistributedGraph user API."""
+
+import numpy as np
+import pytest
+
+from repro.pgxd import PgxdRuntime
+from repro.pgxd.graph import DistributedGraph, load_distributed_graph
+from repro.workloads import synthetic_twitter
+
+
+@pytest.fixture(scope="module")
+def graph():
+    ds = synthetic_twitter(scale=9, edge_factor=8, seed=11)
+    runtime = PgxdRuntime(4)
+    g = load_distributed_graph(runtime, ds.src, ds.dst, ds.num_vertices)
+    return ds, g
+
+
+class TestStructure:
+    def test_counts(self, graph):
+        ds, g = graph
+        assert g.num_vertices == ds.num_vertices
+        assert g.num_edges == ds.num_edges
+        assert g.num_machines == 4
+
+    def test_degrees_match_generator(self, graph):
+        ds, g = graph
+        np.testing.assert_array_equal(
+            g.degrees(), np.bincount(ds.src, minlength=ds.num_vertices)
+        )
+
+    def test_machine_of_vertex(self, graph):
+        _, g = graph
+        for v in (0, g.num_vertices // 2, g.num_vertices - 1):
+            m = g.machine_of_vertex(v)
+            start, stop = g.partition_map.bounds(m)
+            assert start <= v < stop
+
+
+class TestProperties:
+    def test_vertex_property_roundtrip(self, graph):
+        _, g = graph
+        values = np.arange(g.num_vertices, dtype=np.float64)
+        g.set_vertex_property("rank_score", values)
+        np.testing.assert_array_equal(g.vertex_property("rank_score"), values)
+        assert "rank_score" in g.property_names()[0]
+
+    def test_wrong_length_rejected(self, graph):
+        _, g = graph
+        with pytest.raises(ValueError):
+            g.set_vertex_property("bad", np.zeros(3))
+
+    def test_unknown_property(self, graph):
+        _, g = graph
+        with pytest.raises(KeyError):
+            g.vertex_property("missing")
+        with pytest.raises(KeyError):
+            g.sort_edge_property("missing")
+
+    def test_edge_property_validation(self, graph):
+        _, g = graph
+        with pytest.raises(ValueError):
+            g.set_edge_property("bad", [np.zeros(1)])  # wrong block count
+        with pytest.raises(ValueError):
+            g.set_edge_property(
+                "bad", [np.zeros(1) for _ in range(g.num_machines)]
+            )  # wrong block sizes
+
+
+class TestSorting:
+    def test_sort_vertex_property(self, graph):
+        _, g = graph
+        rng = np.random.default_rng(1)
+        values = rng.random(g.num_vertices)
+        g.set_vertex_property("score", values)
+        result = g.sort_vertex_property("score")
+        assert result.is_globally_sorted()
+        np.testing.assert_array_equal(result.to_array(), np.sort(values))
+
+    def test_sort_vertex_property_provenance_maps_to_global_ids(self, graph):
+        _, g = graph
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, 1000, g.num_vertices)
+        g.set_vertex_property("v", values)
+        result = g.sort_vertex_property("v")
+        # gather_values over the global column must equal the argsort view.
+        np.testing.assert_array_equal(
+            result.gather_values(values), values[np.argsort(values, kind="stable")]
+        )
+
+    def test_sort_edge_property(self, graph):
+        _, g = graph
+        rng = np.random.default_rng(3)
+        blocks = [rng.random(p.num_edges) for p in g.partitions]
+        g.set_edge_property("weight", blocks)
+        result = g.sort_edge_property("weight")
+        np.testing.assert_array_equal(
+            result.to_array(), np.sort(np.concatenate(blocks))
+        )
+
+    def test_sort_degrees(self, graph):
+        ds, g = graph
+        result = g.sort_degrees()
+        expected = np.sort(np.bincount(ds.src, minlength=ds.num_vertices))
+        np.testing.assert_array_equal(result.to_array(), expected)
+
+    def test_top_degree_vertices(self, graph):
+        ds, g = graph
+        degrees = np.bincount(ds.src, minlength=ds.num_vertices)
+        top3 = g.top_degree_vertices(3)
+        assert len(top3) == 3
+        got = degrees[top3]
+        assert np.all(np.diff(got) <= 0)  # descending degrees
+        assert got[0] == degrees.max()
+
+    def test_top_degree_validation(self, graph):
+        _, g = graph
+        with pytest.raises(ValueError):
+            g.top_degree_vertices(-1)
+        assert len(g.top_degree_vertices(0)) == 0
+
+    def test_sort_options_forwarded(self, graph):
+        _, g = graph
+        values = np.random.default_rng(4).integers(0, 3, g.num_vertices)
+        g.set_vertex_property("dup", values)
+        balanced = g.sort_vertex_property("dup")
+        naive = g.sort_vertex_property("dup", investigator=False)
+        assert balanced.imbalance() <= naive.imbalance()
+
+
+class TestMultiPropertySort:
+    def test_sort_multiple_properties_one_launch(self, graph):
+        _, g = graph
+        rng = np.random.default_rng(9)
+        g.set_vertex_property("alpha", rng.random(g.num_vertices))
+        g.set_vertex_property("beta", rng.integers(0, 50, g.num_vertices))
+        results = g.sort_vertex_properties(["alpha", "beta"])
+        assert set(results) == {"alpha", "beta"}
+        np.testing.assert_array_equal(
+            results["alpha"].to_array(), np.sort(g.vertex_property("alpha"))
+        )
+        np.testing.assert_array_equal(
+            results["beta"].to_array(), np.sort(g.vertex_property("beta"))
+        )
+        # Same simulation: both results share the cluster metrics object.
+        assert results["alpha"].metrics is results["beta"].metrics
+
+    def test_missing_property_in_list(self, graph):
+        _, g = graph
+        with pytest.raises(KeyError):
+            g.sort_vertex_properties(["nope"])

@@ -1,0 +1,305 @@
+"""Tests for task/data/communication managers and the PgxdRuntime."""
+
+import numpy as np
+import pytest
+
+from repro.pgxd import (
+    CsrGraph,
+    DataManager,
+    PgxdConfig,
+    PgxdRuntime,
+    TaskManager,
+    exchange_arrays,
+    expected_chunks,
+    recv_array,
+    send_array,
+)
+from repro.simnet import CostModel, NetworkModel
+from repro.simnet.metrics import MemoryTracker
+
+
+class TestTaskManager:
+    def tm(self, threads=4):
+        return TaskManager(threads, CostModel(thread_degradation=0.0, task_region_overhead=0.0))
+
+    def test_single_task_single_thread(self):
+        assert self.tm(1).parallel_time([5.0]) == pytest.approx(5.0)
+
+    def test_fewer_tasks_than_threads_is_max(self):
+        assert self.tm(8).parallel_time([1.0, 3.0, 2.0]) == pytest.approx(3.0)
+
+    def test_lpt_packing(self):
+        # 4 threads, tasks [5,4,3,3,3]: LPT loads = 5,4,3,3+3 -> makespan 6.
+        assert self.tm(4).parallel_time([5, 4, 3, 3, 3]) == pytest.approx(6.0)
+
+    def test_equal_tasks_perfectly_balanced(self):
+        assert self.tm(4).parallel_time([1.0] * 8) == pytest.approx(2.0)
+
+    def test_empty_and_zero_tasks_free(self):
+        assert self.tm().parallel_time([]) == 0.0
+        assert self.tm().parallel_time([0.0, 0.0]) == 0.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            self.tm().parallel_time([-1.0])
+
+    def test_degradation_increases_time(self):
+        fast = TaskManager(8, CostModel(thread_degradation=0.0, task_region_overhead=0.0))
+        slow = TaskManager(8, CostModel(thread_degradation=0.05, task_region_overhead=0.0))
+        assert slow.parallel_time([1.0] * 8) > fast.parallel_time([1.0] * 8)
+
+    def test_chunked_time(self):
+        tm = self.tm(2)
+        assert tm.chunked_time(total_work=100, unit_cost=0.01, chunks=2) == pytest.approx(0.5)
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            TaskManager(0, CostModel())
+
+
+class TestDataManager:
+    def dm(self):
+        return DataManager(PgxdConfig(), MemoryTracker())
+
+    def test_store_tracks_resident_memory(self):
+        dm = self.dm()
+        dm.store("keys", np.zeros(100, dtype=np.int64))
+        assert dm.memory.resident == 800
+        assert dm.resident_bytes() == 800
+
+    def test_replace_frees_old(self):
+        dm = self.dm()
+        dm.store("keys", np.zeros(100, dtype=np.int64))
+        dm.store("keys", np.zeros(10, dtype=np.int64))
+        assert dm.memory.resident == 80
+        # The old array is released before the replacement is registered.
+        assert dm.memory.peak_resident == 800
+
+    def test_drop(self):
+        dm = self.dm()
+        dm.store("keys", np.zeros(4, dtype=np.int64))
+        dm.drop("keys")
+        assert "keys" not in dm
+        assert dm.memory.resident == 0
+        with pytest.raises(KeyError):
+            dm.drop("keys")
+        with pytest.raises(KeyError):
+            dm.get("keys")
+
+    def test_scratch_scope(self):
+        dm = self.dm()
+        with dm.scratch(1000):
+            assert dm.memory.temporary == 1000
+        assert dm.memory.temporary == 0
+        assert dm.memory.peak_temporary == 1000
+
+    def test_request_buffers_per_destination(self):
+        dm = self.dm()
+        assert dm.request_buffer(3) is dm.request_buffer(3)
+        assert dm.request_buffer(3) is not dm.request_buffer(4)
+        dm.request_buffer(3).append("x", dm.config.read_buffer_bytes)
+        assert dm.total_flushes() == 1
+
+
+class TestCommManager:
+    def run_transfer(self, array, config):
+        from repro.simnet import Simulator
+
+        sim = Simulator(2, NetworkModel())
+
+        def sender(proc):
+            yield from send_array(proc, 1, array, tag=9, config=config)
+
+        def receiver(proc):
+            out = yield from recv_array(proc, 0, array.nbytes, array.dtype, 9, config)
+            return out
+
+        sim.add_process(sender)
+        sim.add_process(receiver)
+        metrics = sim.run()
+        return sim.result(1), metrics
+
+    def test_roundtrip_small(self):
+        cfg = PgxdConfig()
+        arr = np.arange(100, dtype=np.int64)
+        out, metrics = self.run_transfer(arr, cfg)
+        np.testing.assert_array_equal(out, arr)
+        assert metrics.messages == 1
+
+    def test_large_array_split_into_buffer_chunks(self):
+        cfg = PgxdConfig(read_buffer_bytes=1024)
+        arr = np.arange(1000, dtype=np.int64)  # 8000 B -> 8 chunks
+        out, metrics = self.run_transfer(arr, cfg)
+        np.testing.assert_array_equal(out, arr)
+        assert metrics.messages == expected_chunks(arr.nbytes, cfg) == 8
+
+    def test_empty_transfer_sends_nothing(self):
+        cfg = PgxdConfig()
+        arr = np.empty(0, dtype=np.float64)
+        out, metrics = self.run_transfer(arr, cfg)
+        assert out.size == 0
+        assert metrics.messages == 0
+
+    @pytest.mark.parametrize("size", [2, 3, 5])
+    def test_exchange_arrays_correctness(self, size):
+        from repro.simnet import Simulator
+        from repro.simnet.collectives import allgather
+
+        cfg = PgxdConfig(read_buffer_bytes=64)
+        sim = Simulator(size, NetworkModel())
+
+        def program(proc):
+            rng = np.random.default_rng(proc.rank)
+            outgoing = [
+                rng.integers(0, 100, int(rng.integers(0, 30))).astype(np.int64)
+                for _ in range(proc.size)
+            ]
+            sizes = [a.nbytes for a in outgoing]
+            all_sizes = yield from allgather(proc, sizes)
+            announced = [all_sizes[s][proc.rank] for s in range(proc.size)]
+            received = yield from exchange_arrays(
+                proc, outgoing, announced, np.int64, tag=50, config=cfg
+            )
+            return [r.copy() for r in received]
+
+        sim.add_program(program)
+        sim.run()
+        # Verify rank r received exactly what rank s generated for it.
+        for r in range(size):
+            got = sim.result(r)
+            for s in range(size):
+                rng = np.random.default_rng(s)
+                expected = [
+                    rng.integers(0, 100, int(rng.integers(0, 30))).astype(np.int64)
+                    for _ in range(size)
+                ][r]
+                np.testing.assert_array_equal(got[s], expected)
+
+    def test_sync_messaging_still_correct(self):
+        cfg = PgxdConfig(async_messaging=False, read_buffer_bytes=256)
+        arr = np.arange(500, dtype=np.int64)
+        out, _ = self.run_transfer(arr, cfg)
+        np.testing.assert_array_equal(out, arr)
+
+
+class TestPgxdRuntime:
+    def test_spmd_program_runs_on_all_machines(self):
+        rt = PgxdRuntime(4)
+
+        def program(machine):
+            yield machine.compute(0.001, label="warmup")
+            return machine.rank * 2
+
+        result = rt.run(program)
+        assert result.results == [0, 2, 4, 6]
+        assert result.makespan > 0
+
+    def test_machine_facade_wiring(self):
+        rt = PgxdRuntime(2, config=PgxdConfig(threads_per_machine=8))
+
+        def program(machine):
+            yield machine.compute(0.0)
+            return (machine.threads, machine.size, machine.tasks.threads)
+
+        result = rt.run(program)
+        assert result.results[0] == (8, 2, 8)
+
+    def test_runtime_reusable_and_deterministic(self):
+        rt = PgxdRuntime(3)
+
+        def program(machine):
+            yield machine.compute(0.5 * (machine.rank + 1))
+            return machine.rank
+
+        r1, r2 = rt.run(program), rt.run(program)
+        assert r1.makespan == r2.makespan
+
+    def test_per_rank_programs(self):
+        rt = PgxdRuntime(2)
+
+        def driver(machine):
+            yield machine.compute(0.0)
+            return "driver"
+
+        def executor(machine):
+            yield machine.compute(0.0)
+            return "executor"
+
+        result = rt.run_per_rank([driver, executor])
+        assert result.results == ["driver", "executor"]
+
+    def test_invalid_machine_count(self):
+        with pytest.raises(ValueError):
+            PgxdRuntime(0)
+        with pytest.raises(ValueError):
+            PgxdRuntime(2).run_per_rank([lambda m: iter(())])
+
+
+class TestGraphLoading:
+    def test_load_graph_partitions_all_edges(self):
+        rng = np.random.default_rng(7)
+        n, m = 40, 300
+        src = rng.integers(0, n, m)
+        dst = rng.integers(0, n, m)
+        rt = PgxdRuntime(4, config=PgxdConfig(ghost_node_budget=4))
+        graphs, ghosts, result = rt.load_graph(src, dst, n)
+        assert len(graphs) == 4
+        assert sum(g.num_edges for g in graphs) == m
+        assert sum(g.num_vertices for g in graphs) == n
+        assert all(isinstance(g, CsrGraph) for g in graphs)
+        assert ghosts.crossing_edges_after <= ghosts.crossing_edges_before
+        assert result.makespan > 0
+
+    def test_loaded_edges_match_input_multiset(self):
+        rng = np.random.default_rng(3)
+        n, m = 20, 100
+        src = rng.integers(0, n, m)
+        dst = rng.integers(0, n, m)
+        rt = PgxdRuntime(3)
+        graphs, _, _ = rt.load_graph(src, dst, n)
+        rebuilt = []
+        for g in graphs:
+            for v_local in range(g.num_vertices):
+                v_global = int(g.global_ids[v_local])
+                rebuilt.extend((v_global, int(w)) for w in g.neighbors(v_local))
+        assert sorted(rebuilt) == sorted(zip(src.tolist(), dst.tolist()))
+
+
+class TestHeterogeneousRuntime:
+    def test_rank_speed_slows_one_machine(self):
+        from repro.simnet import Compute
+
+        def program(machine):
+            yield machine.compute(machine.cost.sort_seconds(1 << 20))
+            return machine.cost.compare_rate
+
+        fast = PgxdRuntime(2).run(program)
+        slow = PgxdRuntime(2, rank_speed=[1.0, 0.5]).run(program)
+        assert slow.makespan > fast.makespan
+        assert slow.results[1] == fast.results[1] / 2
+        assert slow.results[0] == fast.results[0]
+
+    def test_rank_speed_validation(self):
+        with pytest.raises(ValueError):
+            PgxdRuntime(2, rank_speed=[1.0])
+        with pytest.raises(ValueError):
+            PgxdRuntime(2, rank_speed=[1.0, 0.0])
+
+    def test_sorter_rank_speed(self):
+        import numpy as np
+
+        from repro import DistributedSorter
+
+        data = np.random.default_rng(0).random(20_000)
+        even = DistributedSorter(num_processors=4).sort(data)
+        slowed = DistributedSorter(
+            num_processors=4, rank_speed=[1.0, 1.0, 0.25, 1.0]
+        ).sort(data)
+        np.testing.assert_array_equal(even.to_array(), slowed.to_array())
+        assert slowed.elapsed_seconds > even.elapsed_seconds
+
+    def test_sort_config_rank_speed_validation(self):
+        from repro import SortConfig
+
+        with pytest.raises(ValueError):
+            SortConfig(num_processors=3, rank_speed=(1.0,))

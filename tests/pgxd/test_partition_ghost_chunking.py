@@ -1,0 +1,185 @@
+"""Tests for block partitioning, ghost-node selection, and edge chunking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pgxd import (
+    BlockPartition,
+    CsrGraph,
+    chunk_edges,
+    chunk_imbalance,
+    count_crossing_edges,
+    select_ghosts,
+    vertex_chunk_imbalance,
+)
+
+
+class TestBlockPartition:
+    def test_even_split(self):
+        p = BlockPartition(12, 4)
+        assert [p.local_count(m) for m in range(4)] == [3, 3, 3, 3]
+        assert p.owner(0) == 0
+        assert p.owner(11) == 3
+
+    def test_uneven_split_differs_by_at_most_one(self):
+        p = BlockPartition(10, 4)
+        counts = [p.local_count(m) for m in range(4)]
+        assert sum(counts) == 10
+        assert max(counts) - min(counts) <= 1
+
+    def test_bounds_are_contiguous_cover(self):
+        p = BlockPartition(17, 5)
+        stops = []
+        for m in range(5):
+            start, stop = p.bounds(m)
+            if stops:
+                assert start == stops[-1]
+            stops.append(stop)
+        assert stops[-1] == 17
+
+    def test_owner_matches_bounds(self):
+        p = BlockPartition(23, 7)
+        for v in range(23):
+            m = p.owner(v)
+            start, stop = p.bounds(m)
+            assert start <= v < stop
+
+    def test_vectorized_owners_match_scalar(self):
+        p = BlockPartition(29, 6)
+        vs = np.arange(29)
+        np.testing.assert_array_equal(p.owners(vs), [p.owner(int(v)) for v in vs])
+
+    def test_local_global_roundtrip(self):
+        p = BlockPartition(20, 3)
+        for m in range(3):
+            start, stop = p.bounds(m)
+            gids = np.arange(start, stop)
+            np.testing.assert_array_equal(p.to_global(m, p.to_local(m, gids)), gids)
+
+    def test_out_of_range_rejected(self):
+        p = BlockPartition(5, 2)
+        with pytest.raises(IndexError):
+            p.owner(5)
+        with pytest.raises(IndexError):
+            p.bounds(2)
+        with pytest.raises(ValueError):
+            p.to_local(0, np.array([4]))
+
+    @given(
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_partition_properties(self, n, machines):
+        p = BlockPartition(n, machines)
+        counts = [p.local_count(m) for m in range(machines)]
+        assert sum(counts) == n
+        assert max(counts) - min(counts) <= 1 if n else True
+        if n:
+            np.testing.assert_array_equal(
+                np.sort(p.owners(np.arange(n))), p.owners(np.arange(n))
+            )
+
+
+class TestGhostSelection:
+    def make_hub_graph(self):
+        # Vertex 0 is a hub every other vertex points at; with 2 machines
+        # half of those edges cross.
+        n = 20
+        src = np.arange(1, n)
+        dst = np.zeros(n - 1, dtype=np.int64)
+        return src, dst, BlockPartition(n, 2)
+
+    def test_crossing_count(self):
+        src, dst, part = self.make_hub_graph()
+        # Machines own [0,10) and [10,20); edges from 10..19 -> 0 cross.
+        assert count_crossing_edges(src, dst, part) == 10
+
+    def test_hub_ghosting_eliminates_crossings(self):
+        src, dst, part = self.make_hub_graph()
+        sel = select_ghosts(src, dst, part, budget=1)
+        assert sel.ghost_vertices.tolist() == [0]
+        assert sel.crossing_edges_before == 10
+        assert sel.crossing_edges_after == 0
+        assert sel.reduction == 1.0
+
+    def test_zero_budget_keeps_crossings(self):
+        src, dst, part = self.make_hub_graph()
+        sel = select_ghosts(src, dst, part, budget=0)
+        assert sel.crossing_edges_after == sel.crossing_edges_before == 10
+        assert sel.reduction == 0.0
+
+    def test_no_crossing_edges(self):
+        part = BlockPartition(4, 2)
+        sel = select_ghosts(np.array([0, 2]), np.array([1, 3]), part, budget=2)
+        assert sel.crossing_edges_before == 0
+        assert len(sel.ghost_vertices) == 0
+
+    def test_ghosts_never_increase_crossings(self):
+        rng = np.random.default_rng(42)
+        src = rng.integers(0, 100, 500)
+        dst = (rng.pareto(1.5, 500) * 10).astype(np.int64) % 100
+        part = BlockPartition(100, 4)
+        for budget in (0, 1, 4, 16, 64):
+            sel = select_ghosts(src, dst, part, budget)
+            assert sel.crossing_edges_after <= sel.crossing_edges_before
+
+    def test_budget_respected(self):
+        rng = np.random.default_rng(0)
+        src = rng.integers(0, 50, 300)
+        dst = rng.integers(0, 50, 300)
+        sel = select_ghosts(src, dst, BlockPartition(50, 5), budget=3)
+        assert len(sel.ghost_vertices) <= 3
+
+
+class TestEdgeChunking:
+    def hub_csr(self):
+        # Vertex 0 has 100 edges, vertices 1..9 have 1 edge each.
+        src = np.concatenate([np.zeros(100, dtype=np.int64), np.arange(1, 10)])
+        dst = np.zeros(109, dtype=np.int64)
+        return CsrGraph.from_edges(10, src, dst)
+
+    def test_chunks_cover_all_edges(self):
+        g = self.hub_csr()
+        chunks = chunk_edges(g, 16)
+        assert chunks[0].first_edge == 0
+        assert chunks[-1].last_edge == g.num_edges
+        for a, b in zip(chunks, chunks[1:]):
+            assert a.last_edge == b.first_edge
+
+    def test_chunk_sizes_bounded(self):
+        g = self.hub_csr()
+        for chunk in chunk_edges(g, 16):
+            assert 0 < chunk.num_edges <= 16
+
+    def test_hub_rows_split_across_chunks(self):
+        g = self.hub_csr()
+        chunks = chunk_edges(g, 16)
+        covering_hub = [c for c in chunks if c.first_vertex == 0]
+        assert len(covering_hub) > 1  # the 100-edge row spans several chunks
+
+    def test_edge_chunking_beats_vertex_blocks_on_skew(self):
+        g = self.hub_csr()
+        assert chunk_imbalance(chunk_edges(g, 11)) < vertex_chunk_imbalance(g, 10)
+
+    def test_empty_graph(self):
+        g = CsrGraph.from_edges(3, np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert chunk_edges(g, 10) == []
+        assert chunk_imbalance([]) == 1.0
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            chunk_edges(self.hub_csr(), 0)
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=1, max_value=12))
+    @settings(max_examples=30, deadline=None)
+    def test_chunk_cover_property(self, chunk_size, n):
+        rng = np.random.default_rng(chunk_size * 100 + n)
+        m = int(rng.integers(0, 200))
+        src = rng.integers(0, n, m)
+        dst = rng.integers(0, n, m)
+        g = CsrGraph.from_edges(n, src, dst)
+        chunks = chunk_edges(g, chunk_size)
+        assert sum(c.num_edges for c in chunks) == g.num_edges

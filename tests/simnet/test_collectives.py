@@ -1,0 +1,184 @@
+"""Unit tests for collective operations built on the engine."""
+
+import numpy as np
+import pytest
+
+from repro.simnet import (
+    NetworkModel,
+    Simulator,
+    allgather,
+    alltoallv,
+    bcast,
+    gather,
+    reduce,
+    scatter,
+)
+
+
+def run_collective(n, program, *args, **kwargs):
+    sim = Simulator(n, NetworkModel(latency=1e-6, per_message_overhead=0.0))
+    sim.add_program(program, *args, **kwargs)
+    metrics = sim.run()
+    return sim.results(), metrics
+
+
+class TestBcast:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 7, 8, 16])
+    def test_all_ranks_receive_root_value(self, size):
+        def program(proc):
+            value = {"payload": 42} if proc.rank == 0 else None
+            return (yield from bcast(proc, value, root=0))
+
+        results, _ = run_collective(size, program)
+        assert all(r == {"payload": 42} for r in results)
+
+    @pytest.mark.parametrize("root", [0, 1, 3])
+    def test_nonzero_root(self, root):
+        def program(proc):
+            value = "from-root" if proc.rank == root else None
+            return (yield from bcast(proc, value, root=root))
+
+        results, _ = run_collective(5, program)
+        assert results == ["from-root"] * 5
+
+    def test_tree_depth_is_logarithmic(self):
+        # With p=16 and a binomial tree no rank should forward more than
+        # log2(16)=4 messages.
+        def program(proc):
+            yield from bcast(proc, "x" if proc.rank == 0 else None)
+
+        _, metrics = run_collective(16, program)
+        assert max(p.messages_sent for p in metrics.processes) <= 4
+        assert sum(p.messages_sent for p in metrics.processes) == 15
+
+
+class TestGatherScatter:
+    @pytest.mark.parametrize("size", [1, 2, 5, 9])
+    def test_gather_orders_by_rank(self, size):
+        def program(proc):
+            return (yield from gather(proc, proc.rank * 10, root=0))
+
+        results, _ = run_collective(size, program)
+        assert results[0] == [r * 10 for r in range(size)]
+        assert all(r is None for r in results[1:])
+
+    def test_gather_to_nonzero_root(self):
+        def program(proc):
+            return (yield from gather(proc, proc.rank, root=2))
+
+        results, _ = run_collective(4, program)
+        assert results[2] == [0, 1, 2, 3]
+
+    def test_scatter_distributes_by_rank(self):
+        def program(proc):
+            values = [f"item{r}" for r in range(proc.size)] if proc.rank == 0 else None
+            return (yield from scatter(proc, values, root=0))
+
+        results, _ = run_collective(4, program)
+        assert results == ["item0", "item1", "item2", "item3"]
+
+    def test_scatter_wrong_length_raises(self):
+        from repro.simnet import ProcessFailure
+
+        def program(proc):
+            values = [1, 2] if proc.rank == 0 else None
+            return (yield from scatter(proc, values, root=0))
+
+        sim = Simulator(4, NetworkModel())
+        sim.add_program(program)
+        with pytest.raises(ProcessFailure):
+            sim.run()
+
+    def test_allgather(self):
+        def program(proc):
+            return (yield from allgather(proc, proc.rank**2))
+
+        results, _ = run_collective(5, program)
+        assert all(r == [0, 1, 4, 9, 16] for r in results)
+
+
+class TestReduce:
+    def test_sum_reduction(self):
+        def program(proc):
+            return (yield from reduce(proc, proc.rank + 1, lambda a, b: a + b, root=0))
+
+        results, _ = run_collective(6, program)
+        assert results[0] == 21
+        assert all(r is None for r in results[1:])
+
+    def test_max_reduction_numpy(self):
+        def program(proc):
+            arr = np.full(4, proc.rank)
+            return (yield from reduce(proc, arr, np.maximum, root=0))
+
+        results, _ = run_collective(3, program)
+        np.testing.assert_array_equal(results[0], np.full(4, 2))
+
+
+class TestAlltoallv:
+    @pytest.mark.parametrize("size", [1, 2, 4, 8])
+    def test_exchange_correctness(self, size):
+        def program(proc):
+            chunks = [np.array([proc.rank * 100 + d]) for d in range(proc.size)]
+            received = yield from alltoallv(proc, chunks)
+            return [int(c[0]) for c in received]
+
+        results, _ = run_collective(size, program)
+        for rank, got in enumerate(results):
+            assert got == [src * 100 + rank for src in range(size)]
+
+    def test_variable_chunk_sizes(self):
+        def program(proc):
+            chunks = [np.arange((proc.rank + 1) * (d + 1)) for d in range(proc.size)]
+            received = yield from alltoallv(proc, chunks)
+            return [len(c) for c in received]
+
+        results, _ = run_collective(3, program)
+        for rank, lens in enumerate(results):
+            assert lens == [(src + 1) * (rank + 1) for src in range(3)]
+
+    def test_local_chunk_bypasses_network(self):
+        def program(proc):
+            chunks = [np.zeros(1000) for _ in range(proc.size)]
+            yield from alltoallv(proc, chunks)
+
+        _, metrics = run_collective(4, program)
+        # Each rank sends to 3 remote peers only: 12 messages total.
+        assert metrics.messages == 12
+
+    def test_wrong_chunk_count_raises(self):
+        from repro.simnet import ProcessFailure
+
+        def program(proc):
+            yield from alltoallv(proc, [np.zeros(1)])
+
+        sim = Simulator(3, NetworkModel())
+        sim.add_program(program)
+        with pytest.raises(ProcessFailure):
+            sim.run()
+
+
+class TestCollectiveTiming:
+    def test_bcast_faster_than_flat_fanout_for_large_p(self):
+        """Binomial bcast pipelines across NICs; a flat root fan-out
+        serializes on the root's egress port."""
+        payload = np.zeros(1 << 20)
+
+        def tree(proc):
+            yield from bcast(proc, payload if proc.rank == 0 else None)
+
+        def flat(proc):
+            from repro.simnet import Recv, Send
+
+            if proc.rank == 0:
+                for dst in range(1, proc.size):
+                    yield Send(dst=dst, nbytes=payload.nbytes, payload=payload)
+            else:
+                yield Recv(src=0)
+
+        net = NetworkModel(bandwidth=1e9, latency=1e-6)
+        sim_tree = Simulator(16, net)
+        sim_tree.add_program(tree)
+        sim_flat = Simulator(16, NetworkModel(bandwidth=1e9, latency=1e-6))
+        sim_flat.add_program(flat)
+        assert sim_tree.run().makespan < sim_flat.run().makespan

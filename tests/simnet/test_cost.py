@@ -1,0 +1,107 @@
+"""Unit tests for the compute cost model."""
+
+import pytest
+
+from repro.simnet import CostModel
+
+
+class TestEfficiency:
+    def test_single_thread_is_perfect(self):
+        assert CostModel().efficiency(1) == 1.0
+
+    def test_efficiency_monotonically_decreasing(self):
+        cm = CostModel()
+        effs = [cm.efficiency(t) for t in (1, 2, 4, 8, 16, 32)]
+        assert all(a > b for a, b in zip(effs, effs[1:]))
+        assert effs[-1] > 0.5  # 32 threads still deliver useful speedup
+
+    def test_effective_threads_increase_with_threads(self):
+        cm = CostModel()
+        assert cm.effective_threads(32) > cm.effective_threads(8) > cm.effective_threads(1)
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            CostModel().efficiency(0)
+
+
+class TestSortCost:
+    def test_nlogn_scaling(self):
+        cm = CostModel()
+        t1 = cm.sort_seconds(1 << 20)
+        t2 = cm.sort_seconds(1 << 22)
+        # 4x the keys -> slightly more than 4x the time (log factor).
+        assert 4.0 < t2 / t1 < 5.0
+
+    def test_threads_speed_up_sort(self):
+        cm = CostModel()
+        n = 1 << 22
+        assert cm.sort_seconds(n, threads=16) < cm.sort_seconds(n, threads=1) / 8
+
+    def test_trivial_sizes(self):
+        cm = CostModel()
+        assert cm.sort_seconds(0) == 0.0
+        assert cm.sort_seconds(1) == 0.0
+
+    def test_rate_factor_scales_time(self):
+        cm = CostModel()
+        n = 1 << 20
+        assert cm.sort_seconds(n, rate_factor=0.5) == pytest.approx(2 * cm.sort_seconds(n))
+
+
+class TestMergeAndScan:
+    def test_merge_linear_in_keys(self):
+        cm = CostModel()
+        t1 = cm.merge_seconds(1 << 20)
+        t2 = cm.merge_seconds(1 << 21)
+        assert t2 / t1 == pytest.approx(2.0, rel=0.01)
+
+    def test_parallel_merges_split_work(self):
+        cm = CostModel()
+        n = 1 << 24
+        assert cm.merge_seconds(n, parallel_merges=8) < cm.merge_seconds(n) / 4
+
+    def test_zero_keys_free(self):
+        assert CostModel().merge_seconds(0) == 0.0
+
+    def test_scan_bounded_by_machine_bandwidth(self):
+        cm = CostModel(copy_bandwidth=4e9, machine_mem_bandwidth=8e9)
+        # 32 threads cannot exceed the machine ceiling (2x single-thread here).
+        assert cm.scan_seconds(8_000_000_000, threads=32) == pytest.approx(1.0)
+
+    def test_binary_search_log_scaling(self):
+        cm = CostModel()
+        assert cm.binary_search_seconds(100, 1 << 20) == pytest.approx(
+            100 * 20 / cm.compare_rate
+        )
+        assert cm.binary_search_seconds(0, 100) == 0.0
+
+
+class TestSparkCosts:
+    def test_shuffle_write_includes_serialize_and_disk(self):
+        cm = CostModel()
+        n = 1_000_000_000
+        assert cm.spark_shuffle_write_seconds(n) == pytest.approx(
+            n / cm.spark_serialize_bandwidth + n / cm.spark_disk_write_bandwidth
+        )
+
+    def test_shuffle_read_includes_disk_and_deserialize(self):
+        cm = CostModel()
+        n = 500_000_000
+        assert cm.spark_shuffle_read_seconds(n) == pytest.approx(
+            n / cm.spark_disk_read_bandwidth + n / cm.spark_deserialize_bandwidth
+        )
+
+    def test_jvm_sort_slower_than_native(self):
+        cm = CostModel()
+        n = 1 << 22
+        assert cm.sort_seconds(n, rate_factor=cm.spark_sort_factor) > cm.sort_seconds(n)
+
+
+class TestValidation:
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(compare_rate=-1)
+        with pytest.raises(ValueError):
+            CostModel(merge_rate=0)
+        with pytest.raises(ValueError):
+            CostModel(thread_degradation=1.5)

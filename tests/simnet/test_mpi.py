@@ -1,0 +1,248 @@
+"""Tests for the mpi4py-style facade, mirroring the mpi4py tutorial."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.mpi import SimComm, SimRequest, mpi_run
+
+
+class TestPointToPoint:
+    def test_tutorial_send_recv(self):
+        """The mpi4py tutorial's first example, verbatim semantics."""
+
+        def program(comm):
+            if comm.rank == 0:
+                data = {"a": 7, "b": 3.14}
+                yield from comm.send(data, dest=1, tag=11)
+                return None
+            elif comm.rank == 1:
+                data = yield from comm.recv(source=0, tag=11)
+                return data
+
+        results, _ = mpi_run(2, program)
+        assert results[1] == {"a": 7, "b": 3.14}
+
+    def test_isend_returns_request(self):
+        def program(comm):
+            if comm.rank == 0:
+                req = yield from comm.isend([1, 2, 3], dest=1)
+                req.wait()
+                return req.test()
+            data = yield from comm.recv(source=0)
+            return data
+
+        results, _ = mpi_run(2, program)
+        assert results[0] is True
+        assert results[1] == [1, 2, 3]
+
+    def test_numpy_arrays_travel_exactly(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(np.arange(1000, dtype="i"), dest=1, tag=77)
+                return None
+            return (yield from comm.recv(source=0, tag=77))
+
+        results, metrics = mpi_run(2, program)
+        np.testing.assert_array_equal(results[1], np.arange(1000))
+        assert metrics.remote_bytes == 4000  # exact buffer size on the wire
+
+    def test_sendrecv_ring_no_deadlock(self):
+        def program(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            got = yield from comm.sendrecv(comm.rank, dest=right, source=left)
+            return got
+
+        results, _ = mpi_run(5, program)
+        assert results == [4, 0, 1, 2, 3]
+
+    def test_recv_message_carries_metadata(self):
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send("x", dest=1, tag=9)
+                return None
+            msg = yield from comm.recv_message()
+            return (msg.src, msg.tag)
+
+        results, _ = mpi_run(2, program)
+        assert results[1] == (0, 9)
+
+
+class TestCollectives:
+    def test_tutorial_bcast_dict(self):
+        def program(comm):
+            data = {"key1": [7, 2.72], "key2": ("abc", "xyz")} if comm.rank == 0 else None
+            return (yield from comm.bcast(data, root=0))
+
+        results, _ = mpi_run(4, program)
+        assert all(r == {"key1": [7, 2.72], "key2": ("abc", "xyz")} for r in results)
+
+    def test_tutorial_scatter_squares(self):
+        def program(comm):
+            data = [(i + 1) ** 2 for i in range(comm.size)] if comm.rank == 0 else None
+            got = yield from comm.scatter(data, root=0)
+            assert got == (comm.rank + 1) ** 2
+            return got
+
+        results, _ = mpi_run(6, program)
+        assert results == [(i + 1) ** 2 for i in range(6)]
+
+    def test_tutorial_gather_squares(self):
+        def program(comm):
+            return (yield from comm.gather((comm.rank + 1) ** 2, root=0))
+
+        results, _ = mpi_run(5, program)
+        assert results[0] == [(i + 1) ** 2 for i in range(5)]
+        assert results[1] is None
+
+    def test_allgather_and_allreduce(self):
+        def program(comm):
+            everyone = yield from comm.allgather(comm.rank)
+            total = yield from comm.allreduce(comm.rank, op=lambda a, b: a + b)
+            return everyone, total
+
+        results, _ = mpi_run(4, program)
+        for everyone, total in results:
+            assert everyone == [0, 1, 2, 3]
+            assert total == 6
+
+    def test_alltoall(self):
+        def program(comm):
+            out = [f"{comm.rank}->{d}" for d in range(comm.size)]
+            return (yield from comm.alltoall(out))
+
+        results, _ = mpi_run(3, program)
+        assert results[1] == ["0->1", "1->1", "2->1"]
+
+    def test_barrier_synchronizes_ranks(self):
+        from repro.simnet import Compute, Now
+
+        def program(comm):
+            yield Compute(float(comm.rank))
+            yield from comm.barrier()
+            return (yield Now())
+
+        results, _ = mpi_run(4, program)
+        assert all(t == pytest.approx(3.0) for t in results)
+
+    def test_reduce_numpy(self):
+        def program(comm):
+            arr = np.full(3, comm.rank + 1)
+            return (yield from comm.reduce(arr, op=np.add, root=0))
+
+        results, _ = mpi_run(3, program)
+        np.testing.assert_array_equal(results[0], [6, 6, 6])
+
+
+class TestParallelAlgorithm:
+    def test_tutorial_matvec_allgather(self):
+        """The tutorial's parallel matrix-vector product pattern."""
+        n, p = 12, 4
+        rng = np.random.default_rng(0)
+        A = rng.random((n, n))
+        x = rng.random(n)
+        rows = n // p
+
+        def program(comm):
+            local_A = A[comm.rank * rows : (comm.rank + 1) * rows]
+            local_x = x[comm.rank * rows : (comm.rank + 1) * rows]
+            xg = yield from comm.allgather(local_x)
+            full_x = np.concatenate(xg)
+            return local_A @ full_x
+
+        results, _ = mpi_run(p, program)
+        np.testing.assert_allclose(np.concatenate(results), A @ x)
+
+    def test_pi_by_reduction(self):
+        """The tutorial's compute-pi reduction, SPMD-style."""
+        N = 1000
+
+        def program(comm):
+            h = 1.0 / N
+            s = sum(
+                4.0 / (1.0 + (h * (i + 0.5)) ** 2)
+                for i in range(comm.rank, N, comm.size)
+            )
+            return (yield from comm.allreduce(s * h, op=lambda a, b: a + b))
+
+        results, _ = mpi_run(5, program)
+        assert results[0] == pytest.approx(np.pi, abs=1e-5)
+        assert len(set(results)) == 1
+
+    def test_request_api(self):
+        req = SimRequest()
+        assert req.test()
+        assert req.wait() is None
+
+    def test_mpi4py_style_upper_getters(self):
+        def program(comm):
+            assert isinstance(comm, SimComm)
+            yield from comm.barrier()
+            return (comm.Get_rank(), comm.Get_size())
+
+        results, _ = mpi_run(3, program)
+        assert results == [(0, 3), (1, 3), (2, 3)]
+
+
+class TestProbe:
+    def test_blocking_probe_then_recv(self):
+        from repro.simnet import Compute
+
+        def program(comm):
+            if comm.rank == 0:
+                yield Compute(1.0)
+                yield from comm.send("payload", dest=1, tag=3)
+                return None
+            msg = yield from comm.probe(source=0, tag=3)
+            assert msg.nbytes > 0
+            data = yield from comm.recv(source=0, tag=3)  # still consumable
+            return (msg.src, data)
+
+        results, _ = mpi_run(2, program)
+        assert results[1] == (0, "payload")
+
+    def test_iprobe_false_then_true(self):
+        from repro.simnet import Compute
+
+        def program(comm):
+            if comm.rank == 0:
+                yield Compute(2.0)
+                yield from comm.send("x", dest=1)
+                return None
+            early = yield from comm.iprobe(source=0)
+            yield Compute(5.0)  # let the message arrive
+            late = yield from comm.iprobe(source=0)
+            data = yield from comm.recv(source=0)
+            return (early, late, data)
+
+        results, _ = mpi_run(2, program)
+        assert results[1] == (False, True, "x")
+
+    def test_probe_does_not_consume(self):
+        """Two probes then one recv see the same single message."""
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(42, dest=1, tag=7)
+                return None
+            m1 = yield from comm.probe(tag=7)
+            m2 = yield from comm.probe(tag=7)
+            data = yield from comm.recv(tag=7)
+            return (m1.payload, m2.payload, data)
+
+        results, _ = mpi_run(2, program)
+        assert results[1] == (42, 42, 42)
+
+    def test_probe_wait_time_counted(self):
+        from repro.simnet import Compute
+
+        def program(comm):
+            if comm.rank == 0:
+                yield Compute(3.0)
+                yield from comm.send("late", dest=1)
+                return None
+            yield from comm.probe(source=0)
+            yield from comm.recv(source=0)
+
+        _, metrics = mpi_run(2, program)
+        assert metrics.processes[1].recv_wait_seconds == pytest.approx(3.0, rel=0.01)

@@ -1,0 +1,162 @@
+"""Unit tests for the network model and NIC serialization."""
+
+import pytest
+
+from repro.simnet import Fabric, NetworkModel, NicState, gbit_per_s
+from repro.simnet.comm import nbytes_of
+
+import numpy as np
+
+
+class TestNetworkModel:
+    def test_gbit_conversion(self):
+        assert gbit_per_s(8.0) == pytest.approx(1e9)
+
+    def test_default_matches_paper_port_rate(self):
+        net = NetworkModel()
+        # 56 Gb/s at 80% efficiency = 5.6 GB/s.
+        assert net.bandwidth == pytest.approx(5.6e9)
+
+    def test_serialization_time(self):
+        net = NetworkModel(bandwidth=1e6)
+        assert net.serialization_time(2_000_000) == pytest.approx(2.0)
+
+    def test_local_transfers_use_loopback(self):
+        net = NetworkModel(bandwidth=1.0, loopback_bandwidth=1e9)
+        assert net.serialization_time(1000, local=True) == pytest.approx(1e-6)
+        assert net.wire_latency(local=True) == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth=0)
+        with pytest.raises(ValueError):
+            NetworkModel(latency=-1)
+
+
+class TestNicState:
+    def test_egress_fifo(self):
+        nic = NicState()
+        s1, e1 = nic.reserve_egress(0.0, 1.0)
+        s2, e2 = nic.reserve_egress(0.5, 1.0)  # requested mid-transfer
+        assert (s1, e1) == (0.0, 1.0)
+        assert (s2, e2) == (1.0, 2.0)  # queued behind the first
+
+    def test_idle_port_starts_immediately(self):
+        nic = NicState()
+        nic.reserve_egress(0.0, 1.0)
+        s, e = nic.reserve_egress(5.0, 1.0)
+        assert (s, e) == (5.0, 6.0)
+
+
+class TestFabric:
+    def test_remote_transfer_times(self):
+        net = NetworkModel(bandwidth=1e6, latency=1e-3, per_message_overhead=0.0)
+        fabric = Fabric(net, 2)
+        sender_done, delivered = fabric.transfer(0, 1, 1000, now=0.0)
+        assert sender_done == pytest.approx(1e-3)  # 1000 B / 1 MB/s
+        assert delivered == pytest.approx(2e-3)  # + wire latency
+        assert fabric.remote_bytes == 1000
+
+    def test_back_to_back_sends_queue_on_egress(self):
+        net = NetworkModel(bandwidth=1e6, latency=0.0, per_message_overhead=0.0)
+        fabric = Fabric(net, 2)
+        done1, _ = fabric.transfer(0, 1, 1000, now=0.0)
+        done2, _ = fabric.transfer(0, 1, 1000, now=0.0)
+        assert done1 == pytest.approx(1e-3)
+        assert done2 == pytest.approx(2e-3)
+
+    def test_incast_queues_on_ingress(self):
+        net = NetworkModel(bandwidth=1e6, latency=0.0, per_message_overhead=0.0)
+        fabric = Fabric(net, 3)
+        _, d1 = fabric.transfer(0, 2, 1000, now=0.0)
+        _, d2 = fabric.transfer(1, 2, 1000, now=0.0)
+        # Two senders into one receiver: second delivery serializes.
+        assert d1 == pytest.approx(1e-3)
+        assert d2 == pytest.approx(2e-3)
+
+    def test_local_transfer_bypasses_nics(self):
+        net = NetworkModel(bandwidth=1.0, loopback_bandwidth=1e9, per_message_overhead=0.0)
+        fabric = Fabric(net, 2)
+        sender_done, delivered = fabric.transfer(0, 0, 1000, now=0.0)
+        assert delivered == pytest.approx(1e-6)
+        assert fabric.local_bytes == 1000
+        assert fabric.remote_bytes == 0
+        assert fabric.nics[0].egress_free_at == 0.0
+
+
+class TestNbytesOf:
+    @pytest.mark.parametrize(
+        "obj,expected",
+        [
+            (None, 0),
+            (7, 8),
+            (3.14, 8),
+            (True, 8),
+            (b"abcd", 4),
+            ("hi", 2),
+        ],
+    )
+    def test_scalars(self, obj, expected):
+        assert nbytes_of(obj) == expected
+
+    def test_numpy_exact(self):
+        arr = np.zeros(100, dtype=np.int64)
+        assert nbytes_of(arr) == 800
+
+    def test_containers_recursive(self):
+        assert nbytes_of([1, 2, 3]) == 3 * 8 + 8
+        assert nbytes_of({"a": 1}) == 1 + 8 + 8
+
+    def test_unknown_object_fallback_positive(self):
+        class Weird:
+            pass
+
+        assert nbytes_of(Weird()) > 0
+
+
+class TestSwitchContention:
+    def test_nonblocking_by_default(self):
+        net = NetworkModel(bandwidth=1e6, latency=0.0, per_message_overhead=0.0)
+        fabric = Fabric(net, 4)
+        # Disjoint pairs: deliveries should not serialize on any shared hop.
+        _, d1 = fabric.transfer(0, 1, 1000, now=0.0)
+        _, d2 = fabric.transfer(2, 3, 1000, now=0.0)
+        assert d1 == pytest.approx(1e-3)
+        assert d2 == pytest.approx(1e-3)
+
+    def test_oversubscribed_switch_serializes_disjoint_pairs(self):
+        net = NetworkModel(
+            bandwidth=1e6,
+            latency=0.0,
+            per_message_overhead=0.0,
+            switch_bandwidth=1e6,  # bisection == one port: 4:1 oversubscribed
+        )
+        fabric = Fabric(net, 4)
+        _, d1 = fabric.transfer(0, 1, 1000, now=0.0)
+        _, d2 = fabric.transfer(2, 3, 1000, now=0.0)
+        assert d2 > d1  # the second pair queues at the switch
+
+    def test_local_transfers_bypass_switch(self):
+        net = NetworkModel(bandwidth=1e6, switch_bandwidth=1.0, per_message_overhead=0.0)
+        fabric = Fabric(net, 2)
+        _, delivered = fabric.transfer(0, 0, 1000, now=0.0)
+        assert delivered < 1.0  # loopback, not the 1 B/s switch
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(switch_bandwidth=0)
+
+    def test_sort_slows_under_oversubscription(self):
+        from repro import DistributedSorter
+        from repro.workloads import uniform
+
+        data = uniform(1 << 14, seed=0, value_range=1 << 20)
+        scale = 1e9 / len(data)
+        fat = DistributedSorter(num_processors=8, data_scale=scale).sort(data)
+        thin = DistributedSorter(
+            num_processors=8,
+            data_scale=scale,
+            network=NetworkModel(switch_bandwidth=gbit_per_s(56.0) * 0.8),
+        ).sort(data)
+        assert thin.elapsed_seconds > fat.elapsed_seconds
+        np.testing.assert_array_equal(thin.to_array(), fat.to_array())

@@ -1,0 +1,178 @@
+"""Tests for the execution-trace timeline tooling."""
+
+import pytest
+
+from repro.simnet import Barrier, Compute, NetworkModel, Recv, Send, Simulator
+from repro.simnet.trace import Span, Timeline, build_timeline, render_gantt, utilization_summary
+
+
+def traced_run(program_builder, n=2):
+    sim = Simulator(n, NetworkModel(latency=1e-3, per_message_overhead=0.0), trace=True)
+    program_builder(sim)
+    metrics = sim.run()
+    return build_timeline(sim.trace_log, metrics.makespan), metrics
+
+
+class TestTimelineConstruction:
+    def test_compute_spans_extracted(self):
+        def build(sim):
+            def program(proc):
+                yield Compute(1.0, label="sort")
+                yield Compute(0.5, label="merge")
+
+            def other(proc):
+                yield Compute(1.5)
+
+            sim.add_process(program)
+            sim.add_process(other)
+
+        timeline, _ = traced_run(build)
+        spans0 = timeline.for_rank(0)
+        assert [s.label for s in spans0 if s.kind == "compute"] == ["sort", "merge"]
+        assert spans0[0].duration == pytest.approx(1.0)
+        assert timeline.makespan == pytest.approx(1.5)
+
+    def test_recv_wait_span(self):
+        def build(sim):
+            def sender(proc):
+                yield Compute(2.0)
+                yield Send(dst=1, nbytes=8, payload=None)
+
+            def receiver(proc):
+                yield Recv(src=0)
+
+            sim.add_process(sender)
+            sim.add_process(receiver)
+
+        timeline, _ = traced_run(build)
+        waits = [s for s in timeline.for_rank(1) if s.kind == "recv-wait"]
+        assert len(waits) == 1
+        assert waits[0].duration == pytest.approx(2.0, rel=0.01)
+
+    def test_barrier_wait_span(self):
+        def build(sim):
+            def fast(proc):
+                yield Barrier()
+
+            def slow(proc):
+                yield Compute(3.0)
+                yield Barrier()
+
+            sim.add_process(fast)
+            sim.add_process(slow)
+
+        timeline, _ = traced_run(build)
+        waits = [s for s in timeline.for_rank(0) if s.kind == "barrier-wait"]
+        assert len(waits) == 1
+        assert waits[0].duration == pytest.approx(3.0)
+
+    def test_busy_fraction(self):
+        def build(sim):
+            def busy(proc):
+                yield Compute(1.0)
+
+            def idle(proc):
+                yield Compute(0.25)
+
+            sim.add_process(busy)
+            sim.add_process(idle)
+
+        timeline, _ = traced_run(build)
+        assert timeline.busy_fraction(0) == pytest.approx(1.0)
+        assert timeline.busy_fraction(1) == pytest.approx(0.25)
+
+    def test_empty_timeline(self):
+        t = Timeline(makespan=0.0)
+        assert render_gantt(t) == "(empty timeline)"
+        assert t.busy_fraction(0) == 0.0
+
+
+class TestGanttRendering:
+    def test_gantt_has_one_row_per_rank(self):
+        def build(sim):
+            def program(proc):
+                yield Compute(1.0, label="w")
+                yield Barrier()
+
+            sim.add_program(program)
+
+        timeline, _ = traced_run(build, n=3)
+        chart = render_gantt(timeline, width=40)
+        lines = chart.splitlines()
+        assert len(lines) == 4  # header + 3 ranks
+        assert all("|" in line for line in lines[1:])
+        assert "█" in chart
+
+    def test_gantt_glyphs_reflect_waiting(self):
+        def build(sim):
+            def sender(proc):
+                yield Compute(2.0)
+                yield Send(dst=1, nbytes=8, payload=None)
+
+            def receiver(proc):
+                yield Recv(src=0)
+
+            sim.add_process(sender)
+            sim.add_process(receiver)
+
+        timeline, _ = traced_run(build)
+        chart = render_gantt(timeline, width=20)
+        rank1_row = chart.splitlines()[2]
+        assert "░" in rank1_row  # rank 1 mostly waits
+
+
+class TestUtilizationSummary:
+    def test_summary_rows(self):
+        def build(sim):
+            def program(proc):
+                yield Compute(1.0)
+                yield Barrier()
+
+            sim.add_program(program)
+
+        _, metrics = traced_run(build, n=2)
+        text = utilization_summary(metrics)
+        assert len(text.splitlines()) == 3
+        assert "busy" in text
+
+
+class TestSortTimeline:
+    def test_full_sort_produces_coherent_timeline(self):
+        """End to end: trace a real distributed sort and sanity-check it."""
+        import numpy as np
+
+        from repro.core import SortOptions, sample_sort_program
+        from repro.pgxd import PgxdConfig, PgxdRuntime
+        from repro.core.api import partition_input
+
+        data = np.random.default_rng(0).integers(0, 1000, 20_000)
+        blocks, _ = partition_input(data, 4)
+        runtime = PgxdRuntime(4, config=PgxdConfig(), trace=True)
+
+        # Reach into the runtime to keep the trace: build the simulator as
+        # run() does but retain it.
+        from repro.simnet.engine import Simulator
+        from repro.pgxd.runtime import Machine
+
+        sim = Simulator(4, runtime.network, trace=True)
+
+        def bootstrap(proc):
+            machine = Machine(proc, runtime.config, runtime.cost)
+            return (
+                yield from sample_sort_program(
+                    machine, blocks[proc.rank], SortOptions()
+                )
+            )
+
+        sim.add_program(bootstrap)
+        metrics = sim.run()
+        timeline = build_timeline(sim.trace_log, metrics.makespan)
+        assert set(timeline.ranks()) == {0, 1, 2, 3}
+        # Every rank computes; the chart renders without error.
+        for r in range(4):
+            assert timeline.busy_fraction(r) > 0
+        assert "rank   3" in render_gantt(timeline) or "rank 3" in render_gantt(timeline)
+
+    def test_span_duration(self):
+        s = Span(0, 1.0, 3.5, "compute")
+        assert s.duration == 2.5

@@ -1,0 +1,95 @@
+"""Repository hygiene: determinism and structural invariants.
+
+DESIGN.md promises "no wall clock anywhere in simulated paths" and seeded
+RNG everywhere; these tests enforce that statically so a stray
+``time.time()`` or unseeded ``np.random.<fn>`` cannot silently break
+reproducibility.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+SRC = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
+
+BANNED_WALLCLOCK = re.compile(r"\btime\.(time|perf_counter|monotonic)\s*\(")
+LEGACY_GLOBAL_RNG = re.compile(r"\bnp\.random\.(rand|randn|randint|random|choice|shuffle|seed)\s*\(")
+UNSEEDED_RNG = re.compile(r"default_rng\(\s*\)")
+
+
+def _source_files():
+    files = sorted(SRC.rglob("*.py"))
+    assert len(files) > 40, "source tree unexpectedly small"
+    return files
+
+
+class TestDeterminismHygiene:
+    def test_no_wall_clock_in_library(self):
+        offenders = []
+        for path in _source_files():
+            if path.name == "cli.py":
+                continue  # the CLI times wall-clock regeneration on purpose
+            if BANNED_WALLCLOCK.search(path.read_text()):
+                offenders.append(str(path))
+        assert not offenders, f"wall-clock calls in simulated paths: {offenders}"
+
+    def test_no_legacy_global_numpy_rng(self):
+        offenders = [
+            str(p) for p in _source_files() if LEGACY_GLOBAL_RNG.search(p.read_text())
+        ]
+        assert not offenders, f"legacy np.random.* calls: {offenders}"
+
+    def test_no_unseeded_generators(self):
+        offenders = [
+            str(p) for p in _source_files() if UNSEEDED_RNG.search(p.read_text())
+        ]
+        assert not offenders, f"unseeded default_rng(): {offenders}"
+
+
+class TestStructure:
+    def test_every_package_has_docstring(self):
+        for init in SRC.rglob("__init__.py"):
+            text = init.read_text().lstrip()
+            assert text.startswith('"""'), f"{init} lacks a module docstring"
+
+    def test_every_module_has_docstring(self):
+        for path in _source_files():
+            text = path.read_text().lstrip()
+            assert text.startswith('"""'), f"{path} lacks a module docstring"
+
+    def test_benchmarks_cover_every_experiment(self):
+        import repro.experiments as exp
+
+        bench_dir = pathlib.Path(__file__).resolve().parents[1] / "benchmarks"
+        bench_text = " ".join(p.read_text() for p in bench_dir.glob("bench_*.py"))
+        for name, module in exp.EXPERIMENTS.items():
+            mod_name = module.__name__.rsplit(".", 1)[-1]
+            assert mod_name in bench_text, f"experiment {name} has no benchmark"
+
+
+class TestPackageSurface:
+    def test_lazy_top_level_exports(self):
+        import repro
+
+        assert callable(repro.distributed_sort)
+        assert repro.DistributedSorter is not None
+        assert repro.SortConfig is not None
+        assert repro.SortResult is not None
+        assert isinstance(repro.__version__, str)
+
+    def test_unknown_attribute_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.nonexistent_symbol
+
+    def test_subpackage_all_exports_resolve(self):
+        import importlib
+
+        for name in ("repro.simnet", "repro.pgxd", "repro.core",
+                     "repro.baselines", "repro.workloads", "repro.analysis",
+                     "repro.experiments"):
+            module = importlib.import_module(name)
+            for symbol in getattr(module, "__all__", []):
+                assert hasattr(module, symbol), f"{name}.{symbol} missing"

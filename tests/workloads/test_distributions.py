@@ -1,0 +1,169 @@
+"""Tests for the Figure-4 distribution generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    DISTRIBUTIONS,
+    block_duplicates,
+    duplication_ratio,
+    exponential,
+    generate,
+    histogram,
+    normal,
+    right_skewed,
+    single_value_keys,
+    uniform,
+    zipf_keys,
+)
+
+
+class TestShapes:
+    @pytest.mark.parametrize("kind", sorted(DISTRIBUTIONS))
+    def test_length_range_and_dtype(self, kind):
+        keys = generate(kind, 10_000, seed=1)
+        assert len(keys) == 10_000
+        assert keys.dtype == np.int64
+        assert keys.min() >= 0
+        assert keys.max() < 100
+
+    @pytest.mark.parametrize("kind", sorted(DISTRIBUTIONS))
+    def test_deterministic_in_seed(self, kind):
+        np.testing.assert_array_equal(
+            generate(kind, 1000, seed=7), generate(kind, 1000, seed=7)
+        )
+        assert not np.array_equal(generate(kind, 1000, seed=7), generate(kind, 1000, seed=8))
+
+    def test_uniform_is_flat(self):
+        keys = uniform(200_000, seed=0)
+        counts, _ = histogram(keys, bins=10)
+        assert counts.max() / counts.min() < 1.1
+
+    def test_normal_peaks_in_middle(self):
+        keys = normal(200_000, seed=0)
+        counts, _ = histogram(keys, bins=10)
+        assert counts[4] + counts[5] > 4 * (counts[0] + counts[9] + 1)
+
+    def test_right_skewed_mass_at_top(self):
+        keys = right_skewed(200_000, seed=0)
+        assert np.mean(keys >= 90) > 0.5
+        # The single most frequent value holds a large share of all entries.
+        _, counts = np.unique(keys, return_counts=True)
+        assert counts.max() / len(keys) > 0.1
+
+    def test_exponential_mass_at_bottom(self):
+        keys = exponential(200_000, seed=0)
+        assert np.mean(keys <= 10) > 0.5
+
+    def test_skewed_kinds_are_duplicate_heavy(self):
+        for kind in ("right-skewed", "exponential"):
+            keys = generate(kind, 100_000, seed=0)
+            assert duplication_ratio(keys) > 0.99
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            generate("bogus", 10)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            uniform(-1)
+        with pytest.raises(ValueError):
+            uniform(10, value_range=0)
+
+    def test_custom_value_range(self):
+        keys = uniform(1000, seed=0, value_range=7)
+        assert keys.max() < 7
+
+    def test_zero_length(self):
+        for kind in DISTRIBUTIONS:
+            assert len(generate(kind, 0)) == 0
+
+
+class TestDuplicationRatio:
+    def test_all_distinct(self):
+        assert duplication_ratio(np.arange(100)) == 0.0
+
+    def test_all_same(self):
+        assert duplication_ratio(np.full(100, 5)) == pytest.approx(0.99)
+
+    def test_empty(self):
+        assert duplication_ratio(np.array([])) == 0.0
+
+
+class TestDuplicateGenerators:
+    def test_zipf_distinct_bound(self):
+        keys = zipf_keys(10_000, distinct=50, seed=0)
+        assert len(np.unique(keys)) <= 50
+        assert len(keys) == 10_000
+
+    def test_zipf_skew_increases_with_exponent(self):
+        flat = zipf_keys(50_000, 100, exponent=0.0, seed=0)
+        skewed = zipf_keys(50_000, 100, exponent=2.0, seed=0)
+        top_flat = np.bincount(flat).max() / len(flat)
+        top_skewed = np.bincount(skewed).max() / len(skewed)
+        assert top_skewed > 3 * top_flat
+
+    def test_single_value(self):
+        keys = single_value_keys(100, value=9)
+        assert np.all(keys == 9)
+
+    def test_block_duplicates_equal_frequencies(self):
+        keys = block_duplicates(1000, distinct=10, seed=0)
+        counts = np.bincount(keys)
+        assert counts.min() == counts.max() == 100
+
+    def test_block_duplicates_remainder(self):
+        keys = block_duplicates(103, distinct=10, seed=0)
+        counts = np.bincount(keys)
+        assert counts.sum() == 103
+        assert counts.max() - counts.min() <= 1
+
+    @pytest.mark.parametrize(
+        "fn,kwargs",
+        [
+            (zipf_keys, {"distinct": 0}),
+            (zipf_keys, {"distinct": 5, "exponent": -1}),
+            (block_duplicates, {"distinct": 0}),
+        ],
+    )
+    def test_invalid_parameters(self, fn, kwargs):
+        with pytest.raises(ValueError):
+            fn(10, **kwargs)
+
+    @given(st.integers(0, 2000), st.integers(1, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_generators_length_property(self, n, distinct):
+        assert len(zipf_keys(n, distinct, seed=1)) == n
+        assert len(block_duplicates(n, distinct, seed=1)) == n
+
+
+class TestPartiallySorted:
+    def test_run_structure(self):
+        from repro.workloads import partially_sorted
+
+        keys = partially_sorted(10_000, 10, seed=0)
+        runs = 1 + int(np.sum(keys[1:] < keys[:-1]))
+        assert runs <= 10
+
+    def test_fully_sorted(self):
+        from repro.workloads import partially_sorted
+
+        keys = partially_sorted(5000, 1, seed=0)
+        assert np.all(np.diff(keys) >= 0)
+
+    def test_multiset_independent_of_runs(self):
+        from repro.workloads import partially_sorted
+
+        a = partially_sorted(3000, 1, seed=5)
+        b = partially_sorted(3000, 50, seed=5)
+        np.testing.assert_array_equal(np.sort(a), np.sort(b))
+
+    def test_validation(self):
+        from repro.workloads import partially_sorted
+
+        with pytest.raises(ValueError):
+            partially_sorted(-1, 2)
+        with pytest.raises(ValueError):
+            partially_sorted(10, 0)

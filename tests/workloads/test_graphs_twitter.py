@@ -1,0 +1,118 @@
+"""Tests for the R-MAT generator and the synthetic Twitter workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    KEY_QUANTUM,
+    KEY_RANGE,
+    RmatParams,
+    degree_skew,
+    powerlaw_degrees,
+    rmat_edges,
+    synthetic_twitter,
+    vertex_properties,
+)
+
+
+class TestRmat:
+    def test_shape_and_ranges(self):
+        src, dst, n = rmat_edges(scale=10, edge_factor=4, seed=0)
+        assert n == 1024
+        assert len(src) == len(dst) == 4096
+        assert src.min() >= 0 and src.max() < n
+        assert dst.min() >= 0 and dst.max() < n
+
+    def test_deterministic(self):
+        s1, d1, _ = rmat_edges(8, 4, seed=3)
+        s2, d2, _ = rmat_edges(8, 4, seed=3)
+        np.testing.assert_array_equal(s1, s2)
+        np.testing.assert_array_equal(d1, d2)
+
+    def test_skewed_quadrants_produce_heavy_tail(self):
+        src, _, n = rmat_edges(12, 8, seed=0)
+        degrees = np.bincount(src, minlength=n)
+        assert degree_skew(degrees) > 0.1  # hubs attract a big edge share
+
+    def test_uniform_quadrants_produce_flat_graph(self):
+        flat = RmatParams(a=0.25, b=0.25, c=0.25, d=0.25)
+        src, _, n = rmat_edges(12, 8, params=flat, seed=0)
+        degrees = np.bincount(src, minlength=n)
+        assert degree_skew(degrees) < 0.05
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RmatParams(a=0.5, b=0.5, c=0.5, d=0.5)
+        with pytest.raises(ValueError):
+            RmatParams(a=-0.1, b=0.4, c=0.4, d=0.3)
+        with pytest.raises(ValueError):
+            rmat_edges(-1)
+
+    def test_zero_scale(self):
+        src, dst, n = rmat_edges(0, 5)
+        assert n == 1
+        assert np.all(src == 0) and np.all(dst == 0)
+
+
+class TestPowerlawDegrees:
+    def test_length_and_minimum(self):
+        d = powerlaw_degrees(1000, seed=0)
+        assert len(d) == 1000
+        assert d.min() >= 1
+
+    def test_max_degree_cap(self):
+        d = powerlaw_degrees(1000, max_degree=50, seed=0)
+        assert d.max() <= 50
+
+    def test_heavier_tail_with_smaller_alpha(self):
+        light = powerlaw_degrees(50_000, alpha=3.0, seed=0)
+        heavy = powerlaw_degrees(50_000, alpha=1.5, seed=0)
+        assert degree_skew(heavy) > degree_skew(light)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            powerlaw_degrees(10, alpha=1.0)
+
+
+class TestTwitterDataset:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return synthetic_twitter(scale=11, edge_factor=8, seed=0)
+
+    def test_sizes(self, ds):
+        assert ds.num_vertices == 2048
+        assert ds.num_edges == 2048 * 8
+
+    def test_edge_keys_in_table3_range(self, ds):
+        keys = ds.edge_keys()
+        assert keys.min() >= 0.0
+        assert keys.max() <= KEY_RANGE
+
+    def test_edge_keys_roughly_uniform(self, ds):
+        """Table III shows near-equal value ranges per processor, i.e. the
+        sorted key distribution is roughly flat over [0, 95]."""
+        keys = ds.edge_keys()
+        counts, _ = np.histogram(keys, bins=5, range=(0, KEY_RANGE))
+        assert counts.max() / max(counts.min(), 1) < 2.0
+
+    def test_edge_keys_are_duplicate_heavy(self, ds):
+        keys = ds.edge_keys()
+        assert len(np.unique(keys)) < len(keys) / 4
+
+    def test_properties_quantized(self, ds):
+        props = ds.vertex_property
+        np.testing.assert_allclose(
+            props, np.round(props / KEY_QUANTUM) * KEY_QUANTUM, atol=1e-9
+        )
+
+    def test_degree_keys_power_law(self, ds):
+        keys = ds.degree_keys()
+        assert keys.min() >= 0
+        # Most edges originate from a few hubs -> top degree value is huge.
+        assert keys.max() > 20 * np.median(keys[keys > 0])
+
+    def test_vertex_properties_deterministic(self):
+        np.testing.assert_array_equal(vertex_properties(100), vertex_properties(100))
+
+    def test_nbytes_positive(self, ds):
+        assert ds.nbytes() > 0
