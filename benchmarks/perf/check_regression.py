@@ -1,0 +1,57 @@
+"""CI smoke check: fail when event throughput regresses vs the trajectory.
+
+Re-measures the 16-rank ping storm and compares events/sec against the most
+recent run committed in ``BENCH_sim.json``.  Exits non-zero when the
+current measurement is more than ``--threshold`` (default 30%) below the
+recorded value.
+
+Wall-clock numbers are machine-dependent: CI runners are typically slower
+than the workstation that recorded the trajectory, so the threshold is a
+coarse safety net against order-of-magnitude mistakes (an accidental
+O(n) scan in the event loop), not a precision gate.  Use
+``benchmarks/perf/harness.py`` on one machine for real comparisons.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+PERF_DIR = Path(__file__).resolve().parent
+REPO_ROOT = PERF_DIR.parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_sim.json"
+
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from bench_simulator_throughput import measure_ping_storm  # noqa: E402
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional events/sec regression (default 0.30)",
+    )
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args(argv)
+
+    doc = json.loads(BENCH_PATH.read_text())
+    recorded = doc["runs"][-1]["ping_storm_16"]["events_per_sec"]
+    current = measure_ping_storm(repeats=args.repeats)["events_per_sec"]
+    ratio = current / recorded
+    print(
+        f"recorded {recorded:.0f} events/s, measured {current:.0f} events/s "
+        f"({ratio:.2f}x of recorded; floor {1.0 - args.threshold:.2f}x)"
+    )
+    if ratio < 1.0 - args.threshold:
+        print("FAIL: event throughput regressed beyond the threshold")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

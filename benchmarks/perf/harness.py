@@ -1,0 +1,140 @@
+"""Perf-regression harness: measure the substrate, append to the trajectory.
+
+Runs the two canonical wall-clock workloads —
+
+* the 16-rank ping storm from ``bench_simulator_throughput`` (pure engine
+  overhead: event pop, dispatch, mailbox match, message injection), and
+* the end-to-end paper sort ``distributed_sort`` at p ∈ {8, 16, 32, 52}
+  (engine + collectives + chunking + merge data path)
+
+— then appends one dated record to ``BENCH_sim.json`` at the repo root,
+with every wall time expressed both in seconds and as a speedup over the
+committed pre-optimization seed measurements (``seed_baseline.json`` in
+this directory).  Every PR that touches the substrate should run this and
+commit the updated trajectory::
+
+    PYTHONPATH=src:benchmarks python benchmarks/perf/harness.py --label "PR 1"
+
+Simulated *results* are deterministic, so repeats only tighten the
+wall-clock estimate (best-of is recorded).
+"""
+
+import argparse
+import datetime
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+PERF_DIR = Path(__file__).resolve().parent
+REPO_ROOT = PERF_DIR.parent.parent
+SEED_BASELINE_PATH = PERF_DIR / "seed_baseline.json"
+BENCH_PATH = REPO_ROOT / "BENCH_sim.json"
+
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from bench_simulator_throughput import measure_ping_storm  # noqa: E402
+
+from repro.core.api import distributed_sort  # noqa: E402
+
+SORT_RANKS = (8, 16, 32, 52)
+SORT_N_KEYS = 200_000
+SORT_SEED = 42
+
+
+def measure_sort(num_processors, n_keys=SORT_N_KEYS, seed=SORT_SEED, repeats=3):
+    """Best-of-``repeats`` wall seconds for the end-to-end paper sort."""
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 1_000_000, n_keys).astype(np.int64)
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        distributed_sort(data, num_processors=num_processors)
+        wall = time.perf_counter() - start
+        if best is None or wall < best:
+            best = wall
+    return {"n_keys": n_keys, "seed": seed, "repeats": repeats, "wall_seconds": best}
+
+
+def run_harness(label, repeats_storm=5, repeats_sort=3):
+    baseline = json.loads(SEED_BASELINE_PATH.read_text())
+
+    storm = measure_ping_storm(repeats=repeats_storm)
+    seed_storm_wall = baseline["ping_storm_16"]["wall_seconds"]
+    # Event scheduling is deterministic and behavior-invariant, so the seed
+    # engine processed the same event count; its events/sec follows from its
+    # recorded wall time.
+    storm["seed_wall_seconds"] = seed_storm_wall
+    storm["seed_events_per_sec"] = storm["events_processed"] / seed_storm_wall
+    storm["speedup_vs_seed"] = seed_storm_wall / storm["wall_seconds"]
+
+    sorts = {}
+    for p in SORT_RANKS:
+        result = measure_sort(p, repeats=repeats_sort)
+        seed_wall = baseline["distributed_sort"][str(p)]["wall_seconds"]
+        result["seed_wall_seconds"] = seed_wall
+        result["speedup_vs_seed"] = seed_wall / result["wall_seconds"]
+        sorts[str(p)] = result
+
+    return {
+        "label": label,
+        "date": datetime.date.today().isoformat(),
+        "ping_storm_16": storm,
+        "distributed_sort": sorts,
+    }
+
+
+def append_record(record, path=BENCH_PATH):
+    if path.exists():
+        doc = json.loads(path.read_text())
+    else:
+        doc = {
+            "description": (
+                "Wall-clock trajectory of the simulation substrate. Each run "
+                "was recorded by benchmarks/perf/harness.py; speedups are "
+                "relative to the committed pre-optimization seed engine "
+                "(benchmarks/perf/seed_baseline.json). Wall times are "
+                "machine-dependent; speedups within one machine are the "
+                "comparable quantity."
+            ),
+            "runs": [],
+        }
+    doc["runs"].append(record)
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    return doc
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default="dev", help="name for this run (e.g. 'PR 1')")
+    parser.add_argument("--repeats-storm", type=int, default=5)
+    parser.add_argument("--repeats-sort", type=int, default=3)
+    parser.add_argument(
+        "--dry-run", action="store_true", help="measure and print, don't write"
+    )
+    args = parser.parse_args(argv)
+
+    record = run_harness(args.label, args.repeats_storm, args.repeats_sort)
+
+    storm = record["ping_storm_16"]
+    print(
+        f"ping storm 16r: {storm['wall_seconds']:.4f}s "
+        f"({storm['events_per_sec']:.0f} events/s, "
+        f"{storm['speedup_vs_seed']:.2f}x vs seed)"
+    )
+    for p, r in record["distributed_sort"].items():
+        print(
+            f"distributed_sort p={p:>2}: {r['wall_seconds']:.4f}s "
+            f"({r['speedup_vs_seed']:.2f}x vs seed)"
+        )
+    if not args.dry_run:
+        append_record(record)
+        print(f"appended run '{record['label']}' to {BENCH_PATH}")
+    return record
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,7 @@
 """Analysis utilities: load-balance metrics, table rendering, calibration."""
 
 from .calibration import CalibrationCheck, run_checks, summarize, thread_efficiency_profile
+from .determinism import capture_sort_fingerprint
 from .load_balance import BalanceReport, compare_balance
 from .regression import ComparisonReport, Drift, compare
 from .tables import range_rows, ratio_row, to_markdown
@@ -10,6 +11,7 @@ __all__ = [
     "CalibrationCheck",
     "ComparisonReport",
     "Drift",
+    "capture_sort_fingerprint",
     "compare",
     "compare_balance",
     "range_rows",

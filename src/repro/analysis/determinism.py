@@ -1,0 +1,120 @@
+"""Bit-exact fingerprinting of simulation runs.
+
+The engine's contract is full determinism: the same programs, inputs, and
+configuration must produce the same virtual times, metrics, and outputs on
+every run — and across engine refactors.  This module condenses one run of
+the paper's distributed sort into a JSON-able *fingerprint* whose floats are
+recorded as ``float.hex()`` strings, so equality means bit-identity rather
+than "approximately equal".
+
+The committed golden fingerprint (``tests/golden/``) was captured from the
+original interpreter-style event loop; the golden determinism test replays
+the same run on the current engine and asserts an identical fingerprint,
+which is what licenses performance work on the event loop's hot paths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+import numpy as np
+
+from ..core.sorter import SortOptions, sample_sort_program
+from ..pgxd.runtime import Machine, PgxdRuntime
+from ..simnet.engine import ProcessHandle, Simulator
+from ..simnet.metrics import ProcessMetrics
+
+
+def _hex(x: float) -> str:
+    return float(x).hex()
+
+
+def _digest(arrays: list[np.ndarray]) -> str:
+    h = hashlib.sha256()
+    for a in arrays:
+        a = np.ascontiguousarray(a)
+        h.update(str(a.dtype).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def _metrics_fingerprint(m: ProcessMetrics) -> dict[str, Any]:
+    return {
+        "rank": m.rank,
+        "phase_seconds": {k: _hex(v) for k, v in sorted(m.phase_seconds.items())},
+        "other_seconds": _hex(m.other_seconds),
+        "recv_wait_seconds": _hex(m.recv_wait_seconds),
+        "barrier_wait_seconds": _hex(m.barrier_wait_seconds),
+        "send_seconds": _hex(m.send_seconds),
+        "bytes_sent": m.bytes_sent,
+        "bytes_received": m.bytes_received,
+        "messages_sent": m.messages_sent,
+        "messages_received": m.messages_received,
+        "peak_resident": m.memory.peak_resident,
+        "peak_temporary": m.memory.peak_temporary,
+        "peak_total": m.memory.peak_total,
+        "finished_at": _hex(m.finished_at if m.finished_at is not None else -1.0),
+    }
+
+
+def capture_sort_fingerprint(
+    num_ranks: int = 16,
+    n_keys: int = 60_000,
+    seed: int = 20260805,
+) -> dict[str, Any]:
+    """Run a fixed-seed distributed sort with tracing; return its fingerprint.
+
+    Every field is either an integer count or a ``float.hex()`` string, so a
+    fingerprint compares bit-exactly across engine implementations.
+    """
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 1 << 40, n_keys).astype(np.int64)
+    bounds = [n_keys * i // num_ranks for i in range(num_ranks + 1)]
+    blocks = [data[lo:hi] for lo, hi in zip(bounds, bounds[1:])]
+    options = SortOptions()
+    runtime = PgxdRuntime(num_ranks, trace=True)
+    sim = Simulator(num_ranks, runtime.network, trace=True)
+
+    def bootstrap(proc: ProcessHandle):
+        machine = Machine(proc, runtime.config, runtime.cost_for_rank(proc.rank))
+        return (yield from sample_sort_program(machine, blocks[proc.rank], options))
+
+    sim.add_program(bootstrap)
+    metrics = sim.run()
+    outputs = sim.results()
+
+    trace_per_rank = [0] * num_ranks
+    for _, rank, _ in sim.trace_log:
+        trace_per_rank[rank] += 1
+
+    keys = [out.keys for out in outputs]
+    prov = []
+    for out in outputs:
+        prov.append(out.provenance.origin_proc)
+        prov.append(out.provenance.origin_index)
+    return {
+        "workload": {"num_ranks": num_ranks, "n_keys": n_keys, "seed": seed},
+        "makespan": _hex(metrics.makespan),
+        "remote_bytes": metrics.remote_bytes,
+        "local_bytes": metrics.local_bytes,
+        "messages": metrics.messages,
+        "trace_events_total": len(sim.trace_log),
+        "trace_events_per_rank": trace_per_rank,
+        "step_seconds": [
+            {k: _hex(v) for k, v in sorted(out.step_seconds.items())}
+            for out in outputs
+        ],
+        "processes": [_metrics_fingerprint(p) for p in metrics.processes],
+        "output_keys_sha256": _digest(keys),
+        "output_provenance_sha256": _digest(prov),
+        "output_sizes": [int(len(k)) for k in keys],
+    }
+
+
+if __name__ == "__main__":  # pragma: no cover - golden re-capture CLI
+    import json
+    import sys
+
+    json.dump(capture_sort_fingerprint(), sys.stdout, indent=1, sort_keys=True)
+    sys.stdout.write("\n")

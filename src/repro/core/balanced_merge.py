@@ -20,6 +20,7 @@ which the virtual-time cost is charged.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -44,14 +45,19 @@ def merge_two(
     if len(aux_a) != len(aux_b):
         raise ValueError("aux_a and aux_b must have the same number of arrays")
     na, nb = len(a), len(b)
+    # An empty side makes the merge a pointer move: hand the surviving run
+    # (and its aux arrays) through untouched — merge outputs are read-only
+    # inputs to the next level, so ownership never needs a defensive copy.
     if na == 0:
-        return b, [x.copy() for x in aux_b]
+        return b, list(aux_b)
     if nb == 0:
-        return a, [x.copy() for x in aux_a]
+        return a, list(aux_a)
     # Destination slot of each element: its own index plus the count of
     # elements from the other run that precede it.
-    pos_a = np.arange(na, dtype=np.int64) + np.searchsorted(b, a, side="left")
-    pos_b = np.arange(nb, dtype=np.int64) + np.searchsorted(a, b, side="right")
+    pos_a = b.searchsorted(a, side="left")
+    pos_a += np.arange(na, dtype=np.int64)
+    pos_b = a.searchsorted(b, side="right")
+    pos_b += np.arange(nb, dtype=np.int64)
     out = np.empty(na + nb, dtype=np.result_type(a.dtype, b.dtype))
     out[pos_a] = a
     out[pos_b] = b
@@ -94,35 +100,112 @@ def _normalize(
     return [np.asarray(r) for r in runs], [list(ax) for ax in aux_runs], n_aux
 
 
+def _balanced_levels(lengths: list[int]) -> list[list[int]]:
+    """Per-level output sizes of the pairwise handler, from run lengths only.
+
+    A merge with an empty side is a pointer move, not key work — only real
+    two-way merges cost merge time (matters when the exchange delivered
+    everything as one run, e.g. sorted input).
+    """
+    levels: list[list[int]] = []
+    while len(lengths) > 1:
+        next_lengths: list[int] = []
+        level_sizes: list[int] = []
+        for i in range(0, len(lengths) - 1, 2):
+            merged = lengths[i] + lengths[i + 1]
+            next_lengths.append(merged)
+            if lengths[i] and lengths[i + 1]:
+                level_sizes.append(merged)
+        if len(lengths) % 2 == 1:  # odd run carried to the next level
+            next_lengths.append(lengths[-1])
+        lengths = next_lengths
+        levels.append(level_sizes)
+    return levels
+
+
+def _fold_levels(lengths: list[int]) -> list[list[int]]:
+    """Fold sizes of the sequential ablation strategy, from lengths only."""
+    total = lengths[0]
+    levels: list[list[int]] = []
+    for n in lengths[1:]:
+        trivial = not (total and n)
+        total += n
+        if not trivial:
+            levels.append([total])
+    return levels
+
+
+def _uniform_dtypes(runs_l: list[np.ndarray], aux_l: list[list[np.ndarray]]) -> bool:
+    """True when one key dtype and one dtype per aux slot span all runs —
+    the condition under which cascaded pairwise merges cannot widen dtypes."""
+    key_dtype = runs_l[0].dtype
+    if any(r.dtype != key_dtype for r in runs_l[1:]):
+        return False
+    for slot in range(len(aux_l[0])):
+        aux_dtype = aux_l[0][slot].dtype
+        if any(ax[slot].dtype != aux_dtype for ax in aux_l[1:]):
+            return False
+    return True
+
+
+def _merge_all_stable(
+    runs_l: list[np.ndarray], aux_l: list[list[np.ndarray]], n_aux: int
+) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Merge all runs at once with a single stable argsort.
+
+    Both the balanced handler and the sequential fold are *stable* pairwise
+    merges that break ties in favour of the earlier run, so their composed
+    permutation is exactly "sort by key, ties in concatenation order" — one
+    C-speed stable argsort replaces O(runs) two-way merge passes with
+    identical output, bit for bit.
+    """
+    for run, ax in zip(runs_l, aux_l):
+        for x in ax:
+            if len(x) != len(run):
+                raise ValueError("aux arrays must align with their key runs")
+    keys = np.concatenate(runs_l)
+    order = keys.argsort(kind="stable")
+    merged_aux = [
+        np.concatenate([ax[i] for ax in aux_l])[order] for i in range(n_aux)
+    ]
+    return keys[order], merged_aux
+
+
 def balanced_merge(
     runs: Sequence[np.ndarray],
     aux_runs: Sequence[Sequence[np.ndarray]] | None = None,
 ) -> MergeOutcome:
-    """Merge sorted runs with the paper's pairwise balanced handler."""
+    """Merge sorted runs with the paper's pairwise balanced handler.
+
+    The *cost-relevant shape* (``levels``) is always the handler's pairwise
+    level structure, computed arithmetically from the run lengths; the data
+    itself is produced by one stable argsort over the concatenation, which
+    yields the identical stable result without per-level Python overhead.
+    Mixed-dtype runs fall back to literal pairwise merging, whose cascaded
+    ``result_type`` widening the single-pass route cannot reproduce.
+    """
     runs_l, aux_l, n_aux = _normalize(runs, aux_runs)
     if not runs_l:
         return MergeOutcome(np.empty(0), [], [])
-    levels: list[list[int]] = []
+    levels = _balanced_levels([len(r) for r in runs_l])
+    if len(runs_l) == 1:
+        return MergeOutcome(runs_l[0], aux_l[0], levels)
+    if _uniform_dtypes(runs_l, aux_l):
+        keys, aux = _merge_all_stable(runs_l, aux_l, n_aux)
+        return MergeOutcome(keys, aux, levels)
     while len(runs_l) > 1:
         next_runs: list[np.ndarray] = []
         next_aux: list[list[np.ndarray]] = []
-        level_sizes: list[int] = []
         for i in range(0, len(runs_l) - 1, 2):
             merged, merged_aux = merge_two(
                 runs_l[i], runs_l[i + 1], aux_l[i], aux_l[i + 1]
             )
             next_runs.append(merged)
             next_aux.append(merged_aux)
-            # A merge with an empty side is a pointer move, not key work —
-            # only real two-way merges cost merge time (matters when the
-            # exchange delivered everything as one run, e.g. sorted input).
-            if len(runs_l[i]) and len(runs_l[i + 1]):
-                level_sizes.append(len(merged))
-        if len(runs_l) % 2 == 1:  # odd run carried to the next level
+        if len(runs_l) % 2 == 1:
             next_runs.append(runs_l[-1])
             next_aux.append(aux_l[-1])
         runs_l, aux_l = next_runs, next_aux
-        levels.append(level_sizes)
     return MergeOutcome(runs_l[0], aux_l[0], levels)
 
 
@@ -130,17 +213,24 @@ def sequential_fold_merge(
     runs: Sequence[np.ndarray],
     aux_runs: Sequence[Sequence[np.ndarray]] | None = None,
 ) -> MergeOutcome:
-    """Ablation strategy: run 0 absorbs every other run one at a time."""
-    runs_l, aux_l, _ = _normalize(runs, aux_runs)
+    """Ablation strategy: run 0 absorbs every other run one at a time.
+
+    Like :func:`balanced_merge`, only the *cost shape* differs from the
+    handler — the data result of stable folding is the same stable
+    permutation, so the same single-argsort fast path applies.
+    """
+    runs_l, aux_l, n_aux = _normalize(runs, aux_runs)
     if not runs_l:
         return MergeOutcome(np.empty(0), [], [])
+    levels = _fold_levels([len(r) for r in runs_l])
+    if len(runs_l) == 1:
+        return MergeOutcome(runs_l[0], aux_l[0], levels)
+    if _uniform_dtypes(runs_l, aux_l):
+        keys, aux = _merge_all_stable(runs_l, aux_l, n_aux)
+        return MergeOutcome(keys, aux, levels)
     keys, aux = runs_l[0], aux_l[0]
-    levels: list[list[int]] = []
     for i in range(1, len(runs_l)):
-        trivial = not (len(keys) and len(runs_l[i]))
         keys, aux = merge_two(keys, runs_l[i], aux, aux_l[i])
-        if not trivial:
-            levels.append([len(keys)])
     return MergeOutcome(keys, aux, levels)
 
 

@@ -11,6 +11,7 @@ messages rather than one giant or many tiny ones.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -77,6 +78,40 @@ class RequestBuffer:
         if self._bytes >= self.capacity_bytes * self.watermark:
             return self.flush()
         return None
+
+    def extend_array(self, array: np.ndarray) -> list[list]:
+        """Bulk-append every entry of a 1-D ``array``; returns flushed batches.
+
+        Flush points and ``flush_count`` are exactly those of calling
+        ``append(entry, array.itemsize)`` per element, but the work is
+        constant per *flushed buffer* rather than per element: each batch
+        carries one array view covering the entries that filled it (after
+        any individually-appended items already pending).
+        """
+        if array.ndim != 1:
+            raise ValueError("extend_array expects a 1-D array")
+        n = len(array)
+        itemsize = int(array.itemsize)
+        threshold = self.capacity_bytes * self.watermark
+        if n == 0 or itemsize == 0:
+            self._items.extend(array[i : i + 1] for i in range(n))
+            return []
+        batches: list[list] = []
+        start = 0
+        while True:
+            # First entry index at which pending bytes reach the watermark
+            # (pending is always below it between appends).
+            fill = math.ceil((threshold - self._bytes) / itemsize)
+            if start + fill > n:
+                break
+            self._items.append(array[start : start + fill])
+            self._bytes += fill * itemsize
+            batches.append(self.flush())
+            start += fill
+        if start < n:
+            self._items.append(array[start:])
+            self._bytes += (n - start) * itemsize
+        return batches
 
     def flush(self) -> list | None:
         """Drain the buffer; returns the pending batch or None if empty."""

@@ -48,7 +48,12 @@ def virtual_nbytes(real_nbytes: int, config: PgxdConfig) -> int:
     """Bytes a transfer occupies on the modeled wire."""
     if real_nbytes < 0:
         raise ValueError("real_nbytes must be >= 0")
-    return int(round(real_nbytes * config.data_scale))
+    scale = config.data_scale
+    if scale == 1.0:
+        # round(n * 1.0) recovers n exactly for any buffer that fits in
+        # memory; the unscaled default stays on an integer-only path.
+        return real_nbytes
+    return int(round(real_nbytes * scale))
 
 
 def expected_chunks(real_nbytes: int, config: PgxdConfig) -> int:
@@ -72,27 +77,42 @@ def send_array(
     announced sizes and will not post a receive).
     """
     array = np.ascontiguousarray(array)
-    chunks = expected_chunks(int(array.nbytes), config)
-    if chunks == 0:
+    real = int(array.nbytes)
+    if real == 0:
+        return
+    # One pass over the chunk plan: virtual size and flush count are derived
+    # here once instead of through expected_chunks/num_flushes per call.
+    vtotal = virtual_nbytes(real, config)
+    flushes = -(-vtotal // config.read_buffer_bytes)  # ceil division
+    if flushes == 0:
         return
     cls = Isend if config.async_messaging else Send
-    n = len(array)
-    vtotal = virtual_nbytes(int(array.nbytes), config)
-    # The modeled transfer performs one buffer flush per read_buffer_bytes;
-    # the chunk cap folds them into fewer simulated messages, so the folded
-    # flushes' software cost is charged explicitly.  This is what makes
-    # small request buffers measurably expensive (the buffer-size sweep).
-    flushes = num_flushes(vtotal, config.read_buffer_bytes)
-    if flushes > chunks:
+    if flushes > MAX_CHUNKS_PER_TRANSFER:
+        chunks = MAX_CHUNKS_PER_TRANSFER
+        # The modeled transfer performs one buffer flush per
+        # read_buffer_bytes; the chunk cap folds them into fewer simulated
+        # messages, so the folded flushes' software cost is charged
+        # explicitly.  This is what makes small request buffers measurably
+        # expensive (the buffer-size sweep).
         yield Compute((flushes - chunks) * BUFFER_FLUSH_OVERHEAD_SECONDS)
-    bounds = [n * i // chunks for i in range(chunks + 1)]
-    sent_v = 0
+    else:
+        chunks = flushes
+    if chunks == 1:
+        yield cls(dst=dst, nbytes=vtotal, payload=array, tag=tag)
+        return
+    n = len(array)
+    # Even element/byte split with the remainder spread across chunks, as
+    # integer prefix bounds (identical to the per-chunk // arithmetic).
+    steps = np.arange(chunks + 1)
+    bounds = ((n * steps) // chunks).tolist()
+    vbounds = ((vtotal * steps) // chunks).tolist()
     for i in range(chunks):
-        piece = array[bounds[i] : bounds[i + 1]]
-        # Last chunk absorbs rounding so virtual bytes sum exactly.
-        v = vtotal - sent_v if i == chunks - 1 else (vtotal * (i + 1)) // chunks - sent_v
-        sent_v += v
-        yield cls(dst=dst, nbytes=v, payload=piece, tag=tag)
+        yield cls(
+            dst=dst,
+            nbytes=vbounds[i + 1] - vbounds[i],
+            payload=array[bounds[i] : bounds[i + 1]],
+            tag=tag,
+        )
 
 
 def recv_array(

@@ -7,6 +7,12 @@ generator with the call's result (e.g. the received payload for ``Recv``).
 
 The calls mirror the mpi4py vocabulary (``Send``/``Recv``/``Isend``/...),
 which keeps algorithm code readable to anyone who has written MPI programs.
+
+Call objects are value objects: construct, yield, discard.  They are slotted
+(hot loops construct millions) and hashable by field value; treat them as
+immutable even though the slots are technically writable — ``frozen=True``
+would route every constructor through ``object.__setattr__`` and roughly
+triple construction cost, which dominates send-heavy programs.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ ANY_SOURCE = -1
 ANY_TAG = -1
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Compute:
     """Occupy the calling process for ``seconds`` of virtual time.
 
@@ -37,7 +43,7 @@ class Compute:
             raise ValueError(f"negative compute time: {self.seconds}")
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Send:
     """Blocking send: resumes once the payload has left the local NIC.
 
@@ -55,7 +61,7 @@ class Send:
             raise ValueError(f"negative message size: {self.nbytes}")
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Isend(Send):
     """Non-blocking send: resumes immediately, the NIC drains asynchronously.
 
@@ -64,7 +70,7 @@ class Isend(Send):
     """
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Recv:
     """Blocking receive; resumes with a :class:`Message` once matched."""
 
@@ -72,7 +78,7 @@ class Recv:
     tag: int = ANY_TAG
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Probe:
     """Check for a matching message *without consuming it*.
 
@@ -88,7 +94,7 @@ class Probe:
     blocking: bool = True
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Barrier:
     """Block until every process in the cluster has entered the barrier.
 
@@ -100,7 +106,7 @@ class Barrier:
     name: str = "barrier"
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Sleep:
     """Idle for ``seconds`` without attributing the time to any phase."""
 
@@ -111,12 +117,12 @@ class Sleep:
             raise ValueError(f"negative sleep time: {self.seconds}")
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Now:
     """Resume immediately with the current virtual time (seconds)."""
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Alloc:
     """Record ``nbytes`` of memory as allocated by the calling process.
 
@@ -133,7 +139,7 @@ class Alloc:
             raise ValueError(f"negative allocation: {self.nbytes}")
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class Free:
     """Release ``nbytes`` previously recorded with :class:`Alloc`."""
 
@@ -145,7 +151,7 @@ class Free:
             raise ValueError(f"negative free: {self.nbytes}")
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A delivered message, as returned by :class:`Recv`."""
 

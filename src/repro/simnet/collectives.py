@@ -159,9 +159,12 @@ def alltoallv(
         raise ValueError(f"alltoallv needs {size} chunks, got {len(chunks)}")
     out: list[Any] = [None] * size
     out[rank] = chunks[rank]
+    # Size every payload before injecting: the Isend train then runs at a
+    # constant per-buffer cost with no sizing work between sends.
+    sizes = [nbytes(chunk) for chunk in chunks]
     for offset in range(1, size):
         dst = (rank + offset) % size  # staggered to spread incast
-        yield Isend(dst=dst, nbytes=nbytes(chunks[dst]), payload=chunks[dst], tag=tag)
+        yield Isend(dst=dst, nbytes=sizes[dst], payload=chunks[dst], tag=tag)
     for _ in range(size - 1):
         msg: Message = yield Recv(tag=tag)
         out[msg.src] = msg.payload

@@ -10,12 +10,30 @@ so program outputs are bit-exact real computations — only *time* is simulated.
 Execution is fully deterministic: ties in the event queue are broken by a
 monotonically increasing sequence number, and no wall-clock or OS scheduling
 enters any simulated path.
+
+Engine internals are engineered for event throughput, since every paper
+experiment is bottlenecked on this loop:
+
+* events are slotted records ``(time, seq, kind, rank, arg)`` interpreted by
+  a tight loop in :meth:`Simulator.run` — no per-event closure allocation;
+* yielded calls dispatch through a type-keyed handler table instead of an
+  isinstance chain;
+* each rank's mailbox is indexed by ``(src, tag)`` channel plus per-source,
+  per-tag, and arrival-order views, making every match shape — exact,
+  ``ANY_SOURCE``, ``ANY_TAG``, or both wildcards — amortized O(1);
+* ``Isend`` completions reuse a FIFO due-queue instead of the heap (their
+  resume times are monotone, so no ordering work is needed).
+
+All of this is behavior-invariant: virtual times, metrics, and message
+ordering are bit-identical to the original interpreter (locked by the golden
+determinism test in ``tests/integration/test_golden_determinism.py``).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum, auto
 from typing import Any, Callable, Generator
@@ -40,6 +58,10 @@ from .metrics import ClusterMetrics, ProcessMetrics
 from .network import Fabric, NetworkModel
 
 Program = Callable[..., Generator]
+
+#: Event kinds interpreted by the run loop (slot 2 of an event record).
+_EV_STEP = 0  #: resume rank's generator with ``arg`` as the send value
+_EV_DELIVER = 1  #: deliver ``arg`` (a Message) to its destination mailbox
 
 
 class _Status(Enum):
@@ -67,13 +89,122 @@ class ProcessHandle:
         return f"ProcessHandle(rank={self.rank}, size={self.size})"
 
 
+class _Mailbox:
+    """Arrival-ordered message store with O(1) matching for every spec shape.
+
+    Messages are held as single-slot entries in arrival order.  The common
+    case — the earliest live message satisfies the spec, which is what both
+    wildcard drains (``Recv()``) and single-channel trains produce — is a
+    head pop with no bookkeeping at all.  The first time a match *skips* the
+    head (selective recv over an interleaved mailbox), three index views are
+    built — exact ``(src, tag)`` channel, per-source, per-tag — and kept up
+    to date by subsequent pushes, making every later selective match a head
+    pop of the right view.  Consuming a message empties its entry; stale
+    entries are skipped (and dropped) lazily when another view reaches them,
+    so every entry is appended and popped at most once per view — amortized
+    O(1) regardless of which wildcard combination each ``Recv`` uses.  FIFO
+    order per matching set is exactly arrival order, as with a linear scan.
+    """
+
+    __slots__ = ("_arrival", "_channels", "_by_src", "_by_tag", "_indexed", "_live")
+
+    def __init__(self) -> None:
+        self._arrival: deque = deque()
+        self._channels: dict[tuple[int, int], deque] | None = None
+        self._by_src: dict[int, deque] | None = None
+        self._by_tag: dict[int, deque] | None = None
+        self._indexed = False
+        self._live = 0
+
+    def push(self, msg: Message) -> None:
+        entry = [msg]
+        self._arrival.append(entry)
+        self._live += 1
+        if self._indexed:
+            self._channels.setdefault((msg.src, msg.tag), deque()).append(entry)
+            self._by_src.setdefault(msg.src, deque()).append(entry)
+            self._by_tag.setdefault(msg.tag, deque()).append(entry)
+            # Consumed entries linger in views that are never queried;
+            # compact when stale entries dominate to bound memory.
+            if len(self._arrival) > 64 and len(self._arrival) > 2 * self._live:
+                self._compact()
+
+    def match(self, src: int, tag: int, consume: bool = True) -> Message | None:
+        """Earliest-arrival message matching ``(src, tag)`` (wildcards ok)."""
+        arrival = self._arrival
+        while arrival:
+            entry = arrival[0]
+            msg = entry[0]
+            if msg is None:  # consumed through an index view
+                arrival.popleft()
+                continue
+            if (src == ANY_SOURCE or src == msg.src) and (
+                tag == ANY_TAG or tag == msg.tag
+            ):
+                if consume:
+                    arrival.popleft()
+                    entry[0] = None
+                    self._live -= 1
+                return msg
+            break  # head doesn't match: selective lookup needed
+        else:
+            return None
+        # Selective path (at least one of src/tag is specific, since a full
+        # wildcard always matches the live head above).
+        if not self._indexed:
+            self._build_indexes()
+        if src != ANY_SOURCE:
+            queue = (
+                self._channels.get((src, tag))
+                if tag != ANY_TAG
+                else self._by_src.get(src)
+            )
+        else:
+            queue = self._by_tag.get(tag)
+        if not queue:
+            return None
+        while queue:
+            entry = queue[0]
+            msg = entry[0]
+            if msg is None:
+                queue.popleft()
+                continue
+            if consume:
+                queue.popleft()
+                entry[0] = None
+                self._live -= 1
+            return msg
+        return None
+
+    def _build_indexes(self) -> None:
+        self._channels = channels = {}
+        self._by_src = by_src = {}
+        self._by_tag = by_tag = {}
+        for entry in self._arrival:
+            msg = entry[0]
+            if msg is None:
+                continue
+            channels.setdefault((msg.src, msg.tag), deque()).append(entry)
+            by_src.setdefault(msg.src, deque()).append(entry)
+            by_tag.setdefault(msg.tag, deque()).append(entry)
+        self._indexed = True
+
+    def _compact(self) -> None:
+        live = [entry for entry in self._arrival if entry[0] is not None]
+        self._arrival = deque(live)
+        self._build_indexes()
+
+    def __len__(self) -> int:
+        return self._live
+
+
 @dataclass
 class _ProcState:
     handle: ProcessHandle
     gen: Generator
     status: _Status = _Status.READY
-    mailbox: list[Message] = field(default_factory=list)
-    recv_spec: Recv | None = None
+    mailbox: _Mailbox = field(default_factory=_Mailbox)
+    recv_spec: "Recv | None" = None
     #: True when the pending block is a Probe: deliver without consuming.
     probe_only: bool = False
     blocked_since: float = 0.0
@@ -109,13 +240,32 @@ class Simulator:
         self.network = network or NetworkModel()
         self.fabric = Fabric(self.network, num_ranks)
         self._procs: dict[int, _ProcState] = {}
-        self._events: list[tuple[float, int, Callable[[], None]]] = []
+        self._events: list[tuple[float, int, int, int, Any]] = []
+        #: FIFO of Isend completions: their resume times are ``now`` plus a
+        #: constant overhead, hence monotone — a deque replaces heap churn.
+        self._due: deque[tuple[float, int, int, int, Any]] = deque()
         self._seq = itertools.count()
         self._now = 0.0
         self._barriers: dict[int, list[int]] = {}
-        self.trace_log: list[tuple[float, int, str]] = [] if trace else []
+        #: Trace records, or None when tracing is disabled (no allocation,
+        #: and hot paths skip building the description strings entirely).
+        self.trace_log: list[tuple[float, int, str]] | None = [] if trace else None
         self._trace_enabled = trace
+        #: Events interpreted by the last :meth:`run` (perf instrumentation).
+        self.events_processed = 0
         self._ran = False
+        self._handlers: dict[type, Callable[[int, _ProcState, Any], Any]] = {
+            Compute: self._do_compute,
+            Isend: self._do_isend,
+            Send: self._do_send,
+            Recv: self._do_recv,
+            Probe: self._do_probe,
+            Barrier: self._enter_barrier,
+            Sleep: self._do_sleep,
+            Now: self._do_now,
+            Alloc: self._do_alloc,
+            Free: self._do_free,
+        }
 
     # ------------------------------------------------------------------ API
 
@@ -163,11 +313,181 @@ class Simulator:
             )
         self._ran = True
         for rank in sorted(self._procs):
-            self._schedule(0.0, lambda r=rank: self._step(r, None))
-        while self._events:
-            time, _, action = heapq.heappop(self._events)
-            self._now = time
-            action()
+            self._schedule_step(0.0, rank, None)
+        # Tight interpreter: pop the globally next event from the heap or the
+        # monotone Isend due-queue, then act on its kind slot.  The step and
+        # deliver interpreters are inlined here so every run-invariant binding
+        # (queues, heap ops, fabric, handler table, status constants) is
+        # resolved once per run instead of once per event; with ~2 events per
+        # simulated message that preamble would otherwise dominate.
+        events = self._events
+        due = self._due
+        due_append = due.append
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        procs = [self._procs[r] for r in range(self.num_ranks)]
+        nx = self._seq.__next__
+        transfer = self.fabric.transfer
+        # Model parameters are fixed at construction time (tests configure
+        # NetworkModel, then build the Simulator), so the constant per-send
+        # overhead can be read once.
+        overhead = self.network.per_message_overhead
+        handlers = self._handlers
+        handlers_get = handlers.get
+        trace = self._trace_enabled
+        num_ranks = self.num_ranks
+        READY = _Status.READY
+        WAITING = _Status.WAITING
+        DONE = _Status.DONE
+        BLOCKED_RECV = _Status.BLOCKED_RECV
+        processed = 0
+        while events or due:
+            if due and (not events or due[0] < events[0]):
+                event = due.popleft()
+            else:
+                event = heappop(events)
+            now = event[0]
+            self._now = now
+            processed += 1
+            if event[2] == _EV_STEP:
+                # ---- step: advance one rank's generator until it blocks.
+                rank = event[3]
+                value = event[4]
+                state = procs[rank]
+                state.status = READY
+                gen = state.gen
+                send = gen.send
+                metrics = state.handle.metrics
+                mailbox = state.mailbox
+                pending_exc: BaseException | None = None
+                while True:
+                    try:
+                        if pending_exc is not None:
+                            call = gen.throw(pending_exc)
+                            pending_exc = None
+                        else:
+                            call = send(value)
+                    except StopIteration as stop:
+                        state.status = DONE
+                        state.result = stop.value
+                        metrics.finished_at = now
+                        if trace:
+                            self._trace(rank, "done")
+                        break
+                    except DeadlockError:
+                        raise
+                    except Exception as exc:  # surfaces program bugs w/ rank
+                        state.status = DONE
+                        raise ProcessFailure(rank, exc) from exc
+                    cls = call.__class__
+                    try:
+                        if cls is Isend:
+                            dst = call.dst
+                            if not 0 <= dst < num_ranks:
+                                raise UnknownRankError(
+                                    f"rank {rank} sent to invalid rank {dst}"
+                                )
+                            nbytes = call.nbytes
+                            _, delivered = transfer(rank, dst, nbytes, now)
+                            msg = Message(
+                                rank, dst, call.tag, nbytes, call.payload, now
+                            )
+                            metrics.messages_sent += 1
+                            metrics.bytes_sent += nbytes
+                            if trace:
+                                self._trace(
+                                    rank,
+                                    f"send to {dst} tag {call.tag} ({nbytes}B)",
+                                )
+                            heappush(
+                                events, (delivered, nx(), _EV_DELIVER, dst, msg)
+                            )
+                            metrics.send_seconds += overhead
+                            if overhead > 0.0:
+                                due_append(
+                                    (now + overhead, nx(), _EV_STEP, rank, None)
+                                )
+                                state.status = WAITING
+                                break
+                            value = None
+                            continue
+                        if cls is Recv:
+                            msg = mailbox.match(call.src, call.tag)
+                            if msg is not None:
+                                metrics.messages_received += 1
+                                metrics.bytes_received += msg.nbytes
+                                if trace:
+                                    self._trace(
+                                        rank,
+                                        f"recv from {msg.src} tag {msg.tag}"
+                                        f" ({msg.nbytes}B)",
+                                    )
+                                value = msg
+                                continue
+                            state.status = BLOCKED_RECV
+                            state.recv_spec = call
+                            state.probe_only = False
+                            state.blocked_since = now
+                            if trace:
+                                self._trace(
+                                    rank,
+                                    f"recv blocked (src={call.src}, tag={call.tag})",
+                                )
+                            break
+                        if cls is Compute:
+                            metrics.record_compute(call.seconds, call.label)
+                            if trace:
+                                self._trace(
+                                    rank,
+                                    f"compute {call.seconds:.3g}s [{call.label}]",
+                                )
+                            heappush(
+                                events,
+                                (now + call.seconds, nx(), _EV_STEP, rank, None),
+                            )
+                            state.status = WAITING
+                            break
+                        handler = handlers_get(cls)
+                        if handler is None:
+                            handler = self._resolve_handler(rank, call)
+                        value = handler(rank, state, call)
+                    except Exception as exc:
+                        # Errors in a call (bad rank, over-free, ...) are
+                        # raised at the program's yield site so programs may
+                        # handle them.
+                        pending_exc = exc
+                        continue
+                    if value is _BLOCKED:
+                        break
+            else:
+                # ---- deliver: place an arriving message; wake the rank if
+                # it matches.  A rank blocked in Recv/Probe implies its
+                # mailbox held no matching message when it blocked (and every
+                # later match would have woken it), so only the *arriving*
+                # message needs testing against the blocked spec — no scan.
+                msg = event[4]
+                msg.delivered_at = now
+                state = procs[msg.dst]
+                if state.status is BLOCKED_RECV:
+                    spec = state.recv_spec
+                    if (spec.src == ANY_SOURCE or spec.src == msg.src) and (
+                        spec.tag == ANY_TAG or spec.tag == msg.tag
+                    ):
+                        metrics = state.handle.metrics
+                        metrics.recv_wait_seconds += now - state.blocked_since
+                        if state.probe_only:
+                            # The probed message stays for a later Recv.
+                            state.mailbox.push(msg)
+                        else:
+                            metrics.messages_received += 1
+                            metrics.bytes_received += msg.nbytes
+                        state.recv_spec = None
+                        state.probe_only = False
+                        state.status = WAITING
+                        heappush(events, (now, nx(), _EV_STEP, msg.dst, msg))
+                        continue
+                state.mailbox.push(msg)
+        self.events_processed = processed
         blocked = {
             r: st.status.name
             for r, st in self._procs.items()
@@ -198,167 +518,133 @@ class Simulator:
 
     # ------------------------------------------------------------- internals
 
-    def _schedule(self, time: float, action: Callable[[], None]) -> None:
-        heapq.heappush(self._events, (time, next(self._seq), action))
+    def _schedule_step(self, time: float, rank: int, value: Any) -> None:
+        heapq.heappush(self._events, (time, next(self._seq), _EV_STEP, rank, value))
 
     def _trace(self, rank: int, text: str) -> None:
         if self._trace_enabled:
             self.trace_log.append((self._now, rank, text))
 
-    def _step(self, rank: int, value: Any) -> None:
-        """Advance one rank's generator until it blocks or schedules a resume."""
-        state = self._procs[rank]
-        state.status = _Status.READY
-        pending_exc: BaseException | None = None
-        while True:
-            try:
-                if pending_exc is not None:
-                    call = state.gen.throw(pending_exc)
-                    pending_exc = None
-                else:
-                    call = state.gen.send(value)
-            except StopIteration as stop:
-                state.status = _Status.DONE
-                state.result = stop.value
-                state.handle.metrics.finished_at = self._now
-                self._trace(rank, "done")
-                return
-            except DeadlockError:
-                raise
-            except Exception as exc:  # surfaces program bugs with rank context
-                state.status = _Status.DONE
-                raise ProcessFailure(rank, exc) from exc
-            try:
-                value = self._dispatch(rank, state, call)
-            except Exception as exc:
-                # Errors in a call (bad rank, over-free, ...) are raised at
-                # the program's yield site so programs may handle them.
-                pending_exc = exc
-                continue
-            if value is _BLOCKED:
-                return
-
-    def _dispatch(self, rank: int, state: _ProcState, call: Any) -> Any:
-        """Interpret one yielded call; returns the resume value or _BLOCKED."""
-        metrics = state.handle.metrics
-        if isinstance(call, Compute):
-            metrics.record_compute(call.seconds, call.label)
-            self._trace(rank, f"compute {call.seconds:.3g}s [{call.label}]")
-            self._resume_later(rank, self._now + call.seconds)
-            state.status = _Status.WAITING
-            return _BLOCKED
-        if isinstance(call, Isend):  # check before Send: Isend subclasses Send
-            self._inject(rank, call)
-            overhead = self.network.per_message_overhead
-            metrics.send_seconds += overhead
-            if overhead > 0:
-                self._resume_later(rank, self._now + overhead)
-                state.status = _Status.WAITING
-                return _BLOCKED
-            return None
-        if isinstance(call, Send):
-            sender_done = self._inject(rank, call)
-            metrics.send_seconds += sender_done - self._now
-            self._resume_later(rank, sender_done)
-            state.status = _Status.WAITING
-            return _BLOCKED
-        if isinstance(call, Recv):
-            msg = self._match(state.mailbox, call)
-            if msg is not None:
-                metrics.messages_received += 1
-                metrics.bytes_received += msg.nbytes
-                self._trace(rank, f"recv from {msg.src} tag {msg.tag} ({msg.nbytes}B)")
-                return msg
-            state.status = _Status.BLOCKED_RECV
-            state.recv_spec = call
-            state.probe_only = False
-            state.blocked_since = self._now
-            self._trace(rank, f"recv blocked (src={call.src}, tag={call.tag})")
-            return _BLOCKED
-        if isinstance(call, Probe):
-            msg = self._match(state.mailbox, call, consume=False)
-            if msg is not None or not call.blocking:
-                return msg
-            state.status = _Status.BLOCKED_RECV
-            state.recv_spec = Recv(src=call.src, tag=call.tag)
-            state.probe_only = True
-            state.blocked_since = self._now
-            self._trace(rank, f"probe blocked (src={call.src}, tag={call.tag})")
-            return _BLOCKED
-        if isinstance(call, Barrier):
-            return self._enter_barrier(rank, state, call)
-        if isinstance(call, Sleep):
-            self._resume_later(rank, self._now + call.seconds)
-            state.status = _Status.WAITING
-            return _BLOCKED
-        if isinstance(call, Now):
-            return self._now
-        if isinstance(call, Alloc):
-            metrics.memory.alloc(call.nbytes, temporary=call.temporary)
-            return None
-        if isinstance(call, Free):
-            metrics.memory.free(call.nbytes, temporary=call.temporary)
-            return None
+    def _resolve_handler(self, rank: int, call: Any) -> Callable[[int, _ProcState, Any], Any]:
+        """Slow path: find (and cache) the handler for a call subclass."""
+        for base in type(call).__mro__:
+            handler = self._handlers.get(base)
+            if handler is not None:
+                self._handlers[type(call)] = handler
+                return handler
         raise InvalidCallError(f"rank {rank} yielded uninterpretable object {call!r}")
+
+    # ------------------------------------------------------- call handlers
+
+    def _do_compute(self, rank: int, state: _ProcState, call: Compute) -> Any:
+        state.handle.metrics.record_compute(call.seconds, call.label)
+        if self._trace_enabled:
+            self._trace(rank, f"compute {call.seconds:.3g}s [{call.label}]")
+        self._schedule_step(self._now + call.seconds, rank, None)
+        state.status = _Status.WAITING
+        return _BLOCKED
+
+    def _do_isend(self, rank: int, state: _ProcState, call: Isend) -> Any:
+        self._inject(rank, call)
+        overhead = self.network.per_message_overhead
+        state.handle.metrics.send_seconds += overhead
+        if overhead > 0:
+            # Resume times are now + a constant, i.e. monotone across the
+            # whole run: a FIFO append replaces a heap push.
+            self._due.append(
+                (self._now + overhead, next(self._seq), _EV_STEP, rank, None)
+            )
+            state.status = _Status.WAITING
+            return _BLOCKED
+        return None
+
+    def _do_send(self, rank: int, state: _ProcState, call: Send) -> Any:
+        sender_done = self._inject(rank, call)
+        state.handle.metrics.send_seconds += sender_done - self._now
+        self._schedule_step(sender_done, rank, None)
+        state.status = _Status.WAITING
+        return _BLOCKED
+
+    def _do_recv(self, rank: int, state: _ProcState, call: Recv) -> Any:
+        msg = state.mailbox.match(call.src, call.tag)
+        if msg is not None:
+            metrics = state.handle.metrics
+            metrics.messages_received += 1
+            metrics.bytes_received += msg.nbytes
+            if self._trace_enabled:
+                self._trace(rank, f"recv from {msg.src} tag {msg.tag} ({msg.nbytes}B)")
+            return msg
+        state.status = _Status.BLOCKED_RECV
+        state.recv_spec = call
+        state.probe_only = False
+        state.blocked_since = self._now
+        if self._trace_enabled:
+            self._trace(rank, f"recv blocked (src={call.src}, tag={call.tag})")
+        return _BLOCKED
+
+    def _do_probe(self, rank: int, state: _ProcState, call: Probe) -> Any:
+        msg = state.mailbox.match(call.src, call.tag, consume=False)
+        if msg is not None or not call.blocking:
+            return msg
+        state.status = _Status.BLOCKED_RECV
+        state.recv_spec = Recv(src=call.src, tag=call.tag)
+        state.probe_only = True
+        state.blocked_since = self._now
+        if self._trace_enabled:
+            self._trace(rank, f"probe blocked (src={call.src}, tag={call.tag})")
+        return _BLOCKED
+
+    def _do_sleep(self, rank: int, state: _ProcState, call: Sleep) -> Any:
+        self._schedule_step(self._now + call.seconds, rank, None)
+        state.status = _Status.WAITING
+        return _BLOCKED
+
+    def _do_now(self, rank: int, state: _ProcState, call: Now) -> Any:
+        return self._now
+
+    def _do_alloc(self, rank: int, state: _ProcState, call: Alloc) -> Any:
+        state.handle.metrics.memory.alloc(call.nbytes, temporary=call.temporary)
+        return None
+
+    def _do_free(self, rank: int, state: _ProcState, call: Free) -> Any:
+        state.handle.metrics.memory.free(call.nbytes, temporary=call.temporary)
+        return None
+
+    # ----------------------------------------------------------- messaging
 
     def _inject(self, rank: int, call: Send) -> float:
         """Hand a message to the fabric; returns sender-done time."""
         if not 0 <= call.dst < self.num_ranks:
             raise UnknownRankError(f"rank {rank} sent to invalid rank {call.dst}")
-        sender_done, delivered = self.fabric.transfer(rank, call.dst, call.nbytes, self._now)
+        now = self._now
+        sender_done, delivered = self.fabric.transfer(rank, call.dst, call.nbytes, now)
         msg = Message(
             src=rank,
             dst=call.dst,
             tag=call.tag,
             nbytes=call.nbytes,
             payload=call.payload,
-            sent_at=self._now,
+            sent_at=now,
         )
         metrics = self._procs[rank].handle.metrics
         metrics.messages_sent += 1
         metrics.bytes_sent += call.nbytes
-        self._trace(rank, f"send to {call.dst} tag {call.tag} ({call.nbytes}B)")
-        self._schedule(delivered, lambda: self._deliver(msg, delivered))
+        if self._trace_enabled:
+            self._trace(rank, f"send to {call.dst} tag {call.tag} ({call.nbytes}B)")
+        heapq.heappush(
+            self._events, (delivered, next(self._seq), _EV_DELIVER, call.dst, msg)
+        )
         return sender_done
-
-    def _deliver(self, msg: Message, delivered: float) -> None:
-        msg.delivered_at = delivered
-        state = self._procs[msg.dst]
-        state.mailbox.append(msg)
-        if state.status is _Status.BLOCKED_RECV:
-            assert state.recv_spec is not None
-            matched = self._match(
-                state.mailbox, state.recv_spec, consume=not state.probe_only
-            )
-            if matched is not None:
-                metrics = state.handle.metrics
-                metrics.recv_wait_seconds += self._now - state.blocked_since
-                if not state.probe_only:
-                    metrics.messages_received += 1
-                    metrics.bytes_received += matched.nbytes
-                state.recv_spec = None
-                state.probe_only = False
-                self._schedule(self._now, lambda: self._step(msg.dst, matched))
-                state.status = _Status.WAITING
-
-    @staticmethod
-    def _match(
-        mailbox: list[Message], spec: "Recv | Probe", *, consume: bool = True
-    ) -> Message | None:
-        for i, msg in enumerate(mailbox):
-            if spec.src not in (ANY_SOURCE, msg.src):
-                continue
-            if spec.tag not in (ANY_TAG, msg.tag):
-                continue
-            return mailbox.pop(i) if consume else msg
-        return None
 
     def _enter_barrier(self, rank: int, state: _ProcState, call: Barrier) -> Any:
         seq = state.barrier_seq
         state.barrier_seq += 1
         waiting = self._barriers.setdefault(seq, [])
         waiting.append(rank)
-        self._trace(rank, f"barrier {call.name}#{seq} ({len(waiting)}/{self.num_ranks})")
+        if self._trace_enabled:
+            self._trace(
+                rank, f"barrier {call.name}#{seq} ({len(waiting)}/{self.num_ranks})"
+            )
         if len(waiting) == self.num_ranks:
             arrivals = self._barriers.pop(seq)
             now = self._now
@@ -370,14 +656,11 @@ class Simulator:
                     now - other_state.blocked_since
                 )
                 other_state.status = _Status.WAITING
-                self._schedule(now, lambda r=other: self._step(r, None))
+                self._schedule_step(now, other, None)
             return None  # the last arriver proceeds immediately
         state.status = _Status.BLOCKED_BARRIER
         state.blocked_since = self._now
         return _BLOCKED
-
-    def _resume_later(self, rank: int, time: float) -> None:
-        self._schedule(time, lambda: self._step(rank, None))
 
 
 class _BlockedSentinel:

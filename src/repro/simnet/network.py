@@ -113,30 +113,47 @@ class Fabric:
         blocking send; ``delivered`` is when the payload is available in the
         destination mailbox.
         """
-        local = src == dst
-        ser = self.model.serialization_time(nbytes, local=local)
-        overhead = self.model.per_message_overhead
-        if local:
+        # Flattened (no sub-calls): this runs once per simulated message and
+        # dominates send cost.  The arithmetic mirrors serialization_time /
+        # wire_latency / NicState.reserve_* exactly, term for term, so times
+        # are bit-identical to the method-composed form.
+        model = self.model
+        if src == dst:
             # A self-send is a memcpy through the loopback path: no NIC
             # reservation, no wire.
-            sender_done = now + overhead + ser
+            sender_done = now + model.per_message_overhead + nbytes / model.loopback_bandwidth
             self.local_bytes += nbytes
             self.messages += 1
             return sender_done, sender_done
-        egress_start, egress_end = self.nics[src].reserve_egress(now + overhead, ser)
+        ser = nbytes / model.bandwidth
+        latency = model.latency
+        src_nic = self.nics[src]
+        egress_start = now + model.per_message_overhead
+        free_at = src_nic.egress_free_at
+        if free_at > egress_start:
+            egress_start = free_at
+        egress_end = egress_start + ser
+        src_nic.egress_free_at = egress_end
         # Cut-through switching: the first byte reaches the receiver one wire
         # latency after it leaves the sender, so ingress serialization overlaps
         # egress serialization unless the ingress port is congested (incast).
-        first_byte = egress_start + self.model.wire_latency()
-        if self.model.switch_bandwidth is not None:
+        first_byte = egress_start + latency
+        if model.switch_bandwidth is not None:
             # Oversubscribed fabric: all remote traffic shares one bisection
             # FIFO in addition to the endpoint ports.
-            switch_ser = nbytes / self.model.switch_bandwidth
+            switch_ser = nbytes / model.switch_bandwidth
             start = max(first_byte, self.switch_free_at)
             self.switch_free_at = start + switch_ser
             first_byte = self.switch_free_at
-        _, ingress_end = self.nics[dst].reserve_ingress(first_byte, ser)
-        delivered = max(ingress_end, egress_end + self.model.wire_latency())
+        dst_nic = self.nics[dst]
+        free_at = dst_nic.ingress_free_at
+        if free_at > first_byte:
+            first_byte = free_at
+        ingress_end = first_byte + ser
+        dst_nic.ingress_free_at = ingress_end
+        delivered = egress_end + latency
+        if ingress_end > delivered:
+            delivered = ingress_end
         self.remote_bytes += nbytes
         self.messages += 1
         return egress_end, delivered

@@ -303,3 +303,52 @@ class TestHeterogeneousRuntime:
 
         with pytest.raises(ValueError):
             SortConfig(num_processors=3, rank_speed=(1.0,))
+
+
+class TestRequestBufferBulk:
+    def test_extend_array_matches_elementwise_append(self):
+        import numpy as np
+
+        from repro.pgxd.buffers import RequestBuffer
+
+        array = np.arange(1000, dtype=np.int64)
+        ref = RequestBuffer(capacity_bytes=256, watermark=0.75)
+        ref_batches = []
+        for x in array:
+            flushed = ref.append(int(x), array.itemsize)
+            if flushed is not None:
+                ref_batches.append(flushed)
+
+        bulk = RequestBuffer(capacity_bytes=256, watermark=0.75)
+        bulk_batches = bulk.extend_array(array)
+
+        assert bulk.flush_count == ref.flush_count
+        assert bulk.pending_bytes == ref.pending_bytes
+        flat = [int(v) for batch in bulk_batches for view in batch for v in view]
+        ref_flat = [v for batch in ref_batches for v in batch]
+        assert flat == ref_flat
+
+    def test_extend_array_with_pending_items_first(self):
+        import numpy as np
+
+        from repro.pgxd.buffers import RequestBuffer
+
+        buf = RequestBuffer(capacity_bytes=64, watermark=1.0)
+        assert buf.append("header", 16) is None
+        batches = buf.extend_array(np.zeros(20, dtype=np.int64))
+        # 16 pending bytes + 6 entries (48B) reach 64B -> first flush holds
+        # the header plus a 6-element view; then full 8-element buffers.
+        first = batches[0]
+        assert first[0] == "header"
+        assert len(first[1]) == 6
+        assert all(len(batch[0]) == 8 for batch in batches[1:])
+        assert buf.pending_bytes == (20 - 6 - 8 * (len(batches) - 1)) * 8
+
+    def test_extend_array_rejects_2d(self):
+        import numpy as np
+        import pytest as _pytest
+
+        from repro.pgxd.buffers import RequestBuffer
+
+        with _pytest.raises(ValueError):
+            RequestBuffer(capacity_bytes=64).extend_array(np.zeros((2, 2)))
