@@ -24,7 +24,7 @@ import numpy as np
 
 from ..pgxd.comm_manager import expected_chunks, send_array
 from ..pgxd.config import PgxdConfig
-from ..simnet.calls import Compute, Message, Recv
+from ..simnet.calls import Compute, Mark, Message, Recv
 from ..simnet.collectives import allgather
 from ..simnet.engine import ProcessHandle
 from .investigator import slices_from_cuts
@@ -74,10 +74,15 @@ def exchange_partitions(
     out_slices = slices_from_cuts(cuts, n)
     counts = np.array([sl.stop - sl.start for sl in out_slices], dtype=np.int64)
     # Size announcement: every rank learns the full counts matrix.
+    # The Marks trace the exchange's three sub-phases (nested inside the
+    # step-5 span); without a tracer they are no-ops.
+    yield Mark("exchange:announce")
     all_counts = yield from allgather(machine_proc, counts)
+    yield Mark("exchange:announce", event="end")
     counts_matrix = np.stack(all_counts)
     # Post every outgoing chunk (keys then indexes per destination) before
     # receiving anything: send-while-receive.
+    yield Mark("exchange:send")
     for offset in range(1, size):
         dst = (rank + offset) % size
         sl = out_slices[dst]
@@ -87,6 +92,7 @@ def exchange_partitions(
                 yield from send_array(
                     machine_proc, dst, origin_index[sl], TAG_INDEX, config
                 )
+    yield Mark("exchange:send", event="end")
     key_dtype = sorted_keys.dtype
     idx_dtype = origin_index.dtype if track_provenance else np.int64
     key_chunks: list[list[np.ndarray]] = [[] for _ in range(size)]
@@ -101,6 +107,7 @@ def exchange_partitions(
         pending += expected_chunks(nkeys * key_dtype.itemsize, config)
         if track_provenance:
             pending += expected_chunks(nkeys * np.dtype(idx_dtype).itemsize, config)
+    yield Mark("exchange:drain")
     for _ in range(pending):
         msg: Message = yield Recv()
         if msg.tag == TAG_KEYS:
@@ -112,6 +119,7 @@ def exchange_partitions(
         if copy_seconds_per_byte > 0.0:
             # msg.nbytes is already the modeled (data_scale) size.
             yield Compute(msg.nbytes * copy_seconds_per_byte)
+    yield Mark("exchange:drain", event="end")
     key_runs: list[np.ndarray] = []
     index_runs: list[np.ndarray] = []
     for src in range(size):

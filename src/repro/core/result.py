@@ -114,6 +114,10 @@ class SortResult:
         """Figure 9's communication-overhead metric for this run."""
         return self.metrics.communication_seconds()
 
+    def communication_fraction(self) -> float:
+        """Share of the makespan spent on communication."""
+        return self.metrics.communication_fraction()
+
     def peak_memory_bytes(self) -> tuple[int, int]:
         """(resident, temporary) peak bytes over ranks (Figure 11)."""
         return self.metrics.peak_memory()

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..pgxd.runtime import Machine
-from ..simnet.calls import Now
+from ..simnet.calls import Mark, Now
 from ..simnet.collectives import bcast, gather
 from .balanced_merge import balanced_merge, merge_cost_seconds, sequential_fold_merge
 from .exchange import ExchangeResult, exchange_partitions
@@ -95,8 +95,12 @@ def sample_sort_program(machine: Machine, local_keys: np.ndarray, options: SortO
     cfg, cost = machine.config, machine.cost
     out = RankSortOutput(keys=keys, provenance=Provenance.empty())
 
+    # Step boundaries are marked for the structured tracer (begin/end pairs
+    # around each step).  Mark consumes no virtual time and is a no-op when
+    # no tracer is attached, so the golden fingerprint is unaffected.
     # ---------------------------------------------------- step 1: local sort
     t0 = yield Now()
+    yield Mark(STEP_LABELS[0])
     local = parallel_quicksort(
         machine,
         keys,
@@ -110,6 +114,7 @@ def sample_sort_program(machine: Machine, local_keys: np.ndarray, options: SortO
     if options.track_provenance:
         machine.data.store("perm", local.perm)
     t1 = yield Now()
+    yield Mark(STEP_LABELS[0], event="end")
     out.step_seconds[STEP_LABELS[0]] = t1 - t0
 
     if size == 1:
@@ -121,6 +126,8 @@ def sample_sort_program(machine: Machine, local_keys: np.ndarray, options: SortO
         )
         for label in STEP_LABELS[1:]:
             out.step_seconds[label] = 0.0
+            yield Mark(label)
+            yield Mark(label, event="end")
         out.keys = local.keys
         out.provenance = prov
         out.sent_counts = np.array([len(keys)], dtype=np.int64)
@@ -128,6 +135,7 @@ def sample_sort_program(machine: Machine, local_keys: np.ndarray, options: SortO
         return out
 
     # ----------------------------------------------------- step 2: sampling
+    yield Mark(STEP_LABELS[1])
     if options.splitter_strategy == "histogram":
         # Extension strategy: iterative histogram refinement replaces both
         # the sample shipment (step 2) and the Master selection (step 3).
@@ -135,9 +143,12 @@ def sample_sort_program(machine: Machine, local_keys: np.ndarray, options: SortO
 
         splitters = yield from histogram_splitters(machine, local.keys)
         t2 = yield Now()
+        yield Mark(STEP_LABELS[1], event="end")
         out.step_seconds[STEP_LABELS[1]] = t2 - t1
         t3 = t2
         out.step_seconds[STEP_LABELS[2]] = 0.0
+        yield Mark(STEP_LABELS[2])
+        yield Mark(STEP_LABELS[2], event="end")
     else:
         s_count = sample_count(cfg, size, keys.dtype.itemsize, options.sample_factor)
         samples = select_regular_samples(local.keys, s_count)
@@ -145,9 +156,11 @@ def sample_sort_program(machine: Machine, local_keys: np.ndarray, options: SortO
         yield machine.compute(cost.scan_seconds(int(samples.nbytes)), STEP_LABELS[1])
         gathered = yield from gather(machine.proc, samples, root=MASTER)
         t2 = yield Now()
+        yield Mark(STEP_LABELS[1], event="end")
         out.step_seconds[STEP_LABELS[1]] = t2 - t1
 
         # ------------------------------------------------ step 3: splitters
+        yield Mark(STEP_LABELS[2])
         if rank == MASTER:
             assert gathered is not None
             merged = merge_samples(gathered)
@@ -159,9 +172,11 @@ def sample_sort_program(machine: Machine, local_keys: np.ndarray, options: SortO
             splitters = None
         splitters = yield from bcast(machine.proc, splitters, root=MASTER)
         t3 = yield Now()
+        yield Mark(STEP_LABELS[2], event="end")
         out.step_seconds[STEP_LABELS[2]] = t3 - t2
 
     # ---------------------------------------------------- step 4: partition
+    yield Mark(STEP_LABELS[3])
     if len(splitters) == 0:
         # No samples anywhere (empty dataset): route everything to rank 0.
         splitters = None
@@ -176,11 +191,13 @@ def sample_sort_program(machine: Machine, local_keys: np.ndarray, options: SortO
         STEP_LABELS[3],
     )
     t4 = yield Now()
+    yield Mark(STEP_LABELS[3], event="end")
     out.step_seconds[STEP_LABELS[3]] = t4 - t3
 
     # ----------------------------------------------------- step 5: exchange
     # Staging the outgoing partitions is a streaming copy; the exchange
     # itself is asynchronous sends + receives (network time).
+    yield Mark(STEP_LABELS[4])
     yield machine.compute(
         cost.copy_seconds(machine.data.scaled(int(local.keys.nbytes)), machine.threads),
         STEP_LABELS[4],
@@ -199,9 +216,11 @@ def sample_sort_program(machine: Machine, local_keys: np.ndarray, options: SortO
     out.sent_counts = ex.counts_matrix[rank].copy()
     out.received_counts = ex.counts_matrix[:, rank].copy()
     t5 = yield Now()
+    yield Mark(STEP_LABELS[4], event="end")
     out.step_seconds[STEP_LABELS[4]] = t5 - t4
 
     # -------------------------------------------------------- step 6: merge
+    yield Mark(STEP_LABELS[5])
     received_bytes = machine.data.scaled(sum(int(r.nbytes) for r in ex.key_runs))
     machine.data.memory.alloc(received_bytes, temporary=True)  # runs pre-merge
     if options.track_provenance:
@@ -228,6 +247,7 @@ def sample_sort_program(machine: Machine, local_keys: np.ndarray, options: SortO
     else:
         prov = Provenance.empty()
     t6 = yield Now()
+    yield Mark(STEP_LABELS[5], event="end")
     out.step_seconds[STEP_LABELS[5]] = t6 - t5
 
     out.keys = outcome.keys

@@ -4,6 +4,12 @@ Runs the requested experiments (default: all) at the scale chosen by
 ``--scale`` or the ``REPRO_SCALE`` environment variable, printing each
 paper-shaped table — or, with ``--json``, machine-readable structured
 results for downstream tooling.
+
+Observability: ``--trace-out trace.json`` writes a Perfetto-loadable trace
+of every simulation the selected experiments ran, and ``--report-out
+report.json`` writes the matching run reports (see :mod:`repro.obs`).
+Both flags work for *all* experiments — simulators pick the tracer up from
+the ambient capture scope, no per-experiment plumbing.
 """
 
 from __future__ import annotations
@@ -57,6 +63,18 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="emit structured results as JSON instead of tables",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write a Perfetto/Chrome trace of every simulation run",
+    )
+    parser.add_argument(
+        "--report-out",
+        default=None,
+        metavar="PATH",
+        help="write structured run reports (JSON) for every simulation run",
+    )
     args = parser.parse_args(argv)
     if args.list:
         for name in EXPERIMENTS:
@@ -67,20 +85,64 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown experiments: {unknown}; use --list")
     scale = current_scale(args.scale)
+    observing = bool(args.trace_out or args.report_out)
+    captures: list = []  # (experiment name, Capture)
+
+    def run_observed(name, fn):
+        if not observing:
+            return fn()
+        from ..obs.context import capture
+
+        with capture(name=name) as cap:
+            out = fn()
+        captures.append((name, cap))
+        return out
+
     if args.json:
         payload = {}
         for name in names:
-            result = EXPERIMENTS[name].run(scale)
+            result = run_observed(name, lambda: EXPERIMENTS[name].run(scale))
             payload[name] = _jsonable(result)
         print(json.dumps(payload, indent=2))
+        _write_artifacts(args.trace_out, args.report_out, captures)
         return 0
     for name in names:
         module = EXPERIMENTS[name]
         start = time.perf_counter()
         print(f"== {name} ".ljust(72, "="))
-        print(module.main(scale))
+        print(run_observed(name, lambda: module.main(scale)))
         print(f"[{name} regenerated in {time.perf_counter() - start:.1f}s wall]\n")
+    _write_artifacts(args.trace_out, args.report_out, captures)
     return 0
+
+
+def _write_artifacts(trace_out, report_out, captures) -> None:
+    """Write the Perfetto trace and/or run-report set for captured runs."""
+    if not (trace_out or report_out):
+        return
+    from ..obs.perfetto import export_chrome_trace
+    from ..obs.report import RunReport
+
+    if trace_out:
+        tracers = [t for _, cap in captures for t in cap.tracers]
+        export_chrome_trace(tracers, trace_out)
+        print(f"[trace: {len(tracers)} simulation(s) -> {trace_out}]", file=sys.stderr)
+    if report_out:
+        reports = []
+        for name, cap in captures:
+            for i, session in enumerate(cap.sessions):
+                sim = session.simulator
+                if not getattr(sim, "_ran", False):
+                    continue  # constructed but never run
+                report = RunReport.from_metrics(sim.metrics(), tracer=session.tracer)
+                reports.append(
+                    {"experiment": name, "session": i, "report": report.to_json()}
+                )
+        doc = {"schema": "repro.run-report-set/1", "reports": reports}
+        with open(report_out, "w") as fh:
+            json.dump(doc, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"[reports: {len(reports)} run(s) -> {report_out}]", file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

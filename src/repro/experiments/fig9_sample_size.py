@@ -31,6 +31,7 @@ class Fig9Result:
     factors: list[float]
     total_seconds: list[float]
     comm_seconds: list[float]
+    comm_fraction: list[float]
     imbalance: list[float]
 
     def x_is_near_optimal(self, tolerance: float = 1.05) -> bool:
@@ -50,7 +51,7 @@ def run(scale: ExperimentScale | None = None) -> Fig9Result:
     keys = twitter_keys(scale)
     data_scale = TWITTER_MODELED_KEYS / len(keys)
     p = min(PROCESSORS, max(scale.processors))
-    totals, comms, imbs = [], [], []
+    totals, comms, fracs, imbs = [], [], [], []
     for factor in SAMPLE_FACTORS:
         sorter = DistributedSorter(
             num_processors=p,
@@ -62,20 +63,25 @@ def run(scale: ExperimentScale | None = None) -> Fig9Result:
         assert result.is_globally_sorted()
         totals.append(result.elapsed_seconds)
         comms.append(result.communication_seconds())
+        fracs.append(result.communication_fraction())
         imbs.append(result.imbalance())
-    return Fig9Result(list(SAMPLE_FACTORS), totals, comms, imbs)
+    return Fig9Result(list(SAMPLE_FACTORS), totals, comms, fracs, imbs)
 
 
 def main(scale: ExperimentScale | None = None) -> str:
     result = run(scale)
     rows = [
-        [f"{f}X", t, c, i]
-        for f, t, c, i in zip(
-            result.factors, result.total_seconds, result.comm_seconds, result.imbalance
+        [f"{f}X", t, c, frac, i]
+        for f, t, c, frac, i in zip(
+            result.factors,
+            result.total_seconds,
+            result.comm_seconds,
+            result.comm_fraction,
+            result.imbalance,
         )
     ]
     return format_table(
-        ["sample-size", "total-s", "comm-overhead-s", "imbalance"],
+        ["sample-size", "total-s", "comm-overhead-s", "comm-fraction", "imbalance"],
         rows,
         title=f"Figure 9 — sample-size sweep, Twitter dataset (p={PROCESSORS})",
     )

@@ -1,0 +1,77 @@
+"""Ambient capture: attach a tracer to every simulator built in a scope.
+
+Experiments construct their simulators many layers down
+(``DistributedSorter -> PgxdRuntime -> Simulator``), and threading a tracer
+argument through every call site would touch all nineteen experiment
+modules.  Instead the engine asks this module, at construction time only,
+whether a capture is active::
+
+    with capture() as cap:
+        result = distributed_sort(data, num_processors=16)
+    tracer = cap.sessions[-1].tracer        # one session per Simulator
+
+Each simulator gets its *own* tracer (a :class:`Session` also keeps the
+simulator so metrics can be read after the run), because every run restarts
+the virtual clock at zero — per-session tracers keep exported tracks from
+overlapping.  The check happens once per ``Simulator()`` construction, never
+inside the run loop, so the no-capture cost is one function call per
+simulation.  Captures nest: the innermost active capture wins.
+
+This module deliberately imports nothing from :mod:`repro.simnet`, which is
+what lets the engine import it without a cycle.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from .tracer import Tracer
+
+
+@dataclass
+class Session:
+    """One simulator observed by a capture."""
+
+    tracer: Tracer
+    #: The Simulator instance (untyped to avoid importing the engine).
+    simulator: Any
+
+
+class Capture:
+    """Collects one :class:`Session` per simulator built while active."""
+
+    def __init__(self, name: str = "capture") -> None:
+        self.name = name
+        self.sessions: list[Session] = []
+
+    def new_session(self, simulator: Any) -> Tracer:
+        """Called by the engine when a simulator is built under this capture."""
+        tracer = Tracer(name=f"{self.name}#{len(self.sessions)}")
+        self.sessions.append(Session(tracer, simulator))
+        return tracer
+
+    @property
+    def tracers(self) -> list[Tracer]:
+        return [s.tracer for s in self.sessions]
+
+
+#: Stack of active captures (the simulator is single-threaded; plain list).
+_ACTIVE: list[Capture] = []
+
+
+def active_capture() -> Capture | None:
+    """The innermost active capture, or None."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def capture(name: str = "capture") -> Iterator[Capture]:
+    """Attach a fresh tracer to every simulator built inside the block."""
+    cap = Capture(name)
+    _ACTIVE.append(cap)
+    try:
+        yield cap
+    finally:
+        _ACTIVE.remove(cap)

@@ -1,0 +1,73 @@
+"""Typed telemetry events recorded by :class:`repro.obs.tracer.Tracer`.
+
+These replace the free-text ``(time, rank, str)`` trace entries: every field
+the analysis layers used to regex back out of strings (message sizes, span
+kinds, phase labels) is a first-class attribute, and flows carry the ids the
+string log never had, so sends pair to deliveries without heuristics.
+
+All times are virtual seconds from the simulator clock; events are value
+records produced once and never mutated after the run completes (a
+:class:`FlowEvent` is created at injection with its delivery time already
+resolved by the network model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Span kinds recorded by the engine (``phase`` spans come from Mark calls).
+SPAN_KINDS = ("compute", "send", "recv-wait", "barrier-wait", "phase", "instant")
+
+
+@dataclass(slots=True)
+class SpanEvent:
+    """One interval of activity on one rank's timeline."""
+
+    rank: int
+    start: float
+    #: Duration in virtual seconds; zero-length spans are legal and kept.
+    duration: float
+    kind: str
+    label: str = ""
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(slots=True)
+class FlowEvent:
+    """One message, from injection at the sender to mailbox delivery.
+
+    ``id`` is unique within a tracer, which is what lets the Perfetto
+    exporter draw an arrow from the send slice on the source track to the
+    delivery point on the destination track.
+    """
+
+    id: int
+    src: int
+    dst: int
+    tag: int
+    #: Modeled wire bytes (post ``data_scale``), as charged to the network.
+    nbytes: int
+    inject_t: float
+    deliver_t: float
+
+    @property
+    def remote(self) -> bool:
+        """True when the message crossed the wire (not a self-send)."""
+        return self.src != self.dst
+
+    @property
+    def transit(self) -> float:
+        return self.deliver_t - self.inject_t
+
+
+@dataclass(slots=True)
+class CounterSample:
+    """One sample of a named numeric series on one rank."""
+
+    rank: int
+    time: float
+    name: str
+    value: float

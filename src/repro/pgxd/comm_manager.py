@@ -29,7 +29,7 @@ from typing import Generator
 
 import numpy as np
 
-from ..simnet.calls import Compute, Isend, Message, Recv, Send
+from ..simnet.calls import Compute, Isend, Mark, Message, Recv, Send
 from ..simnet.engine import ProcessHandle
 from .buffers import num_flushes
 from .config import PgxdConfig
@@ -166,18 +166,22 @@ def exchange_arrays(
         raise ValueError("need exactly one outgoing array and one announced size per rank")
     out: list[np.ndarray] = [None] * size  # type: ignore[list-item]
     out[rank] = np.asarray(outgoing[rank], dtype=dtype)
+    yield Mark("exchange:send")
     for offset in range(1, size):
         dst = (rank + offset) % size  # staggered to spread incast
         yield from send_array(proc, dst, np.asarray(outgoing[dst]), tag, config)
+    yield Mark("exchange:send", event="end")
     received: list[list[np.ndarray]] = [[] for _ in range(size)]
     pending = sum(
         expected_chunks(announced_nbytes[src], config)
         for src in range(size)
         if src != rank
     )
+    yield Mark("exchange:drain")
     for _ in range(pending):
         msg: Message = yield Recv(tag=tag)
         received[msg.src].append(msg.payload)
+    yield Mark("exchange:drain", event="end")
     dtype = np.dtype(dtype)
     for src in range(size):
         if src == rank:

@@ -95,10 +95,15 @@ class PgxdRuntime:
         *,
         rank_speed: Sequence[float] | None = None,
         trace: bool = False,
+        tracer: Any = None,
     ):
         """``rank_speed`` makes the cluster heterogeneous: machine ``m``'s
         compute rates are multiplied by ``rank_speed[m]`` (1.0 = nominal,
-        0.5 = half-speed straggler).  The network is unaffected."""
+        0.5 = half-speed straggler).  The network is unaffected.
+
+        ``tracer`` attaches a structured :class:`repro.obs.Tracer` to every
+        simulator this runtime builds; when None (the default) an ambient
+        ``repro.obs.capture`` scope, if active, supplies one per run."""
         if num_machines < 1:
             raise ValueError("num_machines must be >= 1")
         self.num_machines = num_machines
@@ -112,6 +117,7 @@ class PgxdRuntime:
                 raise ValueError("rank speeds must be positive")
         self.rank_speed = list(rank_speed) if rank_speed is not None else None
         self.trace = trace
+        self.tracer = tracer
 
     def cost_for_rank(self, rank: int) -> CostModel:
         """The (possibly slowed) cost model of one machine."""
@@ -128,7 +134,9 @@ class PgxdRuntime:
 
     def run(self, program: MachineProgram, *args: Any, **kwargs: Any) -> RunResult:
         """Run ``program(machine, *args, **kwargs)`` on every machine."""
-        sim = Simulator(self.num_machines, self.network, trace=self.trace)
+        sim = Simulator(
+            self.num_machines, self.network, trace=self.trace, tracer=self.tracer
+        )
 
         def bootstrap(proc: ProcessHandle, *a: Any, **kw: Any) -> Generator:
             machine = Machine(proc, self.config, self.cost_for_rank(proc.rank))
@@ -144,7 +152,9 @@ class PgxdRuntime:
             raise ValueError(
                 f"need {self.num_machines} programs, got {len(programs)}"
             )
-        sim = Simulator(self.num_machines, self.network, trace=self.trace)
+        sim = Simulator(
+            self.num_machines, self.network, trace=self.trace, tracer=self.tracer
+        )
         for rank, program in enumerate(programs):
 
             def bootstrap(proc: ProcessHandle, _program=program, *a: Any) -> Generator:

@@ -14,6 +14,7 @@ from .calls import (
     Compute,
     Free,
     Isend,
+    Mark,
     Message,
     Now,
     Probe,
@@ -42,6 +43,7 @@ __all__ = [
     "Free",
     "InvalidCallError",
     "Isend",
+    "Mark",
     "MemoryTracker",
     "Message",
     "NetworkModel",

@@ -123,6 +123,27 @@ class Now:
 
 
 @dataclass(slots=True, unsafe_hash=True)
+class Mark:
+    """Annotate the structured trace; consumes no virtual time.
+
+    ``event`` is ``"begin"``/``"end"`` to bracket a phase span (e.g. one of
+    the six sort steps) or ``"instant"`` for a point marker.  With no
+    tracer attached the engine discards the call, so programs may mark
+    unconditionally: the disabled cost is one generator round-trip, the
+    virtual clock, metrics, and string trace log are never touched, and
+    behavior stays bit-identical (golden determinism holds with marks in
+    the sort program).
+    """
+
+    label: str
+    event: str = "begin"
+
+    def __post_init__(self) -> None:
+        if self.event not in ("begin", "end", "instant"):
+            raise ValueError(f"unknown mark event {self.event!r}")
+
+
+@dataclass(slots=True, unsafe_hash=True)
 class Alloc:
     """Record ``nbytes`` of memory as allocated by the calling process.
 

@@ -36,7 +36,10 @@ import itertools
 from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum, auto
-from typing import Any, Callable, Generator
+from typing import TYPE_CHECKING, Any, Callable, Generator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.tracer import Tracer
 
 from .calls import (
     ANY_SOURCE,
@@ -46,6 +49,7 @@ from .calls import (
     Compute,
     Free,
     Isend,
+    Mark,
     Message,
     Now,
     Probe,
@@ -224,7 +228,15 @@ class Simulator:
         InfiniBand parameters.
     trace:
         When true, record ``(time, rank, description)`` tuples in
-        :attr:`trace_log` for debugging.
+        :attr:`trace_log` for debugging.  Deprecated in favour of the
+        structured ``tracer``; kept as a shim for the string-log tooling.
+    tracer:
+        A :class:`repro.obs.Tracer` recording typed span/flow/counter
+        events.  ``None`` (the default) also consults the ambient
+        :func:`repro.obs.capture` context, so tooling can observe runs it
+        does not construct.  Guarded exactly like ``trace``: when no
+        tracer is attached the run loop performs one ``is not None`` test
+        per operation and nothing else.
     """
 
     def __init__(
@@ -233,12 +245,23 @@ class Simulator:
         network: NetworkModel | None = None,
         *,
         trace: bool = False,
+        tracer: "Tracer | None" = None,
     ) -> None:
         if num_ranks <= 0:
             raise ValueError("num_ranks must be positive")
         self.num_ranks = num_ranks
         self.network = network or NetworkModel()
         self.fabric = Fabric(self.network, num_ranks)
+        if tracer is None:
+            from ..obs.context import active_capture
+
+            cap = active_capture()
+            if cap is not None:
+                tracer = cap.new_session(self)
+        self._tracer = tracer
+        if tracer is not None:
+            tracer.num_ranks = max(tracer.num_ranks, num_ranks)
+            self.fabric.tracer = tracer
         self._procs: dict[int, _ProcState] = {}
         self._events: list[tuple[float, int, int, int, Any]] = []
         #: FIFO of Isend completions: their resume times are ``now`` plus a
@@ -265,6 +288,7 @@ class Simulator:
             Now: self._do_now,
             Alloc: self._do_alloc,
             Free: self._do_free,
+            Mark: self._do_mark,
         }
 
     # ------------------------------------------------------------------ API
@@ -335,6 +359,10 @@ class Simulator:
         handlers = self._handlers
         handlers_get = handlers.get
         trace = self._trace_enabled
+        # Structured tracer, or None: every recording site below is guarded
+        # by one `is not None` test on this local, mirroring the `trace`
+        # flag, so the disabled path stays on the PR-1 fast path.
+        tracer = self._tracer
         num_ranks = self.num_ranks
         READY = _Status.READY
         WAITING = _Status.WAITING
@@ -399,6 +427,11 @@ class Simulator:
                                     rank,
                                     f"send to {dst} tag {call.tag} ({nbytes}B)",
                                 )
+                            if tracer is not None:
+                                tracer.flow(
+                                    rank, dst, call.tag, nbytes, now, delivered
+                                )
+                                tracer.span(rank, now, overhead, "send")
                             heappush(
                                 events, (delivered, nx(), _EV_DELIVER, dst, msg)
                             )
@@ -441,6 +474,14 @@ class Simulator:
                                     rank,
                                     f"compute {call.seconds:.3g}s [{call.label}]",
                                 )
+                            if tracer is not None:
+                                tracer.span(
+                                    rank,
+                                    now,
+                                    call.seconds,
+                                    "compute",
+                                    call.label or "",
+                                )
                             heappush(
                                 events,
                                 (now + call.seconds, nx(), _EV_STEP, rank, None),
@@ -468,6 +509,8 @@ class Simulator:
                 msg = event[4]
                 msg.delivered_at = now
                 state = procs[msg.dst]
+                if tracer is not None:
+                    tracer.delivered(msg.dst, now, msg.nbytes)
                 if state.status is BLOCKED_RECV:
                     spec = state.recv_spec
                     if (spec.src == ANY_SOURCE or spec.src == msg.src) and (
@@ -475,6 +518,13 @@ class Simulator:
                     ):
                         metrics = state.handle.metrics
                         metrics.recv_wait_seconds += now - state.blocked_since
+                        if tracer is not None:
+                            tracer.span(
+                                msg.dst,
+                                state.blocked_since,
+                                now - state.blocked_since,
+                                "recv-wait",
+                            )
                         if state.probe_only:
                             # The probed message stays for a later Recv.
                             state.mailbox.push(msg)
@@ -488,6 +538,8 @@ class Simulator:
                         continue
                 state.mailbox.push(msg)
         self.events_processed = processed
+        if tracer is not None:
+            tracer.finish(self._now)
         blocked = {
             r: st.status.name
             for r, st in self._procs.items()
@@ -540,6 +592,8 @@ class Simulator:
         state.handle.metrics.record_compute(call.seconds, call.label)
         if self._trace_enabled:
             self._trace(rank, f"compute {call.seconds:.3g}s [{call.label}]")
+        if self._tracer is not None:
+            self._tracer.span(rank, self._now, call.seconds, "compute", call.label or "")
         self._schedule_step(self._now + call.seconds, rank, None)
         state.status = _Status.WAITING
         return _BLOCKED
@@ -548,6 +602,8 @@ class Simulator:
         self._inject(rank, call)
         overhead = self.network.per_message_overhead
         state.handle.metrics.send_seconds += overhead
+        if self._tracer is not None:
+            self._tracer.span(rank, self._now, overhead, "send")
         if overhead > 0:
             # Resume times are now + a constant, i.e. monotone across the
             # whole run: a FIFO append replaces a heap push.
@@ -561,6 +617,8 @@ class Simulator:
     def _do_send(self, rank: int, state: _ProcState, call: Send) -> Any:
         sender_done = self._inject(rank, call)
         state.handle.metrics.send_seconds += sender_done - self._now
+        if self._tracer is not None:
+            self._tracer.span(rank, self._now, sender_done - self._now, "send")
         self._schedule_step(sender_done, rank, None)
         state.status = _Status.WAITING
         return _BLOCKED
@@ -603,12 +661,32 @@ class Simulator:
         return self._now
 
     def _do_alloc(self, rank: int, state: _ProcState, call: Alloc) -> Any:
-        state.handle.metrics.memory.alloc(call.nbytes, temporary=call.temporary)
+        memory = state.handle.metrics.memory
+        memory.alloc(call.nbytes, temporary=call.temporary)
+        if self._tracer is not None:
+            self._sample_memory(rank, memory)
         return None
 
     def _do_free(self, rank: int, state: _ProcState, call: Free) -> Any:
-        state.handle.metrics.memory.free(call.nbytes, temporary=call.temporary)
+        memory = state.handle.metrics.memory
+        memory.free(call.nbytes, temporary=call.temporary)
+        if self._tracer is not None:
+            self._sample_memory(rank, memory)
         return None
+
+    def _do_mark(self, rank: int, state: _ProcState, call: Mark) -> Any:
+        # Tracer-only annotation: no virtual time, no metrics, no string
+        # trace entry — with no tracer attached this is a no-op, so marked
+        # programs are bit-identical to unmarked ones.
+        if self._tracer is not None:
+            self._tracer.mark(rank, self._now, call.label, call.event)
+        return None
+
+    def _sample_memory(self, rank: int, memory: Any) -> None:
+        tracer = self._tracer
+        now = self._now
+        tracer.counter(rank, now, "mem.resident", float(memory.resident))
+        tracer.counter(rank, now, "mem.temporary", float(memory.temporary))
 
     # ----------------------------------------------------------- messaging
 
@@ -631,6 +709,8 @@ class Simulator:
         metrics.bytes_sent += call.nbytes
         if self._trace_enabled:
             self._trace(rank, f"send to {call.dst} tag {call.tag} ({call.nbytes}B)")
+        if self._tracer is not None:
+            self._tracer.flow(rank, call.dst, call.tag, call.nbytes, now, delivered)
         heapq.heappush(
             self._events, (delivered, next(self._seq), _EV_DELIVER, call.dst, msg)
         )
@@ -648,6 +728,7 @@ class Simulator:
         if len(waiting) == self.num_ranks:
             arrivals = self._barriers.pop(seq)
             now = self._now
+            tracer = self._tracer
             for other in arrivals:
                 if other == rank:
                     continue
@@ -655,6 +736,14 @@ class Simulator:
                 other_state.handle.metrics.barrier_wait_seconds += (
                     now - other_state.blocked_since
                 )
+                if tracer is not None:
+                    tracer.span(
+                        other,
+                        other_state.blocked_since,
+                        now - other_state.blocked_since,
+                        "barrier-wait",
+                        call.name,
+                    )
                 other_state.status = _Status.WAITING
                 self._schedule_step(now, other, None)
             return None  # the last arriver proceeds immediately

@@ -126,3 +126,9 @@ class ClusterMetrics:
         if not self.processes:
             return 0.0
         return max(p.send_seconds + p.recv_wait_seconds for p in self.processes)
+
+    def communication_fraction(self) -> float:
+        """Share of the makespan spent on communication (0 when empty)."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.communication_seconds() / self.makespan

@@ -15,6 +15,7 @@ All times are virtual seconds; the model is deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 
 def gbit_per_s(gbit: float) -> float:
@@ -99,6 +100,9 @@ class Fabric:
     local_bytes: int = 0
     #: Number of messages injected.
     messages: int = 0
+    #: Optional structured tracer (set by the engine when tracing is on);
+    #: records NIC queue-delay counters.  Untyped to avoid importing obs.
+    tracer: Any = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.num_ranks <= 0:
@@ -156,4 +160,16 @@ class Fabric:
             delivered = ingress_end
         self.remote_bytes += nbytes
         self.messages += 1
+        tracer = self.tracer
+        if tracer is not None:
+            # Queue delay = time the message sat waiting for a busy port.
+            tracer.counter(
+                src,
+                now,
+                "nic.egress_queue_delay",
+                egress_start - (now + model.per_message_overhead),
+            )
+            tracer.counter(
+                dst, now, "nic.ingress_queue_delay", ingress_end - ser - (egress_start + latency)
+            )
         return egress_end, delivered

@@ -1,10 +1,16 @@
 """Execution-trace tooling: per-rank activity timelines.
 
-When a :class:`~repro.simnet.engine.Simulator` is built with ``trace=True``
-it records ``(time, rank, text)`` events.  This module turns that log into
-structured per-rank activity spans and renders a text Gantt chart — the
-debugging view for questions like "why is rank 3's exchange late?" that the
-paper's Figure 7 aggregates away.
+Timelines can be built from two sources:
+
+* :func:`timeline_from_tracer` — the structured :class:`repro.obs.Tracer`
+  (preferred; exact spans recorded by the engine), or
+* :func:`build_timeline` — the legacy string trace log recorded when a
+  :class:`~repro.simnet.engine.Simulator` is built with ``trace=True``
+  (kept as a deprecated shim; spans are re-parsed from text).
+
+Either way the result renders as a text Gantt chart — the debugging view
+for questions like "why is rank 3's exchange late?" that the paper's
+Figure 7 aggregates away.
 """
 
 from __future__ import annotations
@@ -67,8 +73,10 @@ def build_timeline(
     for time, rank, text in trace_log:
         if rank in pending_block:
             start, kind = pending_block.pop(rank)
-            if time > start:
-                timeline.spans.append(Span(rank, start, time, kind))
+            # Zero-length waits (satisfied at the same virtual tick) are
+            # kept: dropping them hid instantly-matched receives from span
+            # counts and made the timeline disagree with the metrics.
+            timeline.spans.append(Span(rank, start, time, kind))
         match = _COMPUTE_RE.match(text)
         if match:
             secs = float(match.group("secs"))
@@ -81,39 +89,69 @@ def build_timeline(
         elif text.startswith("barrier"):
             pending_block[rank] = (time, "barrier-wait")
     for rank, (start, kind) in pending_block.items():
-        if makespan > start:
+        if makespan >= start:
             timeline.spans.append(Span(rank, start, makespan, kind))
     timeline.spans.sort(key=lambda s: (s.rank, s.start))
     return timeline
 
 
-_GANTT_GLYPHS = {"compute": "█", "recv-wait": "░", "barrier-wait": "▒"}
+_GANTT_GLYPHS = {"compute": "█", "send": "▓", "recv-wait": "░", "barrier-wait": "▒"}
+
+#: Glyph priority when several spans map to one character cell: compute
+#: beats send beats waits.  A cell shows the *most active* thing that
+#: touched it, so sub-cell waits can no longer shadow adjacent compute
+#: (the old renderer let whichever span came last win the cell).
+_GANTT_PRIORITY = {"compute": 3, "send": 2, "recv-wait": 1, "barrier-wait": 1}
 
 
 def render_gantt(timeline: Timeline, width: int = 72) -> str:
     """Text Gantt chart: one row per rank, time left to right.
 
-    ``█`` compute, ``░`` waiting in Recv, ``▒`` waiting at a barrier,
-    ``·`` idle/other.
+    ``█`` compute, ``▓`` sending, ``░`` waiting in Recv, ``▒`` waiting at
+    a barrier, ``·`` idle/other.  When spans shorter than one cell alias,
+    the higher-priority kind wins the cell (see ``_GANTT_PRIORITY``).
     """
     if timeline.makespan <= 0 or not timeline.spans:
         return "(empty timeline)"
     lines = [
         f"timeline: {timeline.makespan:.6g}s across {len(timeline.ranks())} ranks "
-        f"({width} cols; █ compute, ░ recv-wait, ▒ barrier-wait)"
+        f"({width} cols; █ compute, ▓ send, ░ recv-wait, ▒ barrier-wait)"
     ]
     scale = width / timeline.makespan
     for rank in timeline.ranks():
         row = ["·"] * width
+        prio = [0] * width
         for span in timeline.for_rank(rank):
             lo = min(int(span.start * scale), width - 1)
             hi = min(max(int(span.end * scale), lo + 1), width)
             glyph = _GANTT_GLYPHS.get(span.kind, "?")
+            p = _GANTT_PRIORITY.get(span.kind, 0)
             for i in range(lo, hi):
-                row[i] = glyph
+                if p >= prio[i]:
+                    row[i] = glyph
+                    prio[i] = p
         busy = timeline.busy_fraction(rank)
         lines.append(f"rank {rank:>3d} |{''.join(row)}| {busy:5.1%} busy")
     return "\n".join(lines)
+
+
+def timeline_from_tracer(tracer, makespan: float | None = None) -> Timeline:
+    """Timeline straight from a structured :class:`repro.obs.Tracer`.
+
+    Uses the engine-recorded activity spans (compute, send, recv-wait,
+    barrier-wait) — no string parsing, exact durations.  Phase and instant
+    spans are navigation aids in the Perfetto export and are skipped here.
+    """
+    timeline = Timeline(
+        makespan=tracer.makespan if makespan is None else makespan
+    )
+    for span in tracer.spans:
+        if span.kind in _GANTT_GLYPHS:
+            timeline.spans.append(
+                Span(span.rank, span.start, span.end, span.kind, span.label)
+            )
+    timeline.spans.sort(key=lambda s: (s.rank, s.start))
+    return timeline
 
 
 def utilization_summary(metrics: ClusterMetrics) -> str:

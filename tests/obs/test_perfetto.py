@@ -1,0 +1,143 @@
+"""Perfetto/Chrome-trace exporter: schema, flow pairing, acceptance check.
+
+The acceptance criterion for the observability subsystem: open a Perfetto
+export of a 16-rank sort and verify every remote message appears as a
+paired flow event whose bytes and src/dst ranks match the
+``ClusterMetrics`` totals.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import capture, chrome_trace_events, export_chrome_trace
+
+REQUIRED_BY_PHASE = {
+    "X": {"pid", "tid", "ts", "dur", "name", "cat"},
+    "s": {"pid", "tid", "ts", "id", "name", "cat"},
+    "f": {"pid", "tid", "ts", "id", "name", "cat", "bp"},
+    "C": {"pid", "tid", "ts", "name", "args"},
+    "M": {"pid", "tid", "name", "args"},
+}
+
+
+def sort_under_capture(num_ranks=4, n_keys=5_000, seed=11):
+    from repro.core.api import distributed_sort
+
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 1 << 32, n_keys).astype(np.int64)
+    with capture(name=f"sort-p{num_ranks}") as cap:
+        result = distributed_sort(data, num_processors=num_ranks)
+    return result, cap.sessions[-1].tracer
+
+
+@pytest.fixture(scope="module")
+def sort4():
+    return sort_under_capture(num_ranks=4)
+
+
+class TestExportRoundTrip:
+    def test_document_is_valid_json(self, tmp_path, sort4):
+        _, tracer = sort4
+        path = tmp_path / "trace.json"
+        doc = export_chrome_trace(tracer, path)
+        reloaded = json.loads(path.read_text())
+        assert reloaded == doc
+        assert reloaded["otherData"]["schema"] == "repro.chrome-trace/1"
+        assert reloaded["displayTimeUnit"] == "ms"
+
+    def test_every_event_has_required_fields(self, sort4):
+        _, tracer = sort4
+        for ev in chrome_trace_events(tracer):
+            missing = REQUIRED_BY_PHASE[ev["ph"]] - set(ev)
+            assert not missing, f"{ev['ph']} event missing {missing}"
+            if "ts" in ev:
+                assert ev["ts"] >= 0
+
+    def test_flow_ids_pair_exactly(self, sort4):
+        _, tracer = sort4
+        events = chrome_trace_events(tracer)
+        starts = {e["id"]: e for e in events if e["ph"] == "s"}
+        finishes = {e["id"]: e for e in events if e["ph"] == "f"}
+        assert set(starts) == set(finishes)
+        assert len(starts) == len(tracer.flows)
+        for fid, s in starts.items():
+            f = finishes[fid]
+            assert s["tid"] == s["args"]["src"]
+            assert f["tid"] == s["args"]["dst"]
+            assert f["ts"] >= s["ts"]
+            assert f["bp"] == "e"
+
+    def test_per_rank_activity_span_starts_are_monotone(self, sort4):
+        # Engine activity spans (compute/send/waits) are recorded as each
+        # rank's clock advances, so each track is already sorted by start.
+        # Phase spans are excluded: they are appended when the *end* Mark
+        # arrives, so nested phases interleave by design.
+        activity = {"compute", "send", "recv-wait", "barrier-wait"}
+        _, tracer = sort4
+        by_rank = {}
+        for ev in chrome_trace_events(tracer):
+            if ev["ph"] == "X" and ev["cat"] in activity:
+                by_rank.setdefault(ev["tid"], []).append(ev["ts"])
+        assert by_rank, "no slices exported"
+        for rank, starts in by_rank.items():
+            assert starts == sorted(starts), f"rank {rank} track out of order"
+
+    def test_thread_metadata_names_every_rank(self, sort4):
+        result, tracer = sort4
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in chrome_trace_events(tracer)
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names == {r: f"rank {r}" for r in range(result.num_processors)}
+
+    def test_multi_session_export_gets_distinct_pids(self, sort4):
+        _, tracer = sort4
+        doc = export_chrome_trace([tracer, tracer])
+        pids = {s["pid"] for s in doc["otherData"]["sessions"]}
+        assert pids == {0, 1}
+
+
+class TestAcceptance16Ranks:
+    """ISSUE acceptance: p=16 export, every remote message a paired flow."""
+
+    @pytest.fixture(scope="class")
+    def sort16(self):
+        return sort_under_capture(num_ranks=16, n_keys=20_000, seed=20260805)
+
+    def test_remote_flows_match_cluster_metrics(self, sort16):
+        result, tracer = sort16
+        metrics = result.metrics
+        events = chrome_trace_events(tracer)
+        starts = [e for e in events if e["ph"] == "s"]
+        finish_ids = {e["id"] for e in events if e["ph"] == "f"}
+        remote = [e for e in starts if e["args"]["remote"]]
+        # Every message paired...
+        assert all(e["id"] in finish_ids for e in starts)
+        # ...and the remote ones reconstruct the cluster traffic totals.
+        assert sum(e["args"]["nbytes"] for e in remote) == metrics.remote_bytes
+        assert sum(
+            e["args"]["nbytes"] for e in starts if not e["args"]["remote"]
+        ) == metrics.local_bytes
+        assert len(starts) == metrics.messages
+
+    def test_per_rank_bytes_match_process_metrics(self, sort16):
+        result, tracer = sort16
+        sent = {p.rank: 0 for p in result.metrics.processes}
+        received = dict(sent)
+        for f in tracer.flows:
+            sent[f.src] += f.nbytes
+            received[f.dst] += f.nbytes
+        for proc in result.metrics.processes:
+            assert sent[proc.rank] == proc.bytes_sent
+            assert received[proc.rank] == proc.bytes_received
+
+    def test_six_steps_present_on_every_rank(self, sort16):
+        from repro.core.sorter import STEP_LABELS
+
+        _, tracer = sort16
+        for rank in range(16):
+            labels = {s.label for s in tracer.phase_spans(rank)}
+            assert set(STEP_LABELS) <= labels

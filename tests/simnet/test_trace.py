@@ -3,7 +3,14 @@
 import pytest
 
 from repro.simnet import Barrier, Compute, NetworkModel, Recv, Send, Simulator
-from repro.simnet.trace import Span, Timeline, build_timeline, render_gantt, utilization_summary
+from repro.simnet.trace import (
+    Span,
+    Timeline,
+    build_timeline,
+    render_gantt,
+    timeline_from_tracer,
+    utilization_summary,
+)
 
 
 def traced_run(program_builder, n=2):
@@ -86,6 +93,27 @@ class TestTimelineConstruction:
         assert render_gantt(t) == "(empty timeline)"
         assert t.busy_fraction(0) == 0.0
 
+    def test_zero_length_wait_span_retained(self):
+        """A recv satisfied in the same tick still yields a (0-length) span."""
+
+        def build(sim):
+            def sender(proc):
+                yield Send(dst=1, nbytes=0, payload=None)
+
+            def receiver(proc):
+                yield Recv(src=0)
+
+            sim.add_process(sender)
+            sim.add_process(receiver)
+
+        sim = Simulator(2, NetworkModel(latency=0.0, per_message_overhead=0.0), trace=True)
+        build(sim)
+        metrics = sim.run()
+        timeline = build_timeline(sim.trace_log, metrics.makespan)
+        waits = [s for s in timeline.for_rank(1) if s.kind == "recv-wait"]
+        assert len(waits) == 1
+        assert waits[0].duration == 0.0
+
 
 class TestGanttRendering:
     def test_gantt_has_one_row_per_rank(self):
@@ -119,6 +147,80 @@ class TestGanttRendering:
         chart = render_gantt(timeline, width=20)
         rank1_row = chart.splitlines()[2]
         assert "░" in rank1_row  # rank 1 mostly waits
+
+    def test_compute_wins_cell_ties_over_waits(self):
+        """A sub-cell wait inside a full-width compute span must not
+        poke through as a wait glyph (compute has glyph priority)."""
+        t = Timeline(makespan=10.0)
+        t.spans.append(Span(0, 0.0, 10.0, "compute"))
+        # Tiny waits scattered through the same interval: each covers far
+        # less than one cell at width=10.
+        for k in range(5):
+            start = 2.0 * k + 0.9
+            t.spans.append(Span(0, start, start + 0.05, "recv-wait"))
+        chart = render_gantt(t, width=10)
+        row = chart.splitlines()[1]
+        assert "░" not in row
+        assert row.count("█") == 10
+
+    def test_wait_beats_nothing(self):
+        """Waits still render where no higher-priority span overlaps."""
+        t = Timeline(makespan=10.0)
+        t.spans.append(Span(0, 0.0, 5.0, "compute"))
+        t.spans.append(Span(0, 5.0, 10.0, "recv-wait"))
+        row = render_gantt(t, width=10).splitlines()[1]
+        assert "█" in row and "░" in row
+
+
+class TestTimelineFromTracer:
+    def test_activity_spans_converted_exactly(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        sim = Simulator(
+            2, NetworkModel(latency=1e-3, per_message_overhead=0.0), tracer=tracer
+        )
+
+        def sender(proc):
+            yield Compute(2.0, label="work")
+            yield Send(dst=1, nbytes=8, payload=None)
+
+        def receiver(proc):
+            yield Recv(src=0)
+
+        sim.add_process(sender)
+        sim.add_process(receiver)
+        metrics = sim.run()
+
+        timeline = timeline_from_tracer(tracer)
+        assert timeline.makespan == metrics.makespan
+        computes = [s for s in timeline.for_rank(0) if s.kind == "compute"]
+        assert [(s.start, s.duration, s.label) for s in computes] == [(0.0, 2.0, "work")]
+        waits = [s for s in timeline.for_rank(1) if s.kind == "recv-wait"]
+        assert len(waits) == 1
+        assert waits[0].duration == pytest.approx(
+            metrics.processes[1].recv_wait_seconds
+        )
+        render_gantt(timeline, width=30)  # renders without error
+
+    def test_phase_and_instant_spans_excluded(self):
+        from repro.obs import Tracer
+        from repro.simnet import Mark
+
+        tracer = Tracer()
+        sim = Simulator(1, NetworkModel(), tracer=tracer)
+
+        def program(proc):
+            yield Mark("step")
+            yield Compute(1.0)
+            yield Mark("hit", event="instant")
+            yield Mark("step", event="end")
+
+        sim.add_program(program)
+        sim.run()
+
+        timeline = timeline_from_tracer(tracer)
+        assert {s.kind for s in timeline.spans} == {"compute"}
 
 
 class TestUtilizationSummary:
