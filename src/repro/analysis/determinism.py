@@ -62,11 +62,18 @@ def capture_sort_fingerprint(
     num_ranks: int = 16,
     n_keys: int = 60_000,
     seed: int = 20260805,
+    *,
+    sanitizer: Any = None,
 ) -> dict[str, Any]:
     """Run a fixed-seed distributed sort with tracing; return its fingerprint.
 
     Every field is either an integer count or a ``float.hex()`` string, so a
     fingerprint compares bit-exactly across engine implementations.
+
+    ``sanitizer`` attaches a :class:`~repro.simnet.sanitizer.SimSan` to the
+    run.  The fingerprint shape is unchanged — SimSan must be invisible to
+    simulated behavior, which is exactly what comparing a sanitized capture
+    against the committed golden fingerprint proves.
     """
     rng = np.random.default_rng(seed)
     data = rng.integers(0, 1 << 40, n_keys).astype(np.int64)
@@ -74,7 +81,7 @@ def capture_sort_fingerprint(
     blocks = [data[lo:hi] for lo, hi in zip(bounds, bounds[1:])]
     options = SortOptions()
     runtime = PgxdRuntime(num_ranks, trace=True)
-    sim = Simulator(num_ranks, runtime.network, trace=True)
+    sim = Simulator(num_ranks, runtime.network, trace=True, sanitizer=sanitizer)
 
     def bootstrap(proc: ProcessHandle):
         machine = Machine(proc, runtime.config, runtime.cost_for_rank(proc.rank))

@@ -1,0 +1,40 @@
+"""repro-lint: repo-specific static analysis guarding reproducibility.
+
+The reproduction's headline guarantee is bit-identical determinism of the
+simulated six-step sort.  Two bug classes threaten it and are invisible to
+generic linters:
+
+* **nondeterminism leaks** — unseeded RNG, wall-clock/entropy reads, or
+  iteration over hash-ordered sets anywhere the result can reach simulated
+  event order;
+* **comm-API misuse** — the :mod:`repro.simnet` communicator is generator
+  based, so a ``comm.isend(...)`` call without ``yield from`` is a silent
+  no-op, and a :class:`~repro.simnet.mpi.SimRequest` that is assigned but
+  never ``wait()``/``test()``-ed usually marks a lost completion check.
+
+``repro-lint`` encodes both classes as AST rules R001–R007 (see
+:mod:`repro.checks.rules` for the catalog) with line-level suppression via
+``# repro: noqa[Rxxx]`` comments.  Run it as::
+
+    python -m repro.checks src tests            # human-readable report
+    python -m repro.checks src tests --json     # machine-readable report
+
+The process exit code is a bitmask with one bit per firing rule
+(R001 -> 1, R002 -> 2, ..., R007 -> 64); 0 means clean.  CI gates on it.
+
+The static half cannot see through dynamic dispatch, so it is paired with
+**SimSan** (:mod:`repro.simnet.sanitizer`), a runtime sanitizer catching the
+same bug classes in executed programs.
+"""
+
+from .rules import RULES, Violation
+from .runner import lint_file, lint_paths, lint_source, main
+
+__all__ = [
+    "RULES",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+]

@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.checks`` (see :mod:`repro.checks.runner`)."""
+
+import sys
+
+from .runner import main
+
+sys.exit(main())

@@ -1,0 +1,426 @@
+"""Rule catalog for ``repro-lint``.
+
+Each rule is a function ``rule(tree, ctx) -> Iterator[Violation]`` registered
+in :data:`RULES` under its ID.  Rules are purely syntactic (no type
+inference): they are tuned to this repository's idioms and err on the side
+of silence, with ``# repro: noqa[Rxxx]`` as the escape hatch for the rare
+intentional match (the suppression comment must carry a justification —
+reviewers treat a bare one as a bug).
+
+Catalog
+-------
+
+R001  unseeded RNG: legacy global ``np.random.*`` / stdlib ``random.*``
+      calls, or ``default_rng()`` without a seed.
+R002  wall-clock or entropy reads (``time.time``, ``datetime.now``,
+      ``os.urandom``, ``uuid.uuid1/4``, ``secrets.*``) inside simulated
+      library code (``src/repro/``); test and benchmark code is exempt.
+R003  iteration over a hash-ordered ``set``/``frozenset`` expression where
+      the order can reach simulated event order (``for``/comprehension
+      sources and ``list``/``tuple``/``enumerate`` arguments); wrap in
+      ``sorted(...)`` to fix.
+R004  calling a generator-returning ``SimComm`` method (``send``, ``isend``,
+      ``recv``, ``bcast``, ``alltoall``, ...) without driving it via
+      ``yield from`` — the call builds a generator and silently discards it.
+R005  a ``SimRequest`` assigned from ``yield from <comm>.isend(...)`` that
+      is never ``wait()``/``test()``-ed (or otherwise used) in the function.
+R006  ``except:`` / ``except Exception`` with no re-raise — swallows
+      :mod:`repro.simnet.errors` types (``DeadlockError`` diagnosis,
+      ``ProcessFailure``) that must surface.
+R007  mutable default argument (``def f(x=[])``) — shared across calls and
+      across simulated ranks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule match: where it fired and why."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+
+@dataclass
+class FileContext:
+    """Per-file facts rules may consult."""
+
+    path: str
+    #: True for library code under ``src/repro`` (not tests/benchmarks):
+    #: the scope where wall-clock reads (R002) are banned outright.
+    simulated: bool
+
+
+RuleFn = Callable[[ast.Module, FileContext], Iterator[Violation]]
+
+RULES: dict[str, RuleFn] = {}
+
+#: One-line summaries, rendered by ``--list-rules`` and the JSON report.
+RULE_SUMMARIES: dict[str, str] = {}
+
+
+def _rule(rule_id: str, summary: str) -> Callable[[RuleFn], RuleFn]:
+    def register(fn: RuleFn) -> RuleFn:
+        RULES[rule_id] = fn
+        RULE_SUMMARIES[rule_id] = summary
+        return fn
+
+    return register
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """Render ``a.b.c`` attribute chains; None for anything dynamic."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# --------------------------------------------------------------------- R001
+
+_LEGACY_NP_RANDOM = {
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "choice", "shuffle", "permutation", "seed", "uniform", "normal",
+    "standard_normal", "exponential", "poisson", "binomial", "bytes",
+    "integers",
+}
+_STDLIB_RANDOM = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "betavariate",
+    "seed", "getrandbits", "randbytes",
+}
+
+
+@_rule("R001", "unseeded RNG (np.random.*, random.*, bare default_rng())")
+def rule_unseeded_rng(tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
+    """Every random draw must flow through ``default_rng(seed)``.
+
+    The legacy global generators (``np.random.rand`` and friends, stdlib
+    ``random``) share hidden process-wide state: results depend on call
+    order across the whole program, so two runs that interleave work
+    differently produce different data.  ``default_rng()`` without a seed
+    pulls OS entropy — different on every run by construction.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted(node.func)
+        if name is None:
+            continue
+        if name in ("default_rng", "np.random.default_rng",
+                    "numpy.random.default_rng"):
+            if not node.args and not node.keywords:
+                yield Violation(
+                    "R001", ctx.path, node.lineno, node.col_offset,
+                    "default_rng() without a seed draws OS entropy; "
+                    "pass an explicit seed",
+                )
+            continue
+        head, _, tail = name.rpartition(".")
+        if head in ("np.random", "numpy.random") and tail in _LEGACY_NP_RANDOM:
+            yield Violation(
+                "R001", ctx.path, node.lineno, node.col_offset,
+                f"legacy global-state RNG {name}(); "
+                "use np.random.default_rng(seed)",
+            )
+        elif head == "random" and tail in _STDLIB_RANDOM:
+            yield Violation(
+                "R001", ctx.path, node.lineno, node.col_offset,
+                f"stdlib global-state RNG {name}(); "
+                "use np.random.default_rng(seed)",
+            )
+
+
+# --------------------------------------------------------------------- R002
+
+_WALLCLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns", "time.clock_gettime",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "os.urandom", "uuid.uuid1", "uuid.uuid4",
+}
+
+
+@_rule("R002", "wall-clock/entropy read inside simulated library code")
+def rule_wallclock(tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
+    """Simulated paths must read only the virtual clock (``yield Now()``).
+
+    A ``time.time`` or ``datetime.now`` read inside ``src/repro/`` leaks host
+    scheduling into values that can reach simulated event order or recorded
+    results; ``os.urandom``/``uuid4``/``secrets`` are entropy by definition.
+    Only library code is in scope — tests and benchmarks may time
+    themselves.
+    """
+    if not ctx.simulated:
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted(node.func)
+        if name is None:
+            continue
+        if name in _WALLCLOCK_CALLS or name.startswith("secrets."):
+            yield Violation(
+                "R002", ctx.path, node.lineno, node.col_offset,
+                f"wall-clock/entropy read {name}() in simulated code; "
+                "use the virtual clock (yield Now()) or a seeded RNG",
+            )
+
+
+# --------------------------------------------------------------------- R003
+
+_SET_BUILTINS = {"set", "frozenset"}
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
+_ORDER_SINKS = {"list", "tuple", "enumerate", "iter", "next"}
+
+
+def _is_unordered(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in _SET_BUILTINS:
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in _SET_METHODS:
+            return True
+    return False
+
+
+@_rule("R003", "iteration over a hash-ordered set expression")
+def rule_set_iteration(tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
+    """Set iteration order is hash order — stable only per process.
+
+    With string or object keys it varies across interpreter invocations
+    (PYTHONHASHSEED), so a loop over a ``set`` that issues sends or builds a
+    schedule produces a different event order per run.  Wrap the expression
+    in ``sorted(...)`` to pin a total order.  Purely syntactic: only literal
+    set expressions and ``set(...)``/``.union(...)``-style calls in an
+    iteration position are flagged.
+    """
+
+    def check(iter_node: ast.expr) -> Iterator[Violation]:
+        if _is_unordered(iter_node):
+            yield Violation(
+                "R003", ctx.path, iter_node.lineno, iter_node.col_offset,
+                "iterating a set: hash order can leak into simulated event "
+                "order; wrap in sorted(...)",
+            )
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield from check(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            for gen in node.generators:
+                yield from check(gen.iter)
+        elif (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+              and node.func.id in _ORDER_SINKS and node.args):
+            yield from check(node.args[0])
+
+
+# --------------------------------------------------------------------- R004
+
+#: SimComm methods that build generators and MUST be driven by yield from.
+COMM_GENERATOR_METHODS = {
+    "send", "isend", "recv", "recv_message", "probe", "iprobe", "sendrecv",
+    "barrier", "bcast", "scatter", "gather", "allgather", "alltoall",
+    "alltoallv", "reduce", "allreduce",
+}
+#: Method names unique enough to flag on ANY receiver; the generic ones
+#: (send/recv/gather/...) collide with sockets, generators (gen.send),
+#: and concurrent.futures, so those require a comm-ish receiver name.
+_UNAMBIGUOUS_COMM_METHODS = {
+    "isend", "iprobe", "sendrecv", "recv_message", "bcast", "allgather",
+    "alltoall", "alltoallv", "allreduce",
+}
+
+
+def _receiver_is_comm(node: ast.expr) -> bool:
+    name = _dotted(node)
+    if name is None:
+        return False
+    return name.split(".")[-1].lower().endswith("comm")
+
+
+@_rule("R004", "SimComm generator method called without `yield from`")
+def rule_undriven_comm_call(tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
+    """``comm.isend(...)`` without ``yield from`` is a silent no-op.
+
+    SimComm methods are generator functions: calling one only *builds* the
+    generator; nothing reaches the engine until it is driven.  The call must
+    be the direct operand of a ``yield from`` (possibly inside
+    ``x = yield from ...``).  Receivers are matched by name: any
+    ``*comm``-named object, plus unambiguous method names (``isend``,
+    ``bcast``, ``alltoall``, ...) on any receiver.
+    """
+    driven: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.YieldFrom):
+            driven.add(id(node.value))
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        method = func.attr
+        if method not in COMM_GENERATOR_METHODS:
+            continue
+        if method not in _UNAMBIGUOUS_COMM_METHODS and not _receiver_is_comm(func.value):
+            continue
+        if id(node) in driven:
+            continue
+        yield Violation(
+            "R004", ctx.path, node.lineno, node.col_offset,
+            f".{method}(...) builds a generator that is never driven; "
+            "call it as `yield from ...`",
+        )
+
+
+# --------------------------------------------------------------------- R005
+
+
+def _assigned_request_names(stmt: ast.stmt) -> list[tuple[str, int]]:
+    """Names bound by ``name = yield from <x>.isend(...)`` in ``stmt``."""
+    if isinstance(stmt, ast.Assign):
+        value, targets = stmt.value, stmt.targets
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        value, targets = stmt.value, [stmt.target]
+    else:
+        return []
+    if not (isinstance(value, ast.YieldFrom)
+            and isinstance(value.value, ast.Call)
+            and isinstance(value.value.func, ast.Attribute)
+            and value.value.func.attr == "isend"):
+        return []
+    names = []
+    for target in targets:
+        if isinstance(target, ast.Name) and not target.id.startswith("_"):
+            names.append((target.id, stmt.lineno))
+    return names
+
+
+@_rule("R005", "SimRequest assigned from isend() but never wait()/test()-ed")
+def rule_unwaited_request(tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
+    """An assigned-then-ignored request marks a lost completion check.
+
+    ``req = yield from comm.isend(...)`` promises a later ``req.wait()`` /
+    ``req.test()``; if ``req`` is never read again the author either meant
+    fire-and-forget (drop the assignment, or bind to ``_``) or forgot the
+    wait.  Any later read of the name (a wait, a return, appending to a
+    list) counts as a use — escape analysis stops at the function boundary.
+    """
+    for fn in ast.walk(tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        assigned: dict[str, int] = {}
+        for stmt in ast.walk(fn):
+            if isinstance(stmt, ast.stmt):
+                for name, line in _assigned_request_names(stmt):
+                    assigned.setdefault(name, line)
+        if not assigned:
+            continue
+        used = {
+            node.id
+            for node in ast.walk(fn)
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+        }
+        for name, line in sorted(assigned.items(), key=lambda kv: kv[1]):
+            if name not in used:
+                yield Violation(
+                    "R005", ctx.path, line, fn.col_offset,
+                    f"request {name!r} from isend() is never wait()/test()-ed "
+                    "or otherwise used; drop the binding or check completion",
+                )
+
+
+# --------------------------------------------------------------------- R006
+
+_BROAD_EXC_NAMES = {"Exception", "BaseException"}
+
+
+def _catches_broadly(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    for t in types:
+        name = _dotted(t)
+        if name is not None and name.split(".")[-1] in _BROAD_EXC_NAMES:
+            return True
+    return False
+
+
+@_rule("R006", "bare/overbroad except that can swallow simnet errors")
+def rule_swallowed_sim_errors(tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
+    """``except:`` and ``except Exception:`` catch :class:`SimError` too.
+
+    A swallowed ``DeadlockError`` turns a diagnosable hang into silent
+    wrong timing; a swallowed ``ProcessFailure`` hides the failing rank.
+    Broad handlers are allowed only when the body re-raises (any ``raise``
+    statement) — narrowing the type or re-raising is the fix.
+    """
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not _catches_broadly(node):
+            continue
+        if any(isinstance(sub, ast.Raise) for sub in ast.walk(node)):
+            continue
+        label = "bare except:" if node.type is None else "except Exception"
+        yield Violation(
+            "R006", ctx.path, node.lineno, node.col_offset,
+            f"{label} without re-raise swallows simnet.errors types "
+            "(DeadlockError, ProcessFailure); narrow the type or re-raise",
+        )
+
+
+# --------------------------------------------------------------------- R007
+
+_MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = _dotted(node.func)
+        return name is not None and name.split(".")[-1] in _MUTABLE_FACTORIES
+    return False
+
+
+@_rule("R007", "mutable default argument")
+def rule_mutable_default(tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
+    """Mutable defaults are evaluated once and shared across all calls.
+
+    In this codebase that means shared across simulated *ranks*: one rank's
+    append is visible to every other rank, which is both a correctness bug
+    and a determinism hazard.  Use ``None`` plus an in-body default.
+    """
+    for fn in ast.walk(tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        args = fn.args
+        for default in list(args.defaults) + [d for d in args.kw_defaults if d]:
+            if _is_mutable_default(default):
+                yield Violation(
+                    "R007", ctx.path, default.lineno, default.col_offset,
+                    "mutable default argument is shared across calls (and "
+                    "simulated ranks); default to None and build inside",
+                )

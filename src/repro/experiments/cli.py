@@ -10,6 +10,12 @@ of every simulation the selected experiments ran, and ``--report-out
 report.json`` writes the matching run reports (see :mod:`repro.obs`).
 Both flags work for *all* experiments — simulators pick the tracer up from
 the ambient capture scope, no per-experiment plumbing.
+
+Correctness: ``--sanitize`` runs every simulation under SimSan
+(:mod:`repro.simnet.sanitizer` — use-after-Isend, leaked requests,
+unmatched messages), printing the report summary to stderr and exiting
+non-zero on violations; ``--sanitize-out simsan.json`` additionally writes
+the structured report.  Attachment is ambient, exactly like the tracer.
 """
 
 from __future__ import annotations
@@ -75,6 +81,17 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="write structured run reports (JSON) for every simulation run",
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run every simulation under SimSan; exit non-zero on violations",
+    )
+    parser.add_argument(
+        "--sanitize-out",
+        default=None,
+        metavar="PATH",
+        help="write the SimSan report JSON (implies --sanitize)",
+    )
     args = parser.parse_args(argv)
     if args.list:
         for name in EXPERIMENTS:
@@ -88,14 +105,28 @@ def main(argv: list[str] | None = None) -> int:
     observing = bool(args.trace_out or args.report_out)
     captures: list = []  # (experiment name, Capture)
 
-    def run_observed(name, fn):
-        if not observing:
-            return fn()
-        from ..obs.context import capture
+    sanitizer = None
+    if args.sanitize or args.sanitize_out:
+        from ..simnet.sanitizer import SimSan
 
-        with capture(name=name) as cap:
+        sanitizer = SimSan()
+
+    def run_observed(name, fn):
+        from contextlib import ExitStack
+
+        with ExitStack() as stack:
+            if sanitizer is not None:
+                from ..simnet.sanitizer import sanitize
+
+                stack.enter_context(sanitize(sanitizer))
+            cap = None
+            if observing:
+                from ..obs.context import capture
+
+                cap = stack.enter_context(capture(name=name))
             out = fn()
-        captures.append((name, cap))
+        if cap is not None:
+            captures.append((name, cap))
         return out
 
     if args.json:
@@ -105,15 +136,29 @@ def main(argv: list[str] | None = None) -> int:
             payload[name] = _jsonable(result)
         print(json.dumps(payload, indent=2))
         _write_artifacts(args.trace_out, args.report_out, captures)
-        return 0
+        return _finish_sanitized(sanitizer, args.sanitize_out)
     for name in names:
         module = EXPERIMENTS[name]
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: noqa[R002] — wall time of the regeneration itself, never enters a simulation
         print(f"== {name} ".ljust(72, "="))
         print(run_observed(name, lambda: module.main(scale)))
-        print(f"[{name} regenerated in {time.perf_counter() - start:.1f}s wall]\n")
+        elapsed = time.perf_counter() - start  # repro: noqa[R002] — same: display-only wall timing
+        print(f"[{name} regenerated in {elapsed:.1f}s wall]\n")
     _write_artifacts(args.trace_out, args.report_out, captures)
-    return 0
+    return _finish_sanitized(sanitizer, args.sanitize_out)
+
+
+def _finish_sanitized(sanitizer, sanitize_out) -> int:
+    """Report SimSan findings; non-zero exit when violations were recorded."""
+    if sanitizer is None:
+        return 0
+    if sanitize_out:
+        with open(sanitize_out, "w") as fh:
+            json.dump(sanitizer.report.to_json(), fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"[simsan report -> {sanitize_out}]", file=sys.stderr)
+    print(sanitizer.report.summary(), file=sys.stderr)
+    return 0 if sanitizer.report.ok else 1
 
 
 def _write_artifacts(trace_out, report_out, captures) -> None:

@@ -26,9 +26,17 @@ from .collectives import allgather, alltoallv, bcast, gather, reduce, scatter
 from .comm import nbytes_of
 from .cost import CostModel
 from .engine import ProcessHandle, Simulator
-from .errors import DeadlockError, InvalidCallError, ProcessFailure, SimError, UnknownRankError
+from .errors import (
+    DeadlockError,
+    InvalidCallError,
+    ProcessFailure,
+    SimError,
+    SimSanError,
+    UnknownRankError,
+)
 from .metrics import ClusterMetrics, MemoryTracker, ProcessMetrics
 from .network import Fabric, NetworkModel, NicState, gbit_per_s
+from .sanitizer import SimSan, SimSanReport, sanitize
 
 __all__ = [
     "ANY_SOURCE",
@@ -56,8 +64,12 @@ __all__ = [
     "Recv",
     "Send",
     "SimError",
+    "SimSan",
+    "SimSanError",
+    "SimSanReport",
     "Simulator",
     "Sleep",
+    "sanitize",
     "UnknownRankError",
     "allgather",
     "alltoallv",

@@ -40,6 +40,7 @@ from typing import TYPE_CHECKING, Any, Callable, Generator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs.tracer import Tracer
+    from .sanitizer import SimSan
 
 from .calls import (
     ANY_SOURCE,
@@ -82,12 +83,17 @@ class ProcessHandle:
 
     Exposes the rank, the cluster size, and the process's metrics object so
     programs (and layered runtimes such as :mod:`repro.pgxd`) can attribute
-    costs without reaching into engine internals.
+    costs without reaching into engine internals.  When the simulator runs
+    under SimSan, ``sanitizer`` carries the active
+    :class:`~repro.simnet.sanitizer.SimSan` so comm facades (e.g.
+    :class:`~repro.simnet.mpi.SimComm`) can register request handles; it is
+    ``None`` on unsanitized runs.
     """
 
     rank: int
     size: int
     metrics: ProcessMetrics
+    sanitizer: "SimSan | None" = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ProcessHandle(rank={self.rank}, size={self.size})"
@@ -198,6 +204,12 @@ class _Mailbox:
         self._arrival = deque(live)
         self._build_indexes()
 
+    def live_messages(self) -> "Generator[Message, None, None]":
+        """Yield unconsumed messages in arrival order (sanitizer finalize)."""
+        for entry in self._arrival:
+            if entry[0] is not None:
+                yield entry[0]
+
     def __len__(self) -> int:
         return self._live
 
@@ -237,6 +249,14 @@ class Simulator:
         does not construct.  Guarded exactly like ``trace``: when no
         tracer is attached the run loop performs one ``is not None`` test
         per operation and nothing else.
+    sanitizer:
+        A :class:`repro.simnet.sanitizer.SimSan` observing the run for
+        comm-layer misuse (use-after-Isend, leaked requests, unmatched
+        messages, tag collisions).  ``None`` (the default) consults the
+        ambient :func:`repro.simnet.sanitizer.sanitize` scope, mirroring
+        the tracer.  Guarded the same way — one ``is not None`` test per
+        hook — and hooks never touch virtual time, metrics, or event
+        order, so sanitized runs are bit-identical to unsanitized ones.
     """
 
     def __init__(
@@ -246,6 +266,7 @@ class Simulator:
         *,
         trace: bool = False,
         tracer: "Tracer | None" = None,
+        sanitizer: "SimSan | None" = None,
     ) -> None:
         if num_ranks <= 0:
             raise ValueError("num_ranks must be positive")
@@ -262,6 +283,11 @@ class Simulator:
         if tracer is not None:
             tracer.num_ranks = max(tracer.num_ranks, num_ranks)
             self.fabric.tracer = tracer
+        if sanitizer is None:
+            from .sanitizer import active_sanitizer
+
+            sanitizer = active_sanitizer()
+        self._sanitizer = sanitizer
         self._procs: dict[int, _ProcState] = {}
         self._events: list[tuple[float, int, int, int, Any]] = []
         #: FIFO of Isend completions: their resume times are ``now`` plus a
@@ -309,7 +335,9 @@ class Simulator:
             raise ValueError(f"rank {rank} already has a program")
         if not 0 <= rank < self.num_ranks:
             raise UnknownRankError(f"rank {rank} outside [0, {self.num_ranks})")
-        handle = ProcessHandle(rank, self.num_ranks, ProcessMetrics(rank))
+        handle = ProcessHandle(
+            rank, self.num_ranks, ProcessMetrics(rank), self._sanitizer
+        )
         gen = fn(handle, *args, **kwargs)
         if not isinstance(gen, Generator):
             raise InvalidCallError(
@@ -363,6 +391,12 @@ class Simulator:
         # by one `is not None` test on this local, mirroring the `trace`
         # flag, so the disabled path stays on the PR-1 fast path.
         tracer = self._tracer
+        # SimSan, or None: same single-guard discipline.  Hooks observe
+        # messages only (fingerprints, channel counters) — they never feed
+        # back into times or ordering, so sanitized runs stay bit-identical.
+        sanitizer = self._sanitizer
+        if sanitizer is not None:
+            sanitizer.begin_run(self)
         num_ranks = self.num_ranks
         READY = _Status.READY
         WAITING = _Status.WAITING
@@ -432,6 +466,8 @@ class Simulator:
                                     rank, dst, call.tag, nbytes, now, delivered
                                 )
                                 tracer.span(rank, now, overhead, "send")
+                            if sanitizer is not None:
+                                sanitizer.on_send(msg, nonblocking=True)
                             heappush(
                                 events, (delivered, nx(), _EV_DELIVER, dst, msg)
                             )
@@ -492,7 +528,7 @@ class Simulator:
                         if handler is None:
                             handler = self._resolve_handler(rank, call)
                         value = handler(rank, state, call)
-                    except Exception as exc:
+                    except Exception as exc:  # repro: noqa[R006] — not swallowed: re-thrown into the program at its yield site below
                         # Errors in a call (bad rank, over-free, ...) are
                         # raised at the program's yield site so programs may
                         # handle them.
@@ -511,6 +547,8 @@ class Simulator:
                 state = procs[msg.dst]
                 if tracer is not None:
                     tracer.delivered(msg.dst, now, msg.nbytes)
+                if sanitizer is not None:
+                    sanitizer.on_deliver(msg)
                 if state.status is BLOCKED_RECV:
                     spec = state.recv_spec
                     if (spec.src == ANY_SOURCE or spec.src == msg.src) and (
@@ -540,13 +578,23 @@ class Simulator:
         self.events_processed = processed
         if tracer is not None:
             tracer.finish(self._now)
+        if sanitizer is not None:
+            leftovers = {
+                r: list(st.mailbox.live_messages())
+                for r, st in sorted(self._procs.items())
+                if len(st.mailbox)
+            }
+            sanitizer.finish_run(self, leftovers)
         blocked = {
             r: st.status.name
             for r, st in self._procs.items()
             if st.status is not _Status.DONE
         }
         if blocked:
-            raise DeadlockError(blocked)
+            details = self._deadlock_details()
+            if sanitizer is not None:
+                sanitizer.on_deadlock(details)
+            raise DeadlockError(blocked, details=details)
         return self.metrics()
 
     def metrics(self) -> ClusterMetrics:
@@ -576,6 +624,34 @@ class Simulator:
     def _trace(self, rank: int, text: str) -> None:
         if self._trace_enabled:
             self.trace_log.append((self._now, rank, text))
+
+    def _deadlock_details(self) -> dict[int, dict[str, Any]]:
+        """Per-rank diagnosis of a deadlock: who is blocked on what.
+
+        Built only on the failure path, so cost is irrelevant; the result
+        feeds :class:`DeadlockError` (and SimSan's report when attached) so
+        an all-ranks-blocked hang names each rank's awaited source/tag and
+        pending mailbox instead of a bare status word.
+        """
+        details: dict[int, dict[str, Any]] = {}
+        for rank, state in sorted(self._procs.items()):
+            if state.status is _Status.DONE:
+                continue
+            entry: dict[str, Any] = {
+                "status": state.status.name,
+                "blocked_since": state.blocked_since,
+                "mailbox_messages": len(state.mailbox),
+            }
+            if state.status is _Status.BLOCKED_RECV and state.recv_spec is not None:
+                entry["waiting_for"] = {
+                    "src": state.recv_spec.src,
+                    "tag": state.recv_spec.tag,
+                    "probe": state.probe_only,
+                }
+            elif state.status is _Status.BLOCKED_BARRIER:
+                entry["waiting_for"] = {"barrier_seq": state.barrier_seq - 1}
+            details[rank] = entry
+        return details
 
     def _resolve_handler(self, rank: int, call: Any) -> Callable[[int, _ProcState, Any], Any]:
         """Slow path: find (and cache) the handler for a call subclass."""
@@ -711,6 +787,8 @@ class Simulator:
             self._trace(rank, f"send to {call.dst} tag {call.tag} ({call.nbytes}B)")
         if self._tracer is not None:
             self._tracer.flow(rank, call.dst, call.tag, call.nbytes, now, delivered)
+        if self._sanitizer is not None:
+            self._sanitizer.on_send(msg, nonblocking=isinstance(call, Isend))
         heapq.heappush(
             self._events, (delivered, next(self._seq), _EV_DELIVER, call.dst, msg)
         )

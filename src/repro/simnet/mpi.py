@@ -34,21 +34,48 @@ from .collectives import reduce as _reduce
 from .collectives import scatter as _scatter
 from .comm import nbytes_of
 from .engine import ProcessHandle, Simulator
+from .errors import SimSanError
 from .metrics import ClusterMetrics
 from .network import NetworkModel
 
 
 class SimRequest:
-    """Handle returned by :meth:`SimComm.isend` (completion is immediate
-    in-model: the NIC owns the buffer once the call returns)."""
+    """Handle returned by :meth:`SimComm.isend`.
 
-    def __init__(self) -> None:
+    **Already-completed fast path.**  In this model the NIC owns the buffer
+    the moment ``isend`` returns (PGX.D's communication manager copies the
+    request buffer out of the task's hands), so every request is born
+    complete: ``_done`` is ``True`` at construction, :meth:`test` returns
+    ``True`` immediately, and :meth:`wait` never blocks.  Programs written
+    against this API port to real mpi4py unchanged — there ``wait``/``test``
+    do real work, here they are O(1) bookkeeping.
+
+    **Idempotency.**  ``wait()`` may be called any number of times; every
+    call returns ``None`` (mpi4py parity: the payload of an isend has no
+    recv-side result) and leaves the request in the same completed state.
+    ``test()`` likewise always reports ``True``.
+
+    Under SimSan (:mod:`repro.simnet.sanitizer`) each request is registered
+    at creation and the first ``wait()``/``test()`` marks it observed;
+    requests never observed by the end of the run are reported as leaked.
+    """
+
+    __slots__ = ("_done", "_sanitizer")
+
+    def __init__(self, sanitizer: Any = None) -> None:
         self._done = True
+        self._sanitizer = sanitizer
 
-    def wait(self):  # noqa: D102 - mpi4py parity
+    def wait(self) -> None:
+        """Complete the request (idempotent; already complete in-model)."""
+        if self._sanitizer is not None:
+            self._sanitizer.observe_request(self)
         return None
 
-    def test(self) -> bool:  # noqa: D102 - mpi4py parity
+    def test(self) -> bool:
+        """True iff the request has completed (always, in-model)."""
+        if self._sanitizer is not None:
+            self._sanitizer.observe_request(self)
         return self._done
 
 
@@ -87,7 +114,11 @@ class SimComm:
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Generator:
         """Non-blocking send; returns a :class:`SimRequest`."""
         yield Isend(dst=dest, nbytes=nbytes_of(obj), payload=obj, tag=tag)
-        return SimRequest()
+        sanitizer = getattr(self.proc, "sanitizer", None)
+        request = SimRequest(sanitizer)
+        if sanitizer is not None:
+            sanitizer.register_request(request, self.proc.rank, dest, tag)
+        return request
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
         """Blocking receive; returns the payload (mpi4py-style)."""
@@ -150,18 +181,35 @@ def mpi_run(
     program: Callable[..., Generator],
     *args: Any,
     network: NetworkModel | None = None,
+    strict: bool = False,
     **kwargs: Any,
 ) -> tuple[list[Any], ClusterMetrics]:
     """``mpiexec -n num_ranks`` for the virtual cluster.
 
     ``program(comm, *args, **kwargs)`` runs on every rank with a
     :class:`SimComm`; returns (per-rank results, cluster metrics).
+
+    ``strict=True`` opts the whole program into SimSan: the run executes
+    under a fresh :class:`~repro.simnet.sanitizer.SimSan` (bit-identical to
+    an unsanitized run) and raises
+    :class:`~repro.simnet.errors.SimSanError` if any violation was recorded
+    — a mutated in-flight isend buffer, a leaked request, or a message
+    nobody received.  Tests use this to assert comm hygiene, not just
+    results.  (``strict`` and ``network`` are reserved keywords; program
+    kwargs with those names are not forwarded.)
     """
-    sim = Simulator(num_ranks, network)
+    sanitizer = None
+    if strict:
+        from .sanitizer import SimSan
+
+        sanitizer = SimSan()
+    sim = Simulator(num_ranks, network, sanitizer=sanitizer)
 
     def bootstrap(proc: ProcessHandle, *a: Any, **kw: Any) -> Generator:
         return (yield from program(SimComm(proc), *a, **kw))
 
     sim.add_program(bootstrap, *args, **kwargs)
     metrics = sim.run()
+    if sanitizer is not None and not sanitizer.report.ok:
+        raise SimSanError(sanitizer.report)
     return sim.results(), metrics

@@ -1,0 +1,204 @@
+"""Per-rule positive/negative tests for ``repro-lint``.
+
+Every rule R001–R007 has at least one *positive* case (fires on a minimal
+bad snippet) and one *negative* case (silent on the fixed version), as the
+correctness-tooling acceptance criteria require.  Snippets are linted via
+:func:`repro.checks.lint_source` with a path inside ``src/repro`` so the
+library-scoped rules (R002) apply.
+"""
+
+import textwrap
+
+from repro.checks import lint_source
+
+LIB = "src/repro/somemodule.py"  # library scope: all rules apply
+TEST = "tests/some_test.py"  # test scope: R002 exempt
+
+
+def rules_in(source: str, filename: str = LIB) -> list[str]:
+    violations, _ = lint_source(textwrap.dedent(source), filename)
+    return [v.rule for v in violations]
+
+
+class TestR001UnseededRng:
+    def test_fires_on_legacy_np_random(self):
+        assert rules_in("import numpy as np\nx = np.random.rand(4)\n") == ["R001"]
+
+    def test_fires_on_stdlib_random(self):
+        assert rules_in("import random\nx = random.randint(0, 9)\n") == ["R001"]
+
+    def test_fires_on_bare_default_rng(self):
+        assert rules_in(
+            "import numpy as np\nrng = np.random.default_rng()\n"
+        ) == ["R001"]
+
+    def test_silent_on_seeded_default_rng(self):
+        assert rules_in(
+            "import numpy as np\n"
+            "rng = np.random.default_rng(42)\n"
+            "x = rng.integers(0, 9, 4)\n"
+        ) == []
+
+
+class TestR002WallClock:
+    def test_fires_on_time_time_in_library(self):
+        assert rules_in("import time\nt = time.time()\n") == ["R002"]
+
+    def test_fires_on_datetime_now(self):
+        assert rules_in(
+            "import datetime\nt = datetime.datetime.now()\n"
+        ) == ["R002"]
+
+    def test_fires_on_os_urandom(self):
+        assert rules_in("import os\nb = os.urandom(8)\n") == ["R002"]
+
+    def test_silent_outside_library_scope(self):
+        assert rules_in("import time\nt = time.time()\n", filename=TEST) == []
+
+    def test_silent_on_virtual_clock(self):
+        assert rules_in(
+            "def program(proc):\n    t = yield Now()\n    return t\n"
+        ) == []
+
+
+class TestR003SetIteration:
+    def test_fires_on_for_over_set_literal(self):
+        assert rules_in(
+            "def f(a, b, c):\n"
+            "    for x in {a, b, c}:\n"
+            "        print(x)\n"
+        ) == ["R003"]
+
+    def test_fires_on_list_of_set_call(self):
+        assert rules_in("def f(items):\n    return list(set(items))\n") == ["R003"]
+
+    def test_fires_in_comprehension_source(self):
+        assert rules_in(
+            "def f(xs):\n    return [x + 1 for x in set(xs)]\n"
+        ) == ["R003"]
+
+    def test_silent_when_sorted(self):
+        assert rules_in(
+            "def f(items):\n"
+            "    for x in sorted(set(items)):\n"
+            "        print(x)\n"
+        ) == []
+
+
+class TestR004UndrivenCommCall:
+    def test_fires_on_isend_without_yield_from(self):
+        assert rules_in(
+            "def program(comm):\n"
+            "    comm.isend([1], dest=1)\n"
+            "    yield\n"
+        ) == ["R004"]
+
+    def test_fires_on_generic_method_with_comm_receiver(self):
+        assert rules_in(
+            "def program(comm):\n"
+            "    comm.recv(source=0)\n"
+            "    yield\n"
+        ) == ["R004"]
+
+    def test_silent_when_driven(self):
+        assert rules_in(
+            "def program(comm):\n"
+            "    data = yield from comm.recv(source=0)\n"
+            "    yield from comm.isend(data, dest=1)\n"
+            "    return data\n"
+        ) == []
+
+    def test_silent_on_generator_send(self):
+        # gen.send is the generator protocol, not a comm method.
+        assert rules_in(
+            "def drive(gen):\n    return gen.send(None)\n"
+        ) == []
+
+
+class TestR005UnwaitedRequest:
+    def test_fires_on_assigned_never_used_request(self):
+        assert rules_in(
+            "def program(comm):\n"
+            "    req = yield from comm.isend([1], dest=1)\n"
+            "    return None\n"
+        ) == ["R005"]
+
+    def test_silent_when_waited(self):
+        assert rules_in(
+            "def program(comm):\n"
+            "    req = yield from comm.isend([1], dest=1)\n"
+            "    req.wait()\n"
+            "    return None\n"
+        ) == []
+
+    def test_silent_when_request_escapes(self):
+        assert rules_in(
+            "def program(comm, pending):\n"
+            "    req = yield from comm.isend([1], dest=1)\n"
+            "    pending.append(req)\n"
+            "    return None\n"
+        ) == []
+
+    def test_silent_on_underscore_binding(self):
+        assert rules_in(
+            "def program(comm):\n"
+            "    _ = yield from comm.isend([1], dest=1)\n"
+            "    return None\n"
+        ) == []
+
+
+class TestR006SwallowedSimErrors:
+    def test_fires_on_bare_except(self):
+        assert rules_in(
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except:\n"
+            "        pass\n"
+        ) == ["R006"]
+
+    def test_fires_on_broad_except_without_reraise(self):
+        assert rules_in(
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except Exception:\n"
+            "        log()\n"
+        ) == ["R006"]
+
+    def test_silent_when_body_reraises(self):
+        assert rules_in(
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except Exception as exc:\n"
+            "        log(exc)\n"
+            "        raise\n"
+        ) == []
+
+    def test_silent_on_narrow_except(self):
+        assert rules_in(
+            "def f():\n"
+            "    try:\n"
+            "        g()\n"
+            "    except ValueError:\n"
+            "        pass\n"
+        ) == []
+
+
+class TestR007MutableDefault:
+    def test_fires_on_list_default(self):
+        assert rules_in("def f(x, acc=[]):\n    return acc\n") == ["R007"]
+
+    def test_fires_on_dict_call_default(self):
+        assert rules_in("def f(x, opts=dict()):\n    return opts\n") == ["R007"]
+
+    def test_silent_on_none_default(self):
+        assert rules_in(
+            "def f(x, acc=None):\n"
+            "    acc = [] if acc is None else acc\n"
+            "    return acc\n"
+        ) == []
+
+    def test_silent_on_immutable_defaults(self):
+        assert rules_in("def f(x=0, y=(), name='n'):\n    return x\n") == []

@@ -1,0 +1,117 @@
+"""Runner behavior: noqa suppression, exit-code bitmask, JSON, discovery.
+
+Also the repo-level gate: ``repro-lint`` over ``src`` and ``tests`` must be
+clean — the same invocation CI runs as a hard gate.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.checks import lint_paths, lint_source
+from repro.checks.runner import LintReport, main
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+class TestNoqa:
+    def test_same_line_noqa_suppresses(self):
+        source = "import time\nt = time.time()  # repro: noqa[R002] — test fixture\n"
+        violations, suppressed = lint_source(source, "src/repro/m.py")
+        assert violations == []
+        assert suppressed == 1
+
+    def test_noqa_for_other_rule_does_not_suppress(self):
+        source = "import time\nt = time.time()  # repro: noqa[R001]\n"
+        violations, _ = lint_source(source, "src/repro/m.py")
+        assert [v.rule for v in violations] == ["R002"]
+
+    def test_multi_rule_noqa(self):
+        source = (
+            "import time, random\n"
+            "t = time.time() + random.random()  # repro: noqa[R001,R002] — fixture\n"
+        )
+        violations, suppressed = lint_source(source, "src/repro/m.py")
+        assert violations == []
+        assert suppressed == 2
+
+
+class TestExitCodes:
+    def test_bitmask_one_bit_per_rule(self):
+        from repro.checks.rules import Violation
+
+        report = LintReport(
+            violations=[
+                Violation("R001", "f.py", 1, 0, "m"),
+                Violation("R004", "f.py", 2, 0, "m"),
+            ]
+        )
+        assert report.exit_code == (1 << 0) | (1 << 3)
+
+    def test_clean_report_is_zero(self):
+        assert LintReport().exit_code == 0
+
+    def test_parse_error_sets_high_bit(self):
+        report = LintReport(errors=["f.py: bad syntax (line 1)"])
+        assert report.exit_code == 1 << 7
+
+
+class TestRunner:
+    def test_lint_paths_over_tree(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "bad.py").write_text(
+            "import random\nx = random.random()\n"
+        )
+        (tmp_path / "pkg" / "good.py").write_text("x = 1\n")
+        report = lint_paths([tmp_path])
+        assert report.files_checked == 2
+        assert [v.rule for v in report.violations] == ["R001"]
+
+    def test_json_output_shape(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(a=[]):\n    return a\n")
+        code = main([str(bad), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.lint-report/1"
+        assert payload["rules"]["R007"]["count"] == 1
+        assert payload["exit_code"] == code == 1 << 6
+
+    def test_select_restricts_rules(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\ndef f(a=[]):\n    return random.random()\n")
+        assert main([str(bad), "--select", "R007"]) == 1 << 6
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006", "R007"):
+            assert rule_id in out
+
+    def test_unparsable_file_reported_not_fatal(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        (tmp_path / "fine.py").write_text("x = 1\n")
+        report = lint_paths([tmp_path])
+        assert report.files_checked == 1
+        assert len(report.errors) == 1
+
+
+class TestRepoIsClean:
+    def test_src_and_tests_lint_clean(self):
+        """The CI gate: the whole repo passes its own linter."""
+        report = lint_paths([REPO / "src", REPO / "tests"])
+        assert report.errors == []
+        assert report.violations == [], "\n".join(
+            v.render() for v in report.violations
+        )
+
+    def test_module_entry_point_runs(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.checks", "src", "tests"],
+            cwd=REPO,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "repro-lint" in proc.stdout

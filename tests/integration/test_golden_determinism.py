@@ -42,6 +42,28 @@ class TestGoldenDeterminism:
         b = capture_sort_fingerprint(num_ranks=4, n_keys=2_000, seed=7)
         assert a == b
 
+    def test_sanitized_run_is_bit_identical_to_golden(self):
+        """SimSan hooks must be pure observers: the golden p=16 sort run
+        under the sanitizer reproduces the committed fingerprint exactly
+        (same virtual times, same metrics, same output digests) and reports
+        no violations.  This is the acceptance gate for every future
+        sanitizer hook — if this fails, a hook perturbed simulated behavior.
+        """
+        from repro.simnet.sanitizer import SimSan
+
+        golden = json.loads(GOLDEN_PATH.read_text())
+        san = SimSan()
+        current = capture_sort_fingerprint(
+            num_ranks=golden["workload"]["num_ranks"],
+            n_keys=golden["workload"]["n_keys"],
+            seed=golden["workload"]["seed"],
+            sanitizer=san,
+        )
+        for key in golden:
+            assert current[key] == golden[key], f"sanitized field {key!r} diverged"
+        assert san.report.ok, san.report.summary()
+        assert san.report.messages_checked > 0
+
     def test_makespan_recorded_as_hex(self):
         golden = json.loads(GOLDEN_PATH.read_text())
         # float.hex round-trips exactly; a plain repr would not guarantee it.

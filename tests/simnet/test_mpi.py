@@ -174,6 +174,42 @@ class TestParallelAlgorithm:
         assert req.test()
         assert req.wait() is None
 
+    def test_request_wait_is_idempotent(self):
+        # The already-completed fast path: wait() any number of times is
+        # safe and test() keeps reporting completion afterwards.
+        req = SimRequest()
+        for _ in range(3):
+            assert req.wait() is None
+        assert req.test() is True
+
+    def test_request_observation_marks_sanitizer_once(self):
+        class Probe:
+            def __init__(self):
+                self.observed = []
+
+            def observe_request(self, req):
+                self.observed.append(req)
+
+        probe = Probe()
+        req = SimRequest(probe)
+        req.wait()
+        req.test()
+        req.wait()
+        assert probe.observed == [req, req, req]  # every call reports; dedup is SimSan's job
+
+    def test_repeated_wait_inside_program(self):
+        def program(comm):
+            if comm.rank == 0:
+                req = yield from comm.isend("payload", dest=1, tag=0)
+                req.wait()
+                req.wait()  # double-wait is legal, mpi4py-compatible
+                assert req.test()
+                return None
+            return (yield from comm.recv(source=0, tag=0))
+
+        results, _ = mpi_run(2, program, strict=True)
+        assert results[1] == "payload"
+
     def test_mpi4py_style_upper_getters(self):
         def program(comm):
             assert isinstance(comm, SimComm)
