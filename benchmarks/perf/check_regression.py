@@ -17,6 +17,13 @@ the default (tracer-disabled) ping storm must stay within
 ``--tracer-threshold`` (default 2%) of the committed events/sec.  That
 precision only means anything on the machine that recorded the trajectory
 — pass ``--skip-tracer-gate`` everywhere else (CI does).
+
+A third gate guards the merge data plane: the flat k-way kernel must keep
+its recorded advantage over the literal pairwise cascade on both
+microbenchmark workloads.  The flat-vs-cascade *ratio* is measured fresh
+on whatever machine runs the check (both sides pay the same hardware), so
+unlike the wall-clock gates it ports to CI; the coarse
+``--merge-threshold`` only absorbs scheduler noise.
 """
 
 import argparse
@@ -30,8 +37,11 @@ BENCH_PATH = REPO_ROOT / "BENCH_sim.json"
 
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(PERF_DIR))
 
 from bench_simulator_throughput import measure_ping_storm  # noqa: E402
+
+from harness import measure_merge_kernels  # noqa: E402
 
 
 def main(argv=None):
@@ -55,6 +65,18 @@ def main(argv=None):
         action="store_true",
         help="skip the 2%% tracer-disabled gate (use on machines other than "
         "the one that recorded BENCH_sim.json, e.g. CI)",
+    )
+    parser.add_argument(
+        "--merge-threshold",
+        type=float,
+        default=0.5,
+        help="maximum tolerated fractional loss of the flat kernel's "
+        "recorded flat-vs-cascade speedup (default 0.5)",
+    )
+    parser.add_argument(
+        "--skip-merge-gate",
+        action="store_true",
+        help="skip the merge-kernel gate",
     )
     args = parser.parse_args(argv)
 
@@ -81,6 +103,29 @@ def main(argv=None):
         return 1
     else:
         print(f"tracer-disabled gate OK ({ratio:.3f}x >= {1.0 - args.tracer_threshold:.2f}x)")
+    recorded_merge = doc["runs"][-1].get("merge_kernels")
+    if args.skip_merge_gate:
+        print("merge-kernel gate skipped")
+    elif recorded_merge is None:
+        print("merge-kernel gate skipped (last BENCH record predates merge_kernels)")
+    else:
+        current_merge = measure_merge_kernels(repeats=3)
+        for name, rec in recorded_merge.items():
+            cur = current_merge[name]["speedup_flat_vs_cascade"]
+            # The kernel must stay clearly ahead of the cascade: never
+            # below parity, and never below the recorded advantage minus
+            # the (coarse) threshold.
+            floor = max(
+                1.0, rec["speedup_flat_vs_cascade"] * (1.0 - args.merge_threshold)
+            )
+            print(
+                f"merge kernel [{name}]: flat {cur:.1f}x vs cascade "
+                f"(recorded {rec['speedup_flat_vs_cascade']:.1f}x; "
+                f"floor {floor:.1f}x)"
+            )
+            if cur < floor:
+                print("FAIL: flat k-way merge kernel lost its advantage")
+                return 1
     print("OK")
     return 0
 

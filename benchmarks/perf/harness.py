@@ -39,10 +39,14 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from bench_simulator_throughput import measure_ping_storm  # noqa: E402
 
 from repro.core.api import distributed_sort  # noqa: E402
+from repro.core.balanced_merge import flat_kway_merge, merge_two  # noqa: E402
 
 SORT_RANKS = (8, 16, 32, 52)
 SORT_N_KEYS = 200_000
 SORT_SEED = 42
+#: Run count for the merge-kernel microbenchmarks (the step-6 shape at the
+#: paper's largest processor count).
+MERGE_BENCH_RUNS = 52
 
 
 def measure_sort(num_processors, n_keys=SORT_N_KEYS, seed=SORT_SEED, repeats=3):
@@ -57,6 +61,88 @@ def measure_sort(num_processors, n_keys=SORT_N_KEYS, seed=SORT_SEED, repeats=3):
         if best is None or wall < best:
             best = wall
     return {"n_keys": n_keys, "seed": seed, "repeats": repeats, "wall_seconds": best}
+
+
+def _cascade_merge(runs):
+    """Literal pairwise balanced cascade — the pre-vectorization data path.
+
+    ``balanced_merge`` itself now short-circuits dtype-uniform inputs into
+    the single-pass kernel, so the microbenchmark reconstructs the cascade
+    from ``merge_two`` to keep a true O(n log k)-movement baseline.
+    """
+    runs_l = list(runs)
+    aux_l = [[] for _ in runs_l]
+    while len(runs_l) > 1:
+        next_runs, next_aux = [], []
+        for i in range(0, len(runs_l) - 1, 2):
+            merged, merged_aux = merge_two(
+                runs_l[i], runs_l[i + 1], aux_l[i], aux_l[i + 1]
+            )
+            next_runs.append(merged)
+            next_aux.append(merged_aux)
+        if len(runs_l) % 2 == 1:
+            next_runs.append(runs_l[-1])
+            next_aux.append(aux_l[-1])
+        runs_l, aux_l = next_runs, next_aux
+    return runs_l[0]
+
+
+def merge_bench_workloads(n_keys=SORT_N_KEYS, k=MERGE_BENCH_RUNS, seed=SORT_SEED):
+    """Two step-6-shaped merge inputs, k sorted runs each.
+
+    * ``duplicate_heavy`` — only 1000 distinct values over 200k keys, the
+      regime the investigator exists for (heavy cross-run interleaving).
+    * ``presorted`` — the runs concatenate to a globally sorted buffer
+      (what a perfectly balanced exchange of distinct keys produces), the
+      best case for adaptive merges.
+    """
+    rng = np.random.default_rng(seed)
+    bounds = [n_keys * i // k for i in range(k + 1)]
+    dup = rng.integers(0, 1_000, n_keys).astype(np.int64)
+    pre = np.sort(rng.integers(0, 1_000_000, n_keys).astype(np.int64))
+    return {
+        "duplicate_heavy": [
+            np.sort(dup[lo:hi]) for lo, hi in zip(bounds, bounds[1:])
+        ],
+        "presorted": [pre[lo:hi] for lo, hi in zip(bounds, bounds[1:])],
+    }
+
+
+def measure_merge_kernels(repeats=5):
+    """Best-of wall seconds: flat k-way kernel vs literal pairwise cascade.
+
+    Outputs are asserted identical before timing, so a divergent kernel
+    fails loudly rather than producing a meaningless number.
+    """
+    results = {}
+    for name, runs in merge_bench_workloads().items():
+        buffer = np.concatenate(runs)
+        lengths = [len(r) for r in runs]
+        flat = flat_kway_merge(buffer, lengths)
+        cascade = _cascade_merge(runs)
+        if not np.array_equal(flat.keys, cascade):
+            raise AssertionError(f"merge kernels diverged on workload {name!r}")
+        best_flat = best_cascade = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            flat_kway_merge(buffer, lengths)
+            wall = time.perf_counter() - start
+            if best_flat is None or wall < best_flat:
+                best_flat = wall
+            start = time.perf_counter()
+            _cascade_merge(runs)
+            wall = time.perf_counter() - start
+            if best_cascade is None or wall < best_cascade:
+                best_cascade = wall
+        results[name] = {
+            "n_keys": int(len(buffer)),
+            "runs": len(runs),
+            "repeats": repeats,
+            "flat_wall_seconds": best_flat,
+            "cascade_wall_seconds": best_cascade,
+            "speedup_flat_vs_cascade": best_cascade / best_flat,
+        }
+    return results
 
 
 def run_harness(label, repeats_storm=5, repeats_sort=3):
@@ -84,6 +170,7 @@ def run_harness(label, repeats_storm=5, repeats_sort=3):
         "date": datetime.date.today().isoformat(),
         "ping_storm_16": storm,
         "distributed_sort": sorts,
+        "merge_kernels": measure_merge_kernels(),
     }
 
 
@@ -115,6 +202,11 @@ def main(argv=None):
     parser.add_argument(
         "--dry-run", action="store_true", help="measure and print, don't write"
     )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        help="also write the measured record to this path (CI artifact)",
+    )
     args = parser.parse_args(argv)
 
     record = run_harness(args.label, args.repeats_storm, args.repeats_sort)
@@ -130,6 +222,15 @@ def main(argv=None):
             f"distributed_sort p={p:>2}: {r['wall_seconds']:.4f}s "
             f"({r['speedup_vs_seed']:.2f}x vs seed)"
         )
+    for name, r in record["merge_kernels"].items():
+        print(
+            f"merge kernel [{name}]: flat {r['flat_wall_seconds'] * 1e3:.2f}ms "
+            f"vs cascade {r['cascade_wall_seconds'] * 1e3:.2f}ms "
+            f"({r['speedup_flat_vs_cascade']:.1f}x)"
+        )
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+        print(f"wrote record to {args.json_out}")
     if not args.dry_run:
         append_record(record)
         print(f"appended run '{record['label']}' to {BENCH_PATH}")

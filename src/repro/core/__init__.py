@@ -18,13 +18,17 @@ from .api import DistributedSorter, SortConfig, distributed_sort, partition_inpu
 from .balanced_merge import (
     MergeOutcome,
     balanced_merge,
+    flat_kway_merge,
     kway_merge,
     kway_merge_cost_seconds,
     merge_cost_seconds,
+    merge_levels,
+    merge_levels_cost_seconds,
     merge_two,
     sequential_fold_merge,
 )
 from .exchange import ExchangeResult, exchange_partitions
+from .scratch import ScratchArena, shared_arange
 from .hist_splitters import histogram_splitters, local_histogram
 from .investigator import (
     CutResult,
@@ -53,6 +57,7 @@ __all__ = [
     "MergeOutcome",
     "Provenance",
     "RankSortOutput",
+    "ScratchArena",
     "SortConfig",
     "SortOptions",
     "VerificationReport",
@@ -63,14 +68,18 @@ __all__ = [
     "cuts_to_counts",
     "distributed_sort",
     "exchange_partitions",
+    "flat_kway_merge",
     "histogram_splitters",
     "kway_merge",
     "kway_merge_cost_seconds",
     "local_histogram",
     "local_sample_sort",
     "merge_cost_seconds",
+    "merge_levels",
+    "merge_levels_cost_seconds",
     "merge_samples",
     "merge_two",
+    "shared_arange",
     "parallel_quicksort",
     "partition_input",
     "sample_count",

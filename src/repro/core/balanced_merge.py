@@ -28,6 +28,18 @@ import numpy as np
 
 from ..simnet.cost import CostModel
 from ..pgxd.task_manager import TaskManager
+from .scratch import shared_arange
+
+
+def _check_aux_alignment(
+    aux: Sequence[np.ndarray], n: int, side: str
+) -> None:
+    for x in aux:
+        if len(x) != n:
+            raise ValueError(
+                f"aux arrays must align with their key runs "
+                f"(side {side}: run has {n} keys, aux has {len(x)})"
+            )
 
 
 def merge_two(
@@ -41,10 +53,17 @@ def merge_two(
     Elements of ``a`` precede equal elements of ``b``.  Aux arrays ride the
     same permutation (``aux_a[i]`` aligned with ``a``), which is how origin
     processor/index provenance follows keys through every merge.
+
+    Dtype contract: a real two-way merge widens to
+    ``result_type(a.dtype, b.dtype)``; a merge with an empty side is a
+    pointer move that keeps the surviving run's dtype (it performs no key
+    work, matching :func:`_balanced_levels` charging it nothing).
     """
     if len(aux_a) != len(aux_b):
         raise ValueError("aux_a and aux_b must have the same number of arrays")
     na, nb = len(a), len(b)
+    _check_aux_alignment(aux_a, na, "a")
+    _check_aux_alignment(aux_b, nb, "b")
     # An empty side makes the merge a pointer move: hand the surviving run
     # (and its aux arrays) through untouched — merge outputs are read-only
     # inputs to the next level, so ownership never needs a defensive copy.
@@ -53,18 +72,18 @@ def merge_two(
     if nb == 0:
         return a, list(aux_a)
     # Destination slot of each element: its own index plus the count of
-    # elements from the other run that precede it.
+    # elements from the other run that precede it.  The ramps come from the
+    # shared read-only arange so a cascade level allocates no index arrays
+    # beyond what searchsorted itself produces.
     pos_a = b.searchsorted(a, side="left")
-    pos_a += np.arange(na, dtype=np.int64)
+    pos_a += shared_arange(na)
     pos_b = a.searchsorted(b, side="right")
-    pos_b += np.arange(nb, dtype=np.int64)
+    pos_b += shared_arange(nb)
     out = np.empty(na + nb, dtype=np.result_type(a.dtype, b.dtype))
     out[pos_a] = a
     out[pos_b] = b
     merged_aux: list[np.ndarray] = []
     for xa, xb in zip(aux_a, aux_b):
-        if len(xa) != na or len(xb) != nb:
-            raise ValueError("aux arrays must align with their key runs")
         m = np.empty(na + nb, dtype=np.result_type(xa.dtype, xb.dtype))
         m[pos_a] = xa
         m[pos_b] = xb
@@ -133,6 +152,80 @@ def _fold_levels(lengths: list[int]) -> list[list[int]]:
         if not trivial:
             levels.append([total])
     return levels
+
+
+#: Memo for repeated run-length patterns (e.g. the per-machine chunk split
+#: of the local sort, identical across ranks and runs).  Values are treated
+#: as immutable by every consumer; bounded so pathological length diversity
+#: cannot grow it without limit.
+_LEVELS_CACHE: dict[tuple, list[list[int]]] = {}
+_LEVELS_CACHE_MAX = 512
+
+
+def merge_levels(lengths: Sequence[int], *, balanced: bool = True) -> list[list[int]]:
+    """Cost-relevant merge shape from run lengths alone.
+
+    This is the virtual-time half of the cost-model/data-movement split:
+    callers that move the real keys through the flat kernel still charge the
+    paper-faithful level structure (pairwise handler, or the sequential fold
+    for the ablation) computed purely arithmetically from the run lengths.
+    Treat the returned structure as read-only (results are cached).
+    """
+    lengths = [int(n) for n in lengths]
+    if len(lengths) <= 1:
+        return []
+    key = (balanced, *lengths)
+    levels = _LEVELS_CACHE.get(key)
+    if levels is None:
+        if len(_LEVELS_CACHE) >= _LEVELS_CACHE_MAX:
+            _LEVELS_CACHE.clear()
+        levels = _balanced_levels(lengths) if balanced else _fold_levels(lengths)
+        _LEVELS_CACHE[key] = levels
+    return levels
+
+
+def flat_kway_merge(
+    keys: np.ndarray,
+    run_lengths: Sequence[int],
+    aux: Sequence[np.ndarray] = (),
+    *,
+    balanced: bool = True,
+) -> MergeOutcome:
+    """Flat k-way merge kernel over runs stored back to back in ``keys``.
+
+    The vectorized data plane of both merge steps: ``keys`` holds the k
+    sorted runs contiguously (run ``i`` occupying ``run_lengths[i]`` slots,
+    e.g. the step-5 receive buffer), and one stable argsort computes every
+    element's final destination in a single pass — no per-level key
+    movement, no concatenation.  ``aux`` arrays are full-length columns
+    aligned with ``keys`` (origin indices, origin processors) and ride the
+    same permutation.  Stability means earlier runs win ties, which is
+    exactly the composed permutation of the pairwise handler *and* of the
+    sequential fold, so the output is bit-identical to the cascade in
+    :func:`balanced_merge` / :func:`sequential_fold_merge`; only the
+    *charged* shape differs, via ``balanced``.
+
+    The kernel is dtype-uniform by construction (one buffer per column).
+    Mixed-dtype run sets cannot be stored contiguously without widening and
+    must take the cascade fallback in :func:`balanced_merge` instead.
+
+    Returns fresh output arrays: ``keys``/``aux`` may be scratch-arena
+    leases, the returned :class:`MergeOutcome` never aliases them.
+    """
+    keys = np.asarray(keys)
+    lengths = [int(n) for n in run_lengths]
+    if sum(lengths) != len(keys):
+        raise ValueError("run_lengths must sum to len(keys)")
+    for x in aux:
+        if len(x) != len(keys):
+            raise ValueError("aux columns must align with the key buffer")
+    levels = merge_levels(lengths, balanced=balanced)
+    nonempty = sum(1 for n in lengths if n)
+    if nonempty <= 1:
+        # Zero or one real run: the buffer is already the merged output.
+        return MergeOutcome(keys.copy(), [np.asarray(x).copy() for x in aux], levels)
+    order = keys.argsort(kind="stable")
+    return MergeOutcome(keys[order], [np.asarray(x)[order] for x in aux], levels)
 
 
 def _uniform_dtypes(runs_l: list[np.ndarray], aux_l: list[list[np.ndarray]]) -> bool:
@@ -277,6 +370,36 @@ def kway_merge_cost_seconds(
     return comparisons / cost.compare_rate + cost.task_region_overhead
 
 
+def merge_levels_cost_seconds(
+    levels: Sequence[Sequence[int]],
+    tasks: TaskManager,
+    cost: CostModel,
+    *,
+    parallel: bool = True,
+    scale: float = 1.0,
+) -> float:
+    """Virtual time to execute a merge level structure on one worker pool.
+
+    With ``parallel`` (the handler's behaviour) the merges of one level run
+    concurrently on the thread pool; otherwise every merge is a separate
+    sequential step — the difference the paper's handler was introduced to
+    remove.  ``scale`` is the config's virtual-data multiplier: each real
+    key merged stands for ``scale`` modeled keys.  Takes the bare level
+    sizes (see :func:`merge_levels`) so the cost can be charged without
+    materializing a :class:`MergeOutcome`.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    total = 0.0
+    for level in levels:
+        per_merge = [size * scale / cost.merge_rate for size in level]
+        if parallel:
+            total += tasks.parallel_time(per_merge)
+        else:
+            total += sum(per_merge) + cost.task_region_overhead * len(per_merge)
+    return total
+
+
 def merge_cost_seconds(
     outcome: MergeOutcome,
     tasks: TaskManager,
@@ -285,21 +408,7 @@ def merge_cost_seconds(
     parallel: bool = True,
     scale: float = 1.0,
 ) -> float:
-    """Virtual time to execute a merge outcome on one machine's worker pool.
-
-    With ``parallel`` (the handler's behaviour) the merges of one level run
-    concurrently on the thread pool; otherwise every merge is a separate
-    sequential step — the difference the paper's handler was introduced to
-    remove.  ``scale`` is the config's virtual-data multiplier: each real
-    key merged stands for ``scale`` modeled keys.
-    """
-    if scale <= 0:
-        raise ValueError("scale must be positive")
-    total = 0.0
-    for level in outcome.levels:
-        per_merge = [size * scale / cost.merge_rate for size in level]
-        if parallel:
-            total += tasks.parallel_time(per_merge)
-        else:
-            total += sum(per_merge) + cost.task_region_overhead * len(per_merge)
-    return total
+    """Virtual time to execute a merge outcome on one machine's worker pool."""
+    return merge_levels_cost_seconds(
+        outcome.levels, tasks, cost, parallel=parallel, scale=scale
+    )

@@ -11,23 +11,38 @@ Concretely: an allgather of the per-destination count vectors announces all
 transfer sizes; every processor then posts *all* its outgoing key and
 origin-index chunks as non-blocking sends before draining a single receive.
 Key chunks and index chunks use distinct tags so the two streams reassemble
-independently.  Each received run is a sorted slice of the sender's locally
-sorted data, ready for the step-6 balanced merge.
+independently.
+
+Reassembly is offset-addressed, as in the paper's step 5: the counts matrix
+fixes each source's region in one preallocated receive buffer per stream
+(keys, origin indices), and every arriving chunk is written straight to its
+destination — ``buffer[lo:hi] = chunk`` — instead of accumulating Python
+lists and concatenating.  Chunks from one source arrive in FIFO order, so a
+per-source write cursor within the region suffices.  The buffers come from
+the machine's scratch arena when one is supplied, so repeated sorts reuse
+the same storage.  Each source's region is a sorted slice of the sender's
+locally sorted data, and the regions sit back to back in source order —
+exactly the layout the step-6 flat merge kernel consumes without any
+further copying.  Senders whose key dtype differs from the receiver's
+cannot share the buffer; their chunks take the legacy list path and the
+result is flagged non-contiguous (the merge then uses the widening
+cascade).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Generator
 
 import numpy as np
 
 from ..pgxd.comm_manager import expected_chunks, send_array
 from ..pgxd.config import PgxdConfig
-from ..simnet.calls import Compute, Mark, Message, Recv
+from ..simnet.calls import Compute, Isend, Mark, Message, Recv, Send
 from ..simnet.collectives import allgather
 from ..simnet.engine import ProcessHandle
 from .investigator import slices_from_cuts
+from .scratch import ScratchArena
 
 TAG_KEYS = 201
 TAG_INDEX = 202
@@ -38,14 +53,63 @@ class ExchangeResult:
     """Outcome of the redistribution on one processor."""
 
     #: One sorted key run per source processor (possibly empty arrays).
+    #: When ``contiguous``, these are views into ``key_buffer``.
     key_runs: list[np.ndarray]
     #: Origin-index run aligned with each key run.
     index_runs: list[np.ndarray]
     #: counts_matrix[src][dst] = keys sent from src to dst (global view).
     counts_matrix: np.ndarray
+    #: All received keys back to back in source order (may be a scratch
+    #: lease — valid until the arena is released).  None when any source's
+    #: dtype forced the legacy path.
+    key_buffer: np.ndarray | None = None
+    #: Origin indices aligned with ``key_buffer`` (None without provenance).
+    index_buffer: np.ndarray | None = None
+    #: Prefix offsets of each source's region: run ``src`` occupies
+    #: ``key_buffer[run_offsets[src]:run_offsets[src + 1]]``.
+    run_offsets: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    #: True when every received run landed in the shared buffers, i.e. the
+    #: step-6 merge may use the flat kernel over ``key_buffer``.
+    contiguous: bool = False
 
     def received_total(self, rank: int) -> int:
         return int(self.counts_matrix[:, rank].sum())
+
+
+def _pending_chunks(
+    recv_counts: np.ndarray,
+    rank: int,
+    key_itemsize: int,
+    idx_itemsize: int | None,
+    config: PgxdConfig,
+) -> int:
+    """Messages this rank will receive, from the announced counts.
+
+    Vectorized replica of per-source :func:`expected_chunks` sums for the
+    unscaled (``data_scale == 1``) configuration; the scaled path keeps the
+    scalar calls so rounding matches the senders' chunk plans bit for bit.
+    """
+    from ..pgxd.comm_manager import MAX_CHUNKS_PER_TRANSFER
+
+    remote = recv_counts.copy()
+    remote[rank] = 0
+    if config.data_scale == 1.0:
+        rb = config.read_buffer_bytes
+        pending = 0
+        for itemsize in (key_itemsize, idx_itemsize):
+            if itemsize is None:
+                continue
+            flushes = -(-(remote * itemsize) // rb)
+            pending += int(np.minimum(flushes, MAX_CHUNKS_PER_TRANSFER).sum())
+        return pending
+    pending = 0
+    for src, nkeys in enumerate(remote):
+        if nkeys == 0:
+            continue
+        pending += expected_chunks(int(nkeys) * key_itemsize, config)
+        if idx_itemsize is not None:
+            pending += expected_chunks(int(nkeys) * idx_itemsize, config)
+    return pending
 
 
 def exchange_partitions(
@@ -57,19 +121,27 @@ def exchange_partitions(
     *,
     track_provenance: bool = True,
     copy_seconds_per_byte: float = 0.0,
+    scratch: ScratchArena | None = None,
 ) -> Generator:
     """Run the step-5 exchange; returns an :class:`ExchangeResult`.
 
     ``sorted_keys``/``origin_index`` are this rank's step-1 output;
     ``cuts`` are the step-4 cut points.  ``copy_seconds_per_byte`` charges
-    the receiver-side copy of each arriving chunk into the local data list
+    the receiver-side copy of each arriving chunk to its precomputed offset
     (writing "by applying offsets for each received data entry") — with
     asynchronous sends these copies overlap the senders' serialization,
     with blocking sends they queue after it, which is the measurable gain
-    of PGX.D's asynchronous task execution.  Generator — must be driven by
-    the simulator (``yield from``).
+    of PGX.D's asynchronous task execution.  ``scratch`` supplies the
+    receive buffers (the caller releases the arena once the merged result
+    no longer references them).  Generator — must be driven by the
+    simulator (``yield from``).
     """
     rank, size = machine_proc.rank, machine_proc.size
+    # The inline send fast path below hands slices straight to the wire, so
+    # normalize layout once here (a no-op for the sorter's own arrays)
+    # rather than per destination inside send_array.
+    sorted_keys = np.ascontiguousarray(sorted_keys)
+    origin_index = np.ascontiguousarray(origin_index)
     n = len(sorted_keys)
     out_slices = slices_from_cuts(cuts, n)
     counts = np.array([sl.stop - sl.start for sl in out_slices], dtype=np.int64)
@@ -77,67 +149,165 @@ def exchange_partitions(
     # The Marks trace the exchange's three sub-phases (nested inside the
     # step-5 span); without a tracer they are no-ops.
     yield Mark("exchange:announce")
-    all_counts = yield from allgather(machine_proc, counts)
+    all_counts = yield allgather(machine_proc, counts)  # engine-trampolined
     yield Mark("exchange:announce", event="end")
     counts_matrix = np.stack(all_counts)
     # Post every outgoing chunk (keys then indexes per destination) before
-    # receiving anything: send-while-receive.
+    # receiving anything: send-while-receive.  Transfers that fit in one
+    # read buffer (the common case at paper scale) yield their single send
+    # call inline; `send_array` would produce the identical call after a
+    # generator construction + delegation per destination, which is pure
+    # overhead at thousands of transfers per run.
+    send_cls = Isend if config.async_messaging else Send
+    rb = config.read_buffer_bytes
+    unscaled = config.data_scale == 1.0
+    # The engine consumes a yielded send synchronously — every field is
+    # copied into the wire Message before this generator resumes — so one
+    # mutable call object per stream serves all inline sends, skipping
+    # thousands of dataclass constructions per run (the reuse license is
+    # spelled out in the calls-module contract).
+    key_send: Send | None = None
+    idx_send: Send | None = None
     yield Mark("exchange:send")
     for offset in range(1, size):
         dst = (rank + offset) % size
         sl = out_slices[dst]
         if sl.stop > sl.start:
-            yield from send_array(machine_proc, dst, sorted_keys[sl], TAG_KEYS, config)
+            chunk = sorted_keys[sl]
+            if unscaled and chunk.nbytes <= rb:
+                if key_send is None:
+                    key_send = send_cls(
+                        dst=dst, nbytes=chunk.nbytes, payload=chunk, tag=TAG_KEYS
+                    )
+                else:
+                    key_send.dst = dst
+                    key_send.nbytes = chunk.nbytes
+                    key_send.payload = chunk
+                yield key_send
+            else:
+                yield from send_array(machine_proc, dst, chunk, TAG_KEYS, config)
             if track_provenance:
-                yield from send_array(
-                    machine_proc, dst, origin_index[sl], TAG_INDEX, config
-                )
+                chunk = origin_index[sl]
+                if unscaled and chunk.nbytes <= rb:
+                    if idx_send is None:
+                        idx_send = send_cls(
+                            dst=dst, nbytes=chunk.nbytes, payload=chunk, tag=TAG_INDEX
+                        )
+                    else:
+                        idx_send.dst = dst
+                        idx_send.nbytes = chunk.nbytes
+                        idx_send.payload = chunk
+                    yield idx_send
+                else:
+                    yield from send_array(machine_proc, dst, chunk, TAG_INDEX, config)
     yield Mark("exchange:send", event="end")
     key_dtype = sorted_keys.dtype
-    idx_dtype = origin_index.dtype if track_provenance else np.int64
-    key_chunks: list[list[np.ndarray]] = [[] for _ in range(size)]
-    idx_chunks: list[list[np.ndarray]] = [[] for _ in range(size)]
-    pending = 0
-    for src in range(size):
-        if src == rank:
-            continue
-        nkeys = int(counts_matrix[src, rank])
-        if nkeys == 0:
-            continue
-        pending += expected_chunks(nkeys * key_dtype.itemsize, config)
-        if track_provenance:
-            pending += expected_chunks(nkeys * np.dtype(idx_dtype).itemsize, config)
+    idx_dtype = np.dtype(origin_index.dtype) if track_provenance else np.dtype(np.int64)
+    # Offset-addressed reassembly, deferred: the drain loop only *collects*
+    # arriving chunks (one list per source; chunks from one source arrive
+    # in FIFO order), then each stream's receive buffer is assembled with a
+    # single ``np.concatenate(..., out=buffer)`` — one C pass instead of a
+    # tiny slice write per message.  The announced counts still fix every
+    # source's region up front (``run_offsets``), and the per-chunk copy
+    # charge on the virtual clock is identical.
+    recv_counts = counts_matrix[:, rank]
+    run_offsets = np.zeros(size + 1, dtype=np.int64)
+    np.cumsum(recv_counts, out=run_offsets[1:])
+    total = int(run_offsets[-1])
+    key_parts: list[list[np.ndarray]] = [[] for _ in range(size)]
+    idx_parts: list[list[np.ndarray]] = [[] for _ in range(size)]
+    pending = _pending_chunks(
+        recv_counts,
+        rank,
+        key_dtype.itemsize,
+        idx_dtype.itemsize if track_provenance else None,
+        config,
+    )
+    # One wildcard spec serves every receive: call objects are read-only
+    # value objects and at most one Recv per rank is outstanding, so the
+    # engine never sees two live uses of this instance.
+    recv_any = Recv()
+    charge = copy_seconds_per_byte > 0.0
+    # Chunk sizes cluster tightly (near-equal partitions), so the per-chunk
+    # copy charge takes only a handful of distinct values — memoize the
+    # Compute value objects instead of constructing one per message.
+    charge_for: dict[int, Compute] = {}
     yield Mark("exchange:drain")
     for _ in range(pending):
-        msg: Message = yield Recv()
-        if msg.tag == TAG_KEYS:
-            key_chunks[msg.src].append(msg.payload)
-        elif msg.tag == TAG_INDEX:
-            idx_chunks[msg.src].append(msg.payload)
+        msg: Message = yield recv_any
+        tag = msg.tag
+        if tag == TAG_KEYS:
+            key_parts[msg.src].append(msg.payload)
+        elif tag == TAG_INDEX:
+            idx_parts[msg.src].append(msg.payload)
         else:
-            raise ValueError(f"unexpected tag {msg.tag} during exchange")
-        if copy_seconds_per_byte > 0.0:
+            raise ValueError(f"unexpected tag {tag} during exchange")
+        if charge:
             # msg.nbytes is already the modeled (data_scale) size.
-            yield Compute(msg.nbytes * copy_seconds_per_byte)
+            nb = msg.nbytes
+            comp = charge_for.get(nb)
+            if comp is None:
+                comp = charge_for[nb] = Compute(nb * copy_seconds_per_byte)
+            yield comp
     yield Mark("exchange:drain", event="end")
+    # The local partition is a run like any other; it skips the network.
+    sl = out_slices[rank]
+    key_parts[rank].append(sorted_keys[sl])
+    if track_provenance:
+        idx_parts[rank].append(origin_index[sl])
+    # Every chunk from one source views one sender-side array, so a dtype
+    # mismatch with the receive buffer is a whole-source property, visible
+    # on the first chunk.  Any mismatched source forces the legacy per-run
+    # layout (the step-6 merge then widens via the pairwise cascade).
+    contiguous = all(
+        not parts or parts[0].dtype == key_dtype for parts in key_parts
+    ) and (
+        not track_provenance
+        or all(not parts or parts[0].dtype == idx_dtype for parts in idx_parts)
+    )
+    empty_idx = np.empty(0, dtype=np.int64)
     key_runs: list[np.ndarray] = []
     index_runs: list[np.ndarray] = []
-    for src in range(size):
-        if src == rank:
-            sl = out_slices[rank]
-            key_runs.append(sorted_keys[sl].copy())
-            index_runs.append(
-                origin_index[sl].copy()
-                if track_provenance
-                else np.empty(0, dtype=np.int64)
-            )
-            continue
-        key_runs.append(_reassemble(key_chunks[src], key_dtype))
-        index_runs.append(
-            _reassemble(idx_chunks[src], idx_dtype)
-            if track_provenance
-            else np.empty(0, dtype=np.int64)
-        )
+    key_buf: np.ndarray | None = None
+    idx_buf: np.ndarray | None = None
+    if contiguous:
+        # Runs become views into the stream buffers (possibly scratch
+        # leases — the caller releases them after the step-6 merge, whose
+        # flat kernel always returns fresh arrays).
+        if scratch is not None:
+            key_buf = scratch.take(total, key_dtype)
+            idx_buf = scratch.take(total, idx_dtype) if track_provenance else None
+        else:
+            key_buf = np.empty(total, dtype=key_dtype)
+            idx_buf = np.empty(total, dtype=idx_dtype) if track_provenance else None
+        bounds = run_offsets.tolist()
+        np.concatenate([p for parts in key_parts for p in parts], out=key_buf)
+        key_runs = [key_buf[bounds[s] : bounds[s + 1]] for s in range(size)]
+        if track_provenance:
+            np.concatenate([p for parts in idx_parts for p in parts], out=idx_buf)
+            index_runs = [idx_buf[bounds[s] : bounds[s + 1]] for s in range(size)]
+        else:
+            index_runs = [empty_idx] * size
+    else:
+        # Spill layout: per-source reassembly straight from the arriving
+        # chunks.  Nothing here references scratch storage, so downstream
+        # merges may pointer-move a run into their output safely.
+        for src in range(size):
+            parts = key_parts[src]
+            if not parts:
+                key_runs.append(np.empty(0, dtype=key_dtype))
+            else:
+                key_runs.append(parts[0] if len(parts) == 1 else np.concatenate(parts))
+            if not track_provenance:
+                index_runs.append(empty_idx)
+            else:
+                parts = idx_parts[src]
+                if not parts:
+                    index_runs.append(np.empty(0, dtype=idx_dtype))
+                else:
+                    index_runs.append(
+                        parts[0] if len(parts) == 1 else np.concatenate(parts)
+                    )
     for src in range(size):
         expected = int(counts_matrix[src, rank])
         if len(key_runs[src]) != expected:
@@ -145,12 +315,12 @@ def exchange_partitions(
                 f"rank {rank} expected {expected} keys from {src}, "
                 f"got {len(key_runs[src])}"
             )
-    return ExchangeResult(key_runs, index_runs, counts_matrix)
-
-
-def _reassemble(chunks: list[np.ndarray], dtype) -> np.ndarray:
-    if not chunks:
-        return np.empty(0, dtype=dtype)
-    if len(chunks) == 1:
-        return chunks[0]
-    return np.concatenate(chunks)
+    return ExchangeResult(
+        key_runs,
+        index_runs,
+        counts_matrix,
+        key_buffer=key_buf if contiguous else None,
+        index_buffer=idx_buf if (contiguous and track_provenance) else None,
+        run_offsets=run_offsets,
+        contiguous=contiguous,
+    )

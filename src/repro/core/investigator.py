@@ -56,18 +56,19 @@ def compute_cuts(sorted_keys: np.ndarray, splitters: np.ndarray) -> CutResult:
     # "binary search to be executed for only non-duplicated splitters".
     los = np.searchsorted(sorted_keys, values, side="left")
     his = np.searchsorted(sorted_keys, values, side="right")
-    for v_idx in range(len(values)):
+    singles = counts == 1
+    # Non-duplicated splitters (the common case) cut at their right edge,
+    # assigned in one vectorized scatter.
+    cuts[group_starts[singles]] = his[singles]
+    for v_idx in np.nonzero(~singles)[0]:
         start, k = int(group_starts[v_idx]), int(counts[v_idx])
         lo, hi = int(los[v_idx]), int(his[v_idx])
-        if k == 1:
-            cuts[start] = hi
-        else:
-            # Figure 3c: the k duplicated splitters become k evenly spaced
-            # cut points inside the tied range [lo, hi), splitting it into
-            # k+1 equal pieces shared by k+1 consecutive processors.
-            span = hi - lo
-            for i in range(k):
-                cuts[start + i] = lo + (span * (i + 1)) // (k + 1)
+        # Figure 3c: the k duplicated splitters become k evenly spaced
+        # cut points inside the tied range [lo, hi), splitting it into
+        # k+1 equal pieces shared by k+1 consecutive processors.
+        span = hi - lo
+        for i in range(k):
+            cuts[start + i] = lo + (span * (i + 1)) // (k + 1)
     # np.unique returns sorted values, and splitters arrive sorted from the
     # Master, so group_starts already index the original positions; the cut
     # array is non-decreasing by construction.
@@ -100,5 +101,5 @@ def cuts_to_counts(cuts: np.ndarray, n: int) -> np.ndarray:
 
 def slices_from_cuts(cuts: np.ndarray, n: int) -> list[slice]:
     """Per-destination local slices implied by cut points."""
-    bounds = np.concatenate(([0], cuts, [n])).astype(np.int64)
-    return [slice(int(lo), int(hi)) for lo, hi in zip(bounds, bounds[1:])]
+    bounds = [0, *np.asarray(cuts).tolist(), n]
+    return [slice(lo, hi) for lo, hi in zip(bounds, bounds[1:])]

@@ -4,11 +4,15 @@
 processor.  Then, each worker thread sorts its data locally.  Sorted data
 from each thread is merged together by keeping balanced merging."
 
-The chunk sorts are real (``numpy`` introsort per chunk, ``argsort`` when a
-permutation is needed for provenance) and the combination uses the balanced
-merge handler of :mod:`repro.core.balanced_merge`.  The virtual-time cost is
-the worker pool's makespan over the per-chunk sort costs plus the handler's
-merge-level costs.
+The *virtual-time cost* keeps the paper's shape exactly: per-chunk sort
+costs combined as the worker pool's makespan, plus the balanced handler's
+merge-level costs computed arithmetically from the chunk lengths
+(:func:`repro.core.balanced_merge.merge_levels`).  The *real data plane* is
+flat: stable chunk sorts composed with the stable pairwise handler equal
+one stable sort of the whole block (ties resolve to original order either
+way), so the keys are produced by a single C-speed pass — one stable
+``argsort`` carrying the provenance permutation, or one stable ``np.sort``
+with no index arrays at all when ``track_perm`` is off.
 """
 
 from __future__ import annotations
@@ -18,12 +22,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..pgxd.runtime import Machine
-from .balanced_merge import (
-    MergeOutcome,
-    balanced_merge,
-    merge_cost_seconds,
-    sequential_fold_merge,
-)
+from .balanced_merge import merge_levels, merge_levels_cost_seconds
+from .packsort import packed_stable_sort
 
 
 @dataclass(frozen=True)
@@ -60,7 +60,8 @@ def parallel_quicksort(
     This is a plain function (not a generator): it performs the real sort
     and *returns* the seconds to charge, so the calling program can yield a
     single labelled ``Compute``.  ``balanced=False`` selects the sequential
-    fold merge for the handler ablation.
+    fold merge for the handler ablation (cost shape only — the stable data
+    result is identical).
     """
     keys = np.asarray(keys)
     n = len(keys)
@@ -68,37 +69,45 @@ def parallel_quicksort(
     if n == 0:
         return LocalSortResult(keys.copy(), np.empty(0, dtype=np.int64), 0.0)
     chunk_slices = split_into_chunks(n, min(threads, n))
-    runs: list[np.ndarray] = []
-    aux_runs: list[list[np.ndarray]] = []
-    for sl in chunk_slices:
-        chunk = keys[sl]
-        if track_perm:
-            order = np.argsort(chunk, kind="stable")
-            runs.append(chunk[order])
-            # int32 suffices: local indexes stay below 2^31 at any modeled
-            # scale the paper uses, and halves the provenance footprint.
-            aux_runs.append([(order + sl.start).astype(np.int32)])
+    if track_perm:
+        # Integer keys take the packed fast path (pack key+index, one
+        # vectorized sort, unpack) — bit-identical to the stable argsort
+        # it replaces; see repro.core.packsort.
+        fast = packed_stable_sort(keys)
+        if fast is not None:
+            sorted_keys, order = fast
         else:
-            runs.append(np.sort(chunk, kind="stable"))
-            aux_runs.append([])
+            order = keys.argsort(kind="stable")
+            sorted_keys = keys[order]
+        # int32 suffices: local indexes stay below 2^31 at any modeled
+        # scale the paper uses, and halves the provenance footprint.
+        perm = order.astype(np.int32)
+    else:
+        # No permutation consumer: skip argsort (and the gather) entirely.
+        # Values-only output is identical under any sort kind, so use the
+        # default vectorized kernel rather than the stable one.
+        sorted_keys = np.sort(keys)
+        perm = np.empty(0, dtype=np.int64)
     scale = machine.config.data_scale
-    sort_costs = [
-        machine.cost.sort_seconds(int((sl.stop - sl.start) * scale)) for sl in chunk_slices
-    ]
+    # Chunk lengths differ by at most one, so at most two distinct costs
+    # exist: evaluate the cost model once per distinct length.
+    cost_of: dict[int, float] = {}
+    sort_costs = []
+    for sl in chunk_slices:
+        ln = sl.stop - sl.start
+        c = cost_of.get(ln)
+        if c is None:
+            c = cost_of[ln] = machine.cost.sort_seconds(int(ln * scale))
+        sort_costs.append(c)
     seconds = machine.tasks.parallel_time(sort_costs)
-    outcome: MergeOutcome = (
-        balanced_merge(runs, aux_runs) if balanced else sequential_fold_merge(runs, aux_runs)
+    levels = merge_levels(
+        [sl.stop - sl.start for sl in chunk_slices], balanced=balanced
     )
-    seconds += merge_cost_seconds(
-        outcome,
+    seconds += merge_levels_cost_seconds(
+        levels,
         machine.tasks,
         machine.cost,
         parallel=machine.config.parallel_merge,
         scale=scale,
     )
-    perm = (
-        outcome.aux[0]
-        if track_perm
-        else np.empty(0, dtype=np.int64)
-    )
-    return LocalSortResult(outcome.keys, perm, seconds)
+    return LocalSortResult(sorted_keys, perm, seconds)

@@ -1,0 +1,61 @@
+"""Bit-identical packed fast path for the stable sort-with-permutation.
+
+``argsort(kind="stable")`` plus a gather is the semantic contract of the
+data plane, but for integer keys the same result is available much faster:
+pack each key with its position into one int64 —
+
+    packed = (key << shift) | index        (shift = bits needed for n)
+
+— whose numeric order is exactly the lexicographic ``(key, index)`` order,
+i.e. the *stable* comparison.  The packed values are unique, so sorting
+them with ``np.sort``'s default vectorized kernel (unstable, but
+instability is unobservable on unique values) yields a deterministic
+result from which both the sorted keys (high bits) and the stable
+permutation (low bits) unpack.  On random integer data this is several
+times faster than a stable argsort followed by a gather; on
+mostly-sorted data the adaptive stable kernel wins, so callers choose per
+call site.
+
+The path only applies when the key range leaves headroom for the index
+bits; :func:`packed_stable_sort` returns ``None`` otherwise and the caller
+falls back to the plain stable argsort.  Either way the output arrays are
+bit-identical, so the golden fingerprints cannot tell which path ran.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def packed_stable_sort(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray] | None:
+    """Return ``(sorted_keys, stable_order)`` via key/index packing.
+
+    Equivalent to ``order = keys.argsort(kind="stable")`` followed by
+    ``keys[order]`` — same values, same tie resolution.  Returns ``None``
+    when the packing precondition fails (non-integer dtype, or the key
+    magnitude could collide with the index bits), in which case the caller
+    must run the stable argsort itself.  ``stable_order`` is int64.
+    """
+    if keys.dtype.kind != "i":
+        return None
+    n = len(keys)
+    if n < 2:
+        return None
+    shift = (n - 1).bit_length()
+    # Conservative headroom test: |key| << shift must stay well inside
+    # int64 (one spare bit), and huge inputs would not profit anyway.
+    if shift > 40:
+        return None
+    limit = 1 << (62 - shift)
+    kmin = int(keys.min())
+    kmax = int(keys.max())
+    if kmax >= limit or kmin < -limit:
+        return None
+    k64 = keys.astype(np.int64, copy=False)
+    # Low ``shift`` bits of the shifted key are zero, so OR-ing the index
+    # is an exact add; two's-complement shifts keep negative keys ordered.
+    packed = (k64 << shift) | np.arange(n, dtype=np.int64)
+    packed.sort()
+    order = packed & ((1 << shift) - 1)
+    sorted_keys = (packed >> shift).astype(keys.dtype, copy=False)
+    return sorted_keys, order

@@ -30,7 +30,12 @@ import numpy as np
 from ..pgxd.runtime import Machine
 from ..simnet.calls import Mark, Now
 from ..simnet.collectives import bcast, gather
-from .balanced_merge import balanced_merge, merge_cost_seconds, sequential_fold_merge
+from .balanced_merge import (
+    balanced_merge,
+    flat_kway_merge,
+    merge_cost_seconds,
+    sequential_fold_merge,
+)
 from .exchange import ExchangeResult, exchange_partitions
 from .investigator import CutResult, compute_cuts, compute_cuts_naive
 from .local_sort import parallel_quicksort
@@ -154,7 +159,7 @@ def sample_sort_program(machine: Machine, local_keys: np.ndarray, options: SortO
         samples = select_regular_samples(local.keys, s_count)
         out.samples_sent = len(samples)
         yield machine.compute(cost.scan_seconds(int(samples.nbytes)), STEP_LABELS[1])
-        gathered = yield from gather(machine.proc, samples, root=MASTER)
+        gathered = yield gather(machine.proc, samples, root=MASTER)
         t2 = yield Now()
         yield Mark(STEP_LABELS[1], event="end")
         out.step_seconds[STEP_LABELS[1]] = t2 - t1
@@ -170,7 +175,7 @@ def sample_sort_program(machine: Machine, local_keys: np.ndarray, options: SortO
             splitters = select_splitters(merged, size)
         else:
             splitters = None
-        splitters = yield from bcast(machine.proc, splitters, root=MASTER)
+        splitters = yield bcast(machine.proc, splitters, root=MASTER)
         t3 = yield Now()
         yield Mark(STEP_LABELS[2], event="end")
         out.step_seconds[STEP_LABELS[2]] = t3 - t2
@@ -203,7 +208,9 @@ def sample_sort_program(machine: Machine, local_keys: np.ndarray, options: SortO
         STEP_LABELS[4],
     )
     machine.data.memory.alloc(machine.data.scaled(int(local.keys.nbytes)), temporary=True)
-    ex: ExchangeResult = yield from exchange_partitions(
+    # Yielding the generator (rather than ``yield from``) lets the engine
+    # trampoline it: the exchange's thousands of resumes skip this frame.
+    ex: ExchangeResult = yield exchange_partitions(
         machine.proc,
         local.keys,
         local.perm if options.track_provenance else np.empty(0, dtype=np.int64),
@@ -211,6 +218,7 @@ def sample_sort_program(machine: Machine, local_keys: np.ndarray, options: SortO
         cfg,
         track_provenance=options.track_provenance,
         copy_seconds_per_byte=1.0 / cost.copy_bandwidth,
+        scratch=machine.scratch,
     )
     machine.data.memory.free(machine.data.scaled(int(local.keys.nbytes)), temporary=True)
     out.sent_counts = ex.counts_matrix[rank].copy()
@@ -223,15 +231,36 @@ def sample_sort_program(machine: Machine, local_keys: np.ndarray, options: SortO
     yield Mark(STEP_LABELS[5])
     received_bytes = machine.data.scaled(sum(int(r.nbytes) for r in ex.key_runs))
     machine.data.memory.alloc(received_bytes, temporary=True)  # runs pre-merge
-    if options.track_provenance:
-        aux_runs = [
-            [idx, np.full(len(run), src, dtype=np.int16)]
-            for src, (run, idx) in enumerate(zip(ex.key_runs, ex.index_runs))
-        ]
+    run_lengths = ex.counts_matrix[:, rank].tolist()
+    if ex.contiguous:
+        # Fast path: the exchange landed every run at its offset in one
+        # buffer per stream, so the flat kernel merges views in place —
+        # no concatenation, no per-run staging.  Origin processors are a
+        # region-constant column staged in scratch and gathered once.
+        if options.track_provenance:
+            proc_col = machine.scratch.take(len(ex.key_buffer), np.int16)
+            bounds = ex.run_offsets
+            for src in range(size):
+                proc_col[bounds[src] : bounds[src + 1]] = src
+            aux_cols = [ex.index_buffer, proc_col]
+        else:
+            aux_cols = []
+        outcome = flat_kway_merge(
+            ex.key_buffer, run_lengths, aux_cols, balanced=options.balanced_merge
+        )
     else:
-        aux_runs = [[] for _ in ex.key_runs]
-    merge_fn = balanced_merge if options.balanced_merge else sequential_fold_merge
-    outcome = merge_fn(ex.key_runs, aux_runs)
+        # Mixed-dtype runs: the widening pairwise cascade is the only
+        # faithful combiner.
+        if options.track_provenance:
+            aux_runs = [
+                [idx, np.full(len(run), src, dtype=np.int16)]
+                for src, (run, idx) in enumerate(zip(ex.key_runs, ex.index_runs))
+            ]
+        else:
+            aux_runs = [[] for _ in ex.key_runs]
+        merge_fn = balanced_merge if options.balanced_merge else sequential_fold_merge
+        outcome = merge_fn(ex.key_runs, aux_runs)
+    machine.scratch.release_all()  # receive buffers + staging are dead
     yield machine.compute(
         merge_cost_seconds(
             outcome, machine.tasks, cost, parallel=cfg.parallel_merge, scale=scale

@@ -131,11 +131,36 @@ def recv_array(
     dtype = np.dtype(dtype)
     if nbytes == 0:
         return np.empty(0, dtype=dtype)
-    chunks = []
-    for _ in range(expected_chunks(nbytes, config)):
-        msg: Message = yield Recv(src=src, tag=tag)
-        chunks.append(msg.payload)
-    out = np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
+    total_chunks = expected_chunks(nbytes, config)
+    msg: Message = yield Recv(src=src, tag=tag)
+    first = msg.payload
+    if total_chunks == 1:
+        out = first  # single chunk: hand the view through, zero-copy
+    elif first.dtype == dtype and nbytes % dtype.itemsize == 0:
+        # The announced size fixes the transfer's extent, so the receive
+        # buffer is preallocated and every chunk lands at its offset (the
+        # paper's step-5 discipline) — no list accumulation, no concatenate.
+        out = np.empty(nbytes // dtype.itemsize, dtype=dtype)
+        out[: len(first)] = first
+        cursor = len(first)
+        for _ in range(total_chunks - 1):
+            msg = yield Recv(src=src, tag=tag)
+            payload = msg.payload
+            out[cursor : cursor + len(payload)] = payload
+            cursor += len(payload)
+        if cursor != len(out):
+            raise ValueError(
+                f"transfer from {src} announced {nbytes} bytes but delivered "
+                f"{cursor * dtype.itemsize}"
+            )
+    else:
+        # Sender dtype differs from the announcement (or does not tile it):
+        # legacy path, which propagates the sender's dtype unchanged.
+        chunks = [first]
+        for _ in range(total_chunks - 1):
+            msg = yield Recv(src=src, tag=tag)
+            chunks.append(msg.payload)
+        out = np.concatenate(chunks)
     if out.nbytes != nbytes:
         raise ValueError(
             f"transfer from {src} announced {nbytes} bytes but delivered {out.nbytes}"
@@ -164,6 +189,7 @@ def exchange_arrays(
     rank, size = proc.rank, proc.size
     if len(outgoing) != size or len(announced_nbytes) != size:
         raise ValueError("need exactly one outgoing array and one announced size per rank")
+    dtype = np.dtype(dtype)
     out: list[np.ndarray] = [None] * size  # type: ignore[list-item]
     out[rank] = np.asarray(outgoing[rank], dtype=dtype)
     yield Mark("exchange:send")
@@ -171,23 +197,52 @@ def exchange_arrays(
         dst = (rank + offset) % size  # staggered to spread incast
         yield from send_array(proc, dst, np.asarray(outgoing[dst]), tag, config)
     yield Mark("exchange:send", event="end")
-    received: list[list[np.ndarray]] = [[] for _ in range(size)]
-    pending = sum(
-        expected_chunks(announced_nbytes[src], config)
-        for src in range(size)
-        if src != rank
-    )
-    yield Mark("exchange:drain")
-    for _ in range(pending):
-        msg: Message = yield Recv(tag=tag)
-        received[msg.src].append(msg.payload)
-    yield Mark("exchange:drain", event="end")
-    dtype = np.dtype(dtype)
+    # Announced sizes fix every source's extent up front: preallocate one
+    # buffer per remote source and write each chunk at its FIFO cursor.
+    # Multi-chunk sources whose payload dtype disagrees with ``dtype``
+    # spill to the legacy concatenation path (propagating sender dtype).
+    cursors = [0] * size
+    spill: dict[int, list[np.ndarray]] = {}
+    pending = 0
     for src in range(size):
         if src == rank:
             continue
-        parts = received[src]
-        if not parts:
+        nbytes = announced_nbytes[src]
+        chunks = expected_chunks(nbytes, config)
+        pending += chunks
+        if chunks <= 1 or nbytes % dtype.itemsize != 0:
+            # Zero/one message: the payload view (or an empty array) is the
+            # whole run — nothing to reassemble.
+            spill[src] = []
+        else:
+            out[src] = np.empty(nbytes // dtype.itemsize, dtype=dtype)
+    yield Mark("exchange:drain")
+    for _ in range(pending):
+        msg: Message = yield Recv(tag=tag)
+        src, payload = msg.src, msg.payload
+        parts = spill.get(src)
+        if parts is None and payload.dtype != dtype:
+            # First mismatching chunk: abandon this source's buffer.
+            parts = spill[src] = []
+            cursors[src] = 0
+        if parts is not None:
+            parts.append(payload)
+        else:
+            lo = cursors[src]
+            out[src][lo : lo + len(payload)] = payload
+            cursors[src] = lo + len(payload)
+    yield Mark("exchange:drain", event="end")
+    for src in range(size):
+        if src == rank:
+            continue
+        parts = spill.get(src)
+        if parts is None:
+            if cursors[src] != len(out[src]):
+                raise ValueError(
+                    f"source {src} announced {announced_nbytes[src]} bytes "
+                    f"but delivered {cursors[src] * dtype.itemsize}"
+                )
+        elif not parts:
             out[src] = np.empty(0, dtype=dtype)
         else:
             out[src] = np.concatenate(parts) if len(parts) > 1 else parts[0]

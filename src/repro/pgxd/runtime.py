@@ -43,6 +43,12 @@ class Machine:
         self.cost = cost
         self.tasks = TaskManager(config.threads_per_machine, cost)
         self.data = DataManager(config, proc.metrics.memory)
+        # Reusable storage for data-plane temporaries (receive buffers,
+        # provenance staging).  repro.core imports repro.pgxd at module
+        # level, so the reverse import must stay local to avoid a cycle.
+        from ..core.scratch import ScratchArena
+
+        self.scratch = ScratchArena()
 
     @property
     def rank(self) -> int:
@@ -138,9 +144,14 @@ class PgxdRuntime:
             self.num_machines, self.network, trace=self.trace, tracer=self.tracer
         )
 
+        # Plain function, not a generator: returning the program's generator
+        # directly (instead of `yield from` delegation) removes one Python
+        # frame from every resume — material when a run spans tens of
+        # thousands of events.  The engine only requires that the factory
+        # *return* a generator.
         def bootstrap(proc: ProcessHandle, *a: Any, **kw: Any) -> Generator:
             machine = Machine(proc, self.config, self.cost_for_rank(proc.rank))
-            return (yield from program(machine, *a, **kw))
+            return program(machine, *a, **kw)
 
         sim.add_program(bootstrap, *args, **kwargs)
         metrics = sim.run()
@@ -159,7 +170,7 @@ class PgxdRuntime:
 
             def bootstrap(proc: ProcessHandle, _program=program, *a: Any) -> Generator:
                 machine = Machine(proc, self.config, self.cost_for_rank(proc.rank))
-                return (yield from _program(machine, *a))
+                return _program(machine, *a)
 
             sim.add_process(bootstrap, *args, rank=rank)
         metrics = sim.run()

@@ -13,6 +13,15 @@ Call objects are value objects: construct, yield, discard.  They are slotted
 immutable even though the slots are technically writable — ``frozen=True``
 would route every constructor through ``object.__setattr__`` and roughly
 triple construction cost, which dominates send-heavy programs.
+
+One consequence of that design is an explicit reuse license for programs:
+the engine consumes a yielded call *synchronously* — every field it needs
+is read (and, for sends, copied into the wire ``Message``) before the
+generator resumes — so a program that owns a call instance may yield it
+again, and may even rewrite its fields between yields.  The exchange's
+send/drain loops rely on this to amortize construction over thousands of
+messages.  The license is for the yielding program only: a call received
+*from* someone else (e.g. a ``Message`` payload) is not yours to mutate.
 """
 
 from __future__ import annotations

@@ -31,9 +31,11 @@ determinism test in ``tests/integration/test_golden_determinism.py``).
 
 from __future__ import annotations
 
+import gc
 import heapq
 import itertools
 from collections import deque
+from types import GeneratorType
 from dataclasses import dataclass, field
 from enum import Enum, auto
 from typing import TYPE_CHECKING, Any, Callable, Generator
@@ -219,6 +221,13 @@ class _ProcState:
     handle: ProcessHandle
     gen: Generator
     status: _Status = _Status.READY
+    #: Suspended parent generators of trampolined sub-programs: a program
+    #: may ``yield`` a generator instead of ``yield from``-ing it; the
+    #: engine then drives the child directly (no per-resume delegation
+    #: through the parent frame) and resumes the parent with the child's
+    #: return value.  Exceptions unwind through this stack exactly as
+    #: ``yield from`` would propagate them.
+    stack: list = field(default_factory=list)
     mailbox: _Mailbox = field(default_factory=_Mailbox)
     recv_spec: "Recv | None" = None
     #: True when the pending block is a Probe: deliver without consuming.
@@ -403,6 +412,62 @@ class Simulator:
         DONE = _Status.DONE
         BLOCKED_RECV = _Status.BLOCKED_RECV
         processed = 0
+        # The loop allocates short-lived tracked objects (heap tuples, call
+        # and Message dataclasses) at event rate; with the default gen-0
+        # threshold that is a cyclic-GC pass every few hundred events over
+        # objects that die by refcount anyway.  Pause collection for the
+        # run's duration (restored in the finally below, even on failure).
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._run_events(
+                events,
+                due,
+                due_append,
+                heappop,
+                heappush,
+                procs,
+                nx,
+                transfer,
+                overhead,
+                handlers_get,
+                trace,
+                tracer,
+                sanitizer,
+                num_ranks,
+                READY,
+                WAITING,
+                DONE,
+                BLOCKED_RECV,
+                processed,
+            )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _run_events(
+        self,
+        events,
+        due,
+        due_append,
+        heappop,
+        heappush,
+        procs,
+        nx,
+        transfer,
+        overhead,
+        handlers_get,
+        trace,
+        tracer,
+        sanitizer,
+        num_ranks,
+        READY,
+        WAITING,
+        DONE,
+        BLOCKED_RECV,
+        processed,
+    ) -> ClusterMetrics:
         while events or due:
             if due and (not events or due[0] < events[0]):
                 event = due.popleft()
@@ -430,6 +495,15 @@ class Simulator:
                         else:
                             call = send(value)
                     except StopIteration as stop:
+                        if state.stack:
+                            # A trampolined sub-program finished: resume the
+                            # suspended parent with its return value, exactly
+                            # as ``yield from`` would.
+                            gen = state.stack.pop()
+                            state.gen = gen
+                            send = gen.send
+                            value = stop.value
+                            continue
                         state.status = DONE
                         state.result = stop.value
                         metrics.finished_at = now
@@ -439,6 +513,15 @@ class Simulator:
                     except DeadlockError:
                         raise
                     except Exception as exc:  # surfaces program bugs w/ rank
+                        if state.stack:
+                            # Unwind through suspended trampoline parents —
+                            # the exception is thrown into the parent at its
+                            # yield site, matching ``yield from`` propagation.
+                            gen = state.stack.pop()
+                            state.gen = gen
+                            send = gen.send
+                            pending_exc = exc
+                            continue
                         state.status = DONE
                         raise ProcessFailure(rank, exc) from exc
                     cls = call.__class__
@@ -473,9 +556,23 @@ class Simulator:
                             )
                             metrics.send_seconds += overhead
                             if overhead > 0.0:
-                                due_append(
-                                    (now + overhead, nx(), _EV_STEP, rank, None)
-                                )
+                                # Inline resume: if this rank's wake-up
+                                # strictly precedes every queued event, the
+                                # queued copy would be the very next pop —
+                                # skip the round-trip and keep stepping.
+                                # Ties must queue: an equal-time event
+                                # already queued carries a smaller sequence
+                                # number and pops first.
+                                t = now + overhead
+                                if (not events or t < events[0][0]) and (
+                                    not due or t < due[0][0]
+                                ):
+                                    now = t
+                                    self._now = t
+                                    processed += 1
+                                    value = None
+                                    continue
+                                due_append((t, nx(), _EV_STEP, rank, None))
                                 state.status = WAITING
                                 break
                             value = None
@@ -518,12 +615,34 @@ class Simulator:
                                     "compute",
                                     call.label or "",
                                 )
-                            heappush(
-                                events,
-                                (now + call.seconds, nx(), _EV_STEP, rank, None),
-                            )
+                            # Same inline-resume rule as the Isend overhead
+                            # wait above: strictly-earliest wake-ups skip
+                            # the heap; ties queue to preserve pop order.
+                            t = now + call.seconds
+                            if (not events or t < events[0][0]) and (
+                                not due or t < due[0][0]
+                            ):
+                                now = t
+                                self._now = t
+                                processed += 1
+                                value = None
+                                continue
+                            heappush(events, (t, nx(), _EV_STEP, rank, None))
                             state.status = WAITING
                             break
+                        if cls is GeneratorType:
+                            # Trampoline: the program yielded a sub-program
+                            # generator.  Drive the child directly — its
+                            # StopIteration value resumes the parent above —
+                            # instead of paying a ``yield from`` delegation
+                            # frame on every resume.  No event is scheduled,
+                            # so virtual time and pop order are untouched.
+                            state.stack.append(gen)
+                            gen = call
+                            state.gen = gen
+                            send = gen.send
+                            value = None
+                            continue
                         handler = handlers_get(cls)
                         if handler is None:
                             handler = self._resolve_handler(rank, call)

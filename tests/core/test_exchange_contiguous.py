@@ -1,0 +1,125 @@
+"""Offset-addressed exchange reassembly: buffers, views, spill fallback."""
+
+import numpy as np
+import pytest
+
+from repro.core import compute_cuts, exchange_partitions
+from repro.core.scratch import ScratchArena
+from repro.pgxd import PgxdConfig
+from repro.simnet import NetworkModel, Simulator
+
+
+def run_exchange(per_rank_keys, splitters, track_provenance=True, use_scratch=False):
+    config = PgxdConfig()
+    size = len(per_rank_keys)
+    sim = Simulator(size, NetworkModel())
+    arenas = [ScratchArena() for _ in range(size)] if use_scratch else [None] * size
+
+    def program(proc):
+        keys = np.sort(np.asarray(per_rank_keys[proc.rank]))
+        perm = np.argsort(np.asarray(per_rank_keys[proc.rank]), kind="stable")
+        cut = compute_cuts(keys, np.asarray(splitters))
+        result = yield from exchange_partitions(
+            proc,
+            keys,
+            perm,
+            cut.cuts,
+            config,
+            track_provenance=track_provenance,
+            scratch=arenas[proc.rank],
+        )
+        return result
+
+    sim.add_program(program)
+    sim.run()
+    return sim.results(), arenas
+
+
+class TestContiguousReassembly:
+    def test_runs_are_views_into_one_stream_buffer(self):
+        rng = np.random.default_rng(21)
+        per_rank = [rng.integers(0, 100, 150) for _ in range(4)]
+        results, _ = run_exchange(per_rank, [25, 50, 75])
+        for res in results:
+            assert res.contiguous
+            assert res.key_buffer is not None and res.index_buffer is not None
+            for run, idx in zip(res.key_runs, res.index_runs):
+                if len(run):
+                    assert np.shares_memory(run, res.key_buffer)
+                    assert np.shares_memory(idx, res.index_buffer)
+
+    def test_run_offsets_delimit_each_source_region(self):
+        rng = np.random.default_rng(22)
+        per_rank = [rng.integers(0, 100, 120) for _ in range(3)]
+        results, _ = run_exchange(per_rank, [40, 70])
+        for rank, res in enumerate(results):
+            expected = np.concatenate(
+                ([0], np.cumsum(res.counts_matrix[:, rank]))
+            )
+            np.testing.assert_array_equal(res.run_offsets, expected)
+            bounds = res.run_offsets
+            for src, run in enumerate(res.key_runs):
+                np.testing.assert_array_equal(
+                    run, res.key_buffer[bounds[src] : bounds[src + 1]]
+                )
+
+    def test_scratch_arena_supplies_and_reuses_the_buffers(self):
+        rng = np.random.default_rng(23)
+        per_rank = [rng.integers(0, 100, 80) for _ in range(3)]
+        results, arenas = run_exchange(per_rank, [33, 66], use_scratch=True)
+        for res, arena in zip(results, arenas):
+            assert res.contiguous
+            # The stream buffers are live leases of arena storage.
+            assert arena.live_leases > 0
+            assert arena.pooled_bytes() >= res.key_buffer.nbytes
+            allocations = arena.allocations
+            arena.release_all()
+            # A second lease of the same shape must come from the warm
+            # pool — no allocator call, same underlying storage.
+            again = arena.take(len(res.key_buffer), res.key_buffer.dtype)
+            assert arena.allocations == allocations
+            assert np.shares_memory(again, res.key_buffer)
+            arena.release_all()
+
+    def test_no_provenance_skips_the_index_stream(self):
+        rng = np.random.default_rng(24)
+        per_rank = [rng.integers(0, 100, 90) for _ in range(3)]
+        results, _ = run_exchange(per_rank, [30, 60], track_provenance=False)
+        for res in results:
+            assert res.contiguous
+            assert res.index_buffer is None
+            assert all(len(idx) == 0 for idx in res.index_runs)
+
+
+class TestMixedDtypeSpill:
+    def test_mixed_key_dtypes_fall_back_to_legacy_runs(self):
+        per_rank = [
+            np.array([1, 40, 80], dtype=np.int32),
+            np.array([2, 41, 81], dtype=np.int64),
+            np.array([3, 42, 82], dtype=np.int64),
+        ]
+        results, _ = run_exchange(per_rank, [35, 70])
+        assert any(not res.contiguous for res in results)
+        for rank, res in enumerate(results):
+            if res.contiguous:
+                continue
+            assert res.key_buffer is None and res.index_buffer is None
+            merged = np.sort(np.concatenate(res.key_runs))
+            assert np.all(np.diff(merged) >= 0)
+
+    def test_spill_keys_still_route_correctly(self):
+        per_rank = [
+            np.array([1, 15, 25], dtype=np.int32),
+            np.array([2, 12, 28], dtype=np.int64),
+            np.array([3, 18, 22], dtype=np.int64),
+        ]
+        results, _ = run_exchange(per_rank, [10, 20])
+        np.testing.assert_array_equal(
+            np.sort(np.concatenate(results[0].key_runs)), [1, 2, 3]
+        )
+        np.testing.assert_array_equal(
+            np.sort(np.concatenate(results[1].key_runs)), [12, 15, 18]
+        )
+        np.testing.assert_array_equal(
+            np.sort(np.concatenate(results[2].key_runs)), [22, 25, 28]
+        )

@@ -1,0 +1,71 @@
+"""Zero-copy guarantees of the request-buffer data path.
+
+The offset-addressed exchange hands array *views* to the communication
+layer; if ``split_for_buffers`` or ``RequestBuffer.extend_array`` ever
+regressed to copying, the simulated data path would silently double its
+memory traffic.  These tests pin the aliasing contract with
+``np.shares_memory``.
+"""
+
+import numpy as np
+
+from repro.pgxd.buffers import RequestBuffer, split_for_buffers
+
+
+class TestSplitForBuffersZeroCopy:
+    def test_chunks_are_views_of_the_source(self):
+        array = np.arange(1000, dtype=np.int64)
+        chunks = split_for_buffers(array, 256)
+        assert len(chunks) > 1
+        for chunk in chunks:
+            assert np.shares_memory(chunk, array)
+            assert chunk.base is array
+
+    def test_chunks_cover_source_without_overlap(self):
+        array = np.arange(777, dtype=np.int32)
+        chunks = split_for_buffers(array, 100)
+        np.testing.assert_array_equal(np.concatenate(chunks), array)
+        assert all(chunk.nbytes <= 100 for chunk in chunks)
+
+    def test_single_chunk_is_still_a_view(self):
+        array = np.arange(10, dtype=np.int64)
+        (chunk,) = split_for_buffers(array, 1 << 20)
+        assert np.shares_memory(chunk, array)
+
+
+class TestExtendArrayZeroCopy:
+    def test_flushed_batches_hold_views_of_the_source(self):
+        array = np.arange(100, dtype=np.int64)
+        buf = RequestBuffer(capacity_bytes=25 * 8)
+        batches = buf.extend_array(array)
+        assert len(batches) == 4
+        for batch in batches:
+            for segment in batch:
+                assert np.shares_memory(segment, array)
+
+    def test_pending_tail_is_a_view_too(self):
+        array = np.arange(30, dtype=np.int64)
+        buf = RequestBuffer(capacity_bytes=25 * 8)
+        buf.extend_array(array)
+        tail = buf.flush()
+        assert tail is not None
+        for segment in tail:
+            assert np.shares_memory(segment, array)
+        np.testing.assert_array_equal(np.concatenate(tail), array[25:])
+
+    def test_flush_points_match_per_element_append(self):
+        array = np.arange(103, dtype=np.int64)
+        bulk = RequestBuffer(capacity_bytes=160, watermark=0.8)
+        element = RequestBuffer(capacity_bytes=160, watermark=0.8)
+        bulk_batches = bulk.extend_array(array)
+        element_batches = []
+        for value in array:
+            flushed = element.append(value, array.itemsize)
+            if flushed is not None:
+                element_batches.append(flushed)
+        assert bulk.flush_count == element.flush_count
+        assert bulk.pending_bytes == element.pending_bytes
+        assert len(bulk_batches) == len(element_batches)
+        for bulk_batch, element_batch in zip(bulk_batches, element_batches):
+            merged = np.concatenate(bulk_batch)
+            np.testing.assert_array_equal(merged, np.array(element_batch))

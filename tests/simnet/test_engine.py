@@ -393,3 +393,110 @@ class TestDeterminism:
         assert m1.makespan == m2.makespan
         assert m1.remote_bytes == m2.remote_bytes
         assert [p.bytes_sent for p in m1.processes] == [p.bytes_sent for p in m2.processes]
+
+
+class TestGeneratorTrampoline:
+    """Yielding a sub-program generator instead of ``yield from``-ing it.
+
+    The engine drives the child directly and resumes the parent with the
+    child's return value — same semantics as delegation, without paying a
+    parent stack frame on every child resume.
+    """
+
+    def test_child_return_value_resumes_parent(self):
+        sim = Simulator(1)
+
+        def child(proc):
+            yield Compute(1.0)
+            return "from-child"
+
+        def program(proc):
+            got = yield child(proc)
+            t = yield Now()
+            return got, t
+
+        sim.add_process(program)
+        sim.run()
+        assert sim.result(0) == ("from-child", 1.0)
+
+    def test_nested_children_unwind_in_order(self):
+        sim = Simulator(1)
+
+        def grandchild(proc):
+            yield Compute(0.5)
+            return 1
+
+        def child(proc):
+            inner = yield grandchild(proc)
+            yield Compute(0.25)
+            return inner + 1
+
+        def program(proc):
+            value = yield child(proc)
+            return value + 1
+
+        sim.add_process(program)
+        metrics = sim.run()
+        assert sim.result(0) == 3
+        assert metrics.makespan == 0.75
+
+    def test_child_exception_lands_at_parent_yield_site(self):
+        sim = Simulator(1)
+
+        def child(proc):
+            yield Compute(1.0)
+            raise RuntimeError("child failed")
+
+        def program(proc):
+            try:
+                yield child(proc)
+            except RuntimeError as exc:
+                return f"caught: {exc}"
+
+        sim.add_process(program)
+        sim.run()
+        assert sim.result(0) == "caught: child failed"
+
+    def test_uncaught_child_exception_fails_the_process(self):
+        sim = Simulator(1)
+
+        def child(proc):
+            yield Compute(1.0)
+            raise RuntimeError("boom")
+
+        def program(proc):
+            yield child(proc)
+
+        sim.add_process(program)
+        with pytest.raises(ProcessFailure):
+            sim.run()
+
+    def test_trampoline_matches_yield_from_times_and_metrics(self):
+        def sub(proc, peer):
+            yield Isend(dst=peer, nbytes=256, payload=proc.rank, tag=7)
+            msg = yield Recv(tag=7)
+            yield Compute(0.125)
+            return msg.payload
+
+        def run(delegate):
+            sim = make_sim(2)
+
+            def program(proc):
+                peer = 1 - proc.rank
+                if delegate:
+                    got = yield from sub(proc, peer)
+                else:
+                    got = yield sub(proc, peer)
+                return got
+
+            sim.add_program(program)
+            metrics = sim.run()
+            return metrics, [sim.result(r) for r in range(2)]
+
+        m_yield_from, r_yield_from = run(delegate=True)
+        m_trampoline, r_trampoline = run(delegate=False)
+        assert r_yield_from == r_trampoline == [1, 0]
+        assert m_yield_from.makespan == m_trampoline.makespan
+        assert [p.send_seconds for p in m_yield_from.processes] == [
+            p.send_seconds for p in m_trampoline.processes
+        ]
