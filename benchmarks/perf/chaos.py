@@ -1,0 +1,196 @@
+"""Chaos sweep: the seeded fault-schedule matrix over the resilient sort.
+
+Runs every schedule from :func:`repro.simnet.chaos_schedules` — drops,
+duplicates, reorders, delay spikes, a slow node, link degradation, rank
+crashes (worker / coordinator / at t=0) and a mixed plan — through the
+end-to-end sort with SimSan attached, and enforces the robustness
+contract: every schedule yields a globally sorted, provenance-correct
+result over the committed survivor set, **or** a typed ``SimError`` —
+never silent corruption, never a hang.  A reproducibility pass re-runs
+the first few schedules and fails if the fault-event sequence diverges.
+
+One JSON artifact (``--json-out``) records per-schedule outcomes, the
+full fault-event stream, and per-rank retry/timeout/crash counters; the
+CI ``chaos`` job uploads it so a red run is debuggable from the artifact
+alone::
+
+    PYTHONPATH=src python benchmarks/perf/chaos.py --json-out chaos_report.json
+
+Everything is virtual-time simulation: the whole matrix takes seconds of
+wall clock, so this doubles as the perf hook keeping the chaos job well
+under its CI time budget.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.api import DistributedSorter, partition_input  # noqa: E402
+from repro.obs.context import capture  # noqa: E402
+from repro.obs.report import RunReport  # noqa: E402
+from repro.simnet import ResilienceConfig, chaos_schedules, sanitize  # noqa: E402
+from repro.simnet.errors import SimError  # noqa: E402
+
+P = 8
+N_KEYS = 32_000
+DATA_SEED = 20260805
+#: Tight virtual-time budgets so even pathological schedules finish their
+#: bounded recovery rounds quickly (same knobs as tests/integration).
+RESILIENCE = ResilienceConfig(ack_timeout=5e-4, poll_interval=5e-5, phase_timeout=1e-2)
+#: Schedules re-run to prove same-seed event-sequence reproducibility.
+REPRO_CHECK_SCHEDULES = 3
+
+
+def _event_tuples(tracer):
+    return [
+        (e.rank, round(e.time, 12), e.kind, e.src, e.dst, e.detail)
+        for e in tracer.faults
+    ]
+
+
+def _run_one(plan, data):
+    """One sanitized, traced run; returns (record, problems, events)."""
+    sorter = DistributedSorter(num_processors=P, faults=plan, resilience=RESILIENCE)
+    problems = []
+    t0 = time.perf_counter()
+    with capture(name="chaos") as cap:
+        try:
+            with sanitize() as san:
+                result = sorter.sort(data)
+            error = None
+        except SimError as exc:
+            result, error = None, exc
+            san = None
+    wall = time.perf_counter() - t0
+    tracer = cap.sessions[-1].tracer if cap.sessions else None
+    events = _event_tuples(tracer) if tracer else []
+    record = {
+        "wall_seconds": round(wall, 4),
+        "fault_events": len(events),
+    }
+
+    if error is not None:
+        record["status"] = f"typed-error:{type(error).__name__}"
+        return record, problems, events
+
+    record["status"] = "sorted"
+    if san is not None and not san.report.ok:
+        problems.append(f"sanitizer violations: {san.report.summary()}")
+
+    survivors = (
+        sorted(result.survivors) if result.survivors is not None else list(range(P))
+    )
+    record["survivors"] = survivors
+    record["recovery_rounds"] = result.recovery_rounds
+    record["total_keys"] = result.total_keys
+
+    # --- the robustness contract -----------------------------------------
+    if not result.is_globally_sorted():
+        problems.append("result is not globally sorted")
+    blocks, _ = partition_input(data, P)
+    expected = np.sort(np.concatenate([blocks[r] for r in survivors]))
+    if not np.array_equal(result.to_array(), expected):
+        problems.append("key multiset does not match the survivor blocks")
+    if not plan.crashes and result.total_keys != len(data):
+        problems.append(
+            f"crash-free schedule lost keys: {result.total_keys} != {len(data)}"
+        )
+    for rank, (keys, prov) in enumerate(
+        zip(result.per_processor, result.provenance)
+    ):
+        if rank not in survivors:
+            continue
+        gidx = prov.global_indices(result.input_offsets)
+        if not np.array_equal(data[gidx], keys):
+            problems.append(f"rank {rank}: provenance does not recover its keys")
+
+    report = RunReport.from_sort_result(result, tracer=tracer)
+    counters = {
+        str(rr.rank): rr.faults for rr in report.ranks if rr.faults is not None
+    }
+    record["rank_fault_counters"] = counters
+    # Slow nodes and link degradation are continuous slowdowns, not
+    # discrete events; only message-fate faults and crashes must leave an
+    # observable trace.
+    eventful = bool(
+        plan.drop_prob
+        or plan.dup_prob
+        or plan.reorder_prob
+        or plan.delay_prob
+        or plan.crashes
+    )
+    if eventful and not events and not counters:
+        problems.append("eventful plan produced no fault events and no counters")
+    return record, problems, events
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        metavar="PATH",
+        help="write the fault-event artifact (per-schedule outcomes + events)",
+    )
+    args = parser.parse_args(argv)
+
+    data = np.random.default_rng(DATA_SEED).integers(0, 50_000, N_KEYS)
+    schedules = chaos_schedules()
+    doc = {
+        "schema": "repro.chaos-report/1",
+        "num_processors": P,
+        "n_keys": N_KEYS,
+        "data_seed": DATA_SEED,
+        "schedules": [],
+    }
+    failures = []
+
+    for name, plan in schedules:
+        record, problems, events = _run_one(plan, data)
+        record = {"name": name, "spec": plan.describe(), **record}
+        record["events"] = [
+            {"rank": r, "t": t, "kind": k, "src": s, "dst": d, "detail": detail}
+            for r, t, k, s, d, detail in events
+        ]
+        record["problems"] = problems
+        doc["schedules"].append(record)
+        failures.extend(f"{name}: {p}" for p in problems)
+        flag = "FAIL" if problems else "ok"
+        print(
+            f"  {name:<18} {record['status']:<34} "
+            f"events={record['fault_events']:<5} "
+            f"wall={record['wall_seconds']:.2f}s  {flag}"
+        )
+
+    # --- same schedule + seed => same event sequence ----------------------
+    for name, plan in schedules[:REPRO_CHECK_SCHEDULES]:
+        _, _, first = _run_one(plan, data)
+        _, _, second = _run_one(plan, data)
+        if first != second:
+            failures.append(f"{name}: fault-event sequence not reproducible")
+        else:
+            print(f"  {name:<18} event sequence reproducible ({len(first)} events)")
+
+    doc["ok"] = not failures
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"wrote {args.json_out}")
+
+    if failures:
+        print("chaos sweep FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"chaos sweep: {len(schedules)} schedules, contract holds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

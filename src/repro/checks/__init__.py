@@ -12,7 +12,7 @@ generic linters:
   no-op, and a :class:`~repro.simnet.mpi.SimRequest` that is assigned but
   never ``wait()``/``test()``-ed usually marks a lost completion check.
 
-``repro-lint`` encodes both classes as AST rules R001–R007 (see
+``repro-lint`` encodes both classes as AST rules R001–R008 (see
 :mod:`repro.checks.rules` for the catalog) with line-level suppression via
 ``# repro: noqa[Rxxx]`` comments.  Run it as::
 
@@ -20,7 +20,7 @@ generic linters:
     python -m repro.checks src tests --json     # machine-readable report
 
 The process exit code is a bitmask with one bit per firing rule
-(R001 -> 1, R002 -> 2, ..., R007 -> 64); 0 means clean.  CI gates on it.
+(R001 -> 1, R002 -> 2, ..., R008 -> 128); 0 means clean.  CI gates on it.
 
 The static half cannot see through dynamic dispatch, so it is paired with
 **SimSan** (:mod:`repro.simnet.sanitizer`), a runtime sanitizer catching the

@@ -29,6 +29,10 @@ R006  ``except:`` / ``except Exception`` with no re-raise — swallows
       ``ProcessFailure``) that must surface.
 R007  mutable default argument (``def f(x=[])``) — shared across calls and
       across simulated ranks.
+R008  retry loop without a bound: a ``while`` loop in ``src/repro`` that
+      increments a retry-flavored counter (``attempt``, ``retries``, ...)
+      but never compares it (or a ``max_*`` cap) inside the loop — under
+      fault injection such a loop retransmits forever.
 """
 
 from __future__ import annotations
@@ -424,3 +428,69 @@ def rule_mutable_default(tree: ast.Module, ctx: FileContext) -> Iterator[Violati
                     "mutable default argument is shared across calls (and "
                     "simulated ranks); default to None and build inside",
                 )
+
+
+_RETRY_COUNTERS = {
+    "attempt", "attempts", "retry", "retries", "tries",
+    "resend", "resends", "retransmit", "retransmits",
+}
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    """``foo`` -> "foo", ``a.b.attempt`` -> "attempt", else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@_rule("R008", "retry loop without a bound (no retry-counter comparison)")
+def rule_unbounded_retry(tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
+    """A ``while`` loop that counts retries must also *bound* them.
+
+    Under fault injection an unacked message can stay unacked forever; a
+    retry loop whose counter is never compared against a cap spins (or
+    retransmits) until the virtual clock ages out the whole run.  The rule
+    fires on ``while`` loops in library code that increment a retry-flavored
+    counter (``attempt``/``retries``/``resend``/...) when no comparison
+    anywhere in the loop mentions a retry-flavored name — i.e. nothing like
+    ``attempt >= max_retries`` ever breaks the cycle.  Scoped to
+    ``src/repro``: tests may hammer the protocol unboundedly on purpose.
+    """
+    if not ctx.simulated:
+        return
+    for loop in ast.walk(tree):
+        if not isinstance(loop, ast.While):
+            continue
+        increments = [
+            node
+            for node in ast.walk(loop)
+            if isinstance(node, ast.AugAssign)
+            and isinstance(node.op, ast.Add)
+            and _terminal_name(node.target) in _RETRY_COUNTERS
+        ]
+        if not increments:
+            continue
+        compared: set[str] = set()
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Compare):
+                for side in [node.left, *node.comparators]:
+                    for sub in ast.walk(side):
+                        name = _terminal_name(sub)
+                        if name is not None:
+                            compared.add(name)
+        # `attempt >= cfg.max_retries` satisfies the bound either way: the
+        # counter itself or a cap whose name embeds a retry word.
+        bounded = any(
+            any(word in name for word in _RETRY_COUNTERS) for name in compared
+        )
+        if not bounded:
+            first = min(increments, key=lambda n: (n.lineno, n.col_offset))
+            counter = _terminal_name(first.target)
+            yield Violation(
+                "R008", ctx.path, first.lineno, first.col_offset,
+                f"retry counter {counter!r} is incremented but never compared "
+                "against a cap in this loop; bound the retries (and back off) "
+                "or the loop can spin forever under fault injection",
+            )

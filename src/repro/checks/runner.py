@@ -4,10 +4,11 @@ The runner walks the requested paths, parses each ``*.py`` file once, runs
 every registered rule (see :mod:`repro.checks.rules`), drops violations
 suppressed by a same-line ``# repro: noqa[Rxxx]`` comment, and renders a
 text or ``--json`` report.  The exit code is a bitmask with one bit per
-rule that fired (R001 -> 1, R002 -> 2, ..., R007 -> 64), so CI logs show
-*which* rule class regressed without parsing output.  (Exit code 2 is also
-argparse's usage-error code; treat bits as meaningful only when the run
-itself printed a report.)
+rule that fired (R001 -> 1, R002 -> 2, ..., R008 -> 128), so CI logs show
+*which* rule class regressed without parsing output; bit 9 (256) marks
+files that failed to parse.  (Exit code 2 is also argparse's usage-error
+code; treat bits as meaningful only when the run itself printed a
+report.)
 """
 
 from __future__ import annotations
@@ -45,7 +46,7 @@ class LintReport:
         for v in self.violations:
             code |= 1 << (int(v.rule[1:]) - 1)
         if self.errors:
-            code |= 1 << 7  # bit 8: files that failed to parse
+            code |= 1 << 8  # bit 9: files that failed to parse
         return code
 
     def rule_counts(self) -> dict[str, int]:

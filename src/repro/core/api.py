@@ -44,6 +44,10 @@ class SortConfig:
     options: SortOptions = field(default_factory=SortOptions)
     #: Optional per-machine speed factors (heterogeneous cluster).
     rank_speed: tuple[float, ...] | None = None
+    #: Optional :class:`repro.simnet.faults.FaultPlan`: attaching one
+    #: switches the sort onto the resilient protocol.  None (the default)
+    #: still honours an ambient ``inject_faults`` scope.
+    faults: "object | None" = None
 
     def __post_init__(self) -> None:
         if self.num_processors < 1:
@@ -58,6 +62,7 @@ class SortConfig:
             network=self.network,
             cost=self.cost,
             rank_speed=self.rank_speed,
+            faults=self.faults,
         )
 
 
@@ -89,7 +94,7 @@ class DistributedSorter:
         ``balanced_merge``, ``track_provenance``, ``splitter_strategy``,
         ``threads_per_machine``, ``async_messaging``, ``read_buffer_bytes``,
         ``parallel_merge``, ``data_scale``, ``network``, ``cost``,
-        ``rank_speed``."""
+        ``rank_speed``, ``faults``, ``resilience``."""
         config = config or SortConfig()
         opt_fields = {
             "sample_factor",
@@ -97,6 +102,7 @@ class DistributedSorter:
             "balanced_merge",
             "track_provenance",
             "splitter_strategy",
+            "resilience",
         }
         pgxd_fields = {
             "threads_per_machine",
@@ -110,7 +116,7 @@ class DistributedSorter:
         rest = {
             k: v for k, v in overrides.items() if k not in opt_fields | pgxd_fields
         }
-        unknown = set(rest) - {"num_processors", "network", "cost", "rank_speed"}
+        unknown = set(rest) - {"num_processors", "network", "cost", "rank_speed", "faults"}
         if unknown:
             raise TypeError(f"unknown sorter options: {sorted(unknown)}")
         self.config = SortConfig(
@@ -128,6 +134,7 @@ class DistributedSorter:
                 if opts
                 else config.options
             ),
+            faults=rest.get("faults", config.faults),
         )
 
     # ------------------------------------------------------------- sorts
@@ -248,4 +255,5 @@ def _options_dict(options: SortOptions) -> dict:
         "balanced_merge": options.balanced_merge,
         "track_provenance": options.track_provenance,
         "splitter_strategy": options.splitter_strategy,
+        "resilience": options.resilience,
     }

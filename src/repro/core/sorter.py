@@ -64,6 +64,10 @@ class SortOptions:
     #: How splitters are agreed: "sample" (the paper's steps 2-3) or
     #: "histogram" (iterative refinement — see repro.core.hist_splitters).
     splitter_strategy: str = "sample"
+    #: Reliable-exchange knobs used when a fault plan is attached to the
+    #: run (None = :class:`repro.simnet.comm.ResilienceConfig` defaults).
+    #: Ignored on fault-free runs, which take the lossless fast path.
+    resilience: "object | None" = None
 
     def __post_init__(self) -> None:
         if self.sample_factor <= 0:
@@ -91,10 +95,23 @@ class RankSortOutput:
     sent_counts: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
     #: Keys received from each source.
     received_counts: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    #: Ranks that produced output, agreed by the recovery protocol; None on
+    #: the fault-free path (the whole cluster survived by construction).
+    survivors: tuple[int, ...] | None = None
+    #: Index of the recovery round that committed (0 = first attempt).
+    recovery_rounds: int = 0
 
 
 def sample_sort_program(machine: Machine, local_keys: np.ndarray, options: SortOptions):
     """Generator program implementing the six steps on one machine."""
+    if machine.proc.faults is not None and machine.size > 1:
+        # Fault injection is active: take the resilient protocol (seq/ack
+        # exchange + recovery rounds).  The lossless fast path below would
+        # silently corrupt or deadlock under drops/dups/crashes.
+        from .recovery import resilient_sort_program
+
+        result = yield resilient_sort_program(machine, local_keys, options)
+        return result
     keys = np.ascontiguousarray(local_keys)
     rank, size = machine.rank, machine.size
     cfg, cost = machine.config, machine.cost

@@ -92,6 +92,23 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help="write the SimSan report JSON (implies --sanitize)",
     )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "inject faults into every simulation, e.g. "
+            "'drop=0.05,dup=0.01,crash=3@0.0005' "
+            "(see repro.simnet.faults.FaultPlan.from_spec)"
+        ),
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed of the fault schedule's RNG (default: 0)",
+    )
     args = parser.parse_args(argv)
     if args.list:
         for name in EXPERIMENTS:
@@ -111,6 +128,13 @@ def main(argv: list[str] | None = None) -> int:
 
         sanitizer = SimSan()
 
+    fault_plan = None
+    if args.faults is not None:
+        from ..simnet.faults import FaultPlan
+
+        fault_plan = FaultPlan.from_spec(args.faults, seed=args.fault_seed)
+        print(f"[faults: {fault_plan.describe()}]", file=sys.stderr)
+
     def run_observed(name, fn):
         from contextlib import ExitStack
 
@@ -119,6 +143,10 @@ def main(argv: list[str] | None = None) -> int:
                 from ..simnet.sanitizer import sanitize
 
                 stack.enter_context(sanitize(sanitizer))
+            if fault_plan is not None:
+                from ..simnet.faults import inject_faults
+
+                stack.enter_context(inject_faults(fault_plan))
             cap = None
             if observing:
                 from ..obs.context import capture

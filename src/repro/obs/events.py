@@ -71,3 +71,21 @@ class CounterSample:
     time: float
     name: str
     value: float
+
+
+@dataclass(slots=True)
+class FaultEvent:
+    """One injected (or protocol-observed) fault occurrence.
+
+    ``kind`` is one of the engine's injection kinds (``drop``, ``dup``,
+    ``delay``, ``crash``, ``dead-letter``) or a protocol-layer observation
+    (``retry``, ``peer-dead``).  ``src``/``dst`` are -1 when the fault is
+    not message-scoped (e.g. a crash).
+    """
+
+    rank: int
+    time: float
+    kind: str
+    src: int = -1
+    dst: int = -1
+    detail: str = ""

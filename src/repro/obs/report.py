@@ -62,6 +62,10 @@ class RankReport:
     messages_received: int = 0
     peak_resident_bytes: int = 0
     peak_temporary_bytes: int = 0
+    #: Fault-injection accounting (retries/timeouts/drops/dups/crashed).
+    #: None on fault-free runs — the key is then absent from the JSON, so
+    #: golden report snapshots predating fault injection stay bit-identical.
+    faults: dict[str, Any] | None = None
 
 
 @dataclass
@@ -122,6 +126,13 @@ class RunReport:
                 )
             if tracer is not None:
                 _attribute_flows(tracer, proc.rank, steps)
+            fault_stats = {
+                "retries": proc.retries,
+                "timeouts": proc.timeouts,
+                "messages_dropped": proc.messages_dropped,
+                "messages_duplicated": proc.messages_duplicated,
+                "crashed": proc.crashed,
+            }
             ranks.append(
                 RankReport(
                     rank=proc.rank,
@@ -135,6 +146,7 @@ class RunReport:
                     messages_received=proc.messages_received,
                     peak_resident_bytes=proc.memory.peak_resident,
                     peak_temporary_bytes=proc.memory.peak_temporary,
+                    faults=fault_stats if any(fault_stats.values()) else None,
                 )
             )
         return cls(
@@ -189,6 +201,8 @@ class RunReport:
                     "messages_received": rr.messages_received,
                     "peak_resident_bytes": rr.peak_resident_bytes,
                     "peak_temporary_bytes": rr.peak_temporary_bytes,
+                    # the faults key exists only on fault-injected runs
+                    **({"faults": rr.faults} if rr.faults is not None else {}),
                 }
                 for rr in self.ranks
             ],

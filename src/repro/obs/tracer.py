@@ -22,7 +22,7 @@ when exporting, so tracks don't overlap.
 
 from __future__ import annotations
 
-from .events import CounterSample, FlowEvent, SpanEvent
+from .events import CounterSample, FaultEvent, FlowEvent, SpanEvent
 
 
 class Tracer:
@@ -33,6 +33,7 @@ class Tracer:
         "spans",
         "flows",
         "counters",
+        "faults",
         "num_ranks",
         "makespan",
         "_open_phases",
@@ -45,6 +46,8 @@ class Tracer:
         self.spans: list[SpanEvent] = []
         self.flows: list[FlowEvent] = []
         self.counters: list[CounterSample] = []
+        #: Injected-fault occurrences (empty on fault-free runs).
+        self.faults: list[FaultEvent] = []
         #: Highest rank count of any simulator this tracer was attached to.
         self.num_ranks = 0
         #: Final virtual time of the last observed run (set by the engine).
@@ -107,6 +110,33 @@ class Tracer:
     def counter(self, rank: int, t: float, name: str, value: float) -> None:
         """Record one sample of an arbitrary named series."""
         self.counters.append(CounterSample(rank, t, name, value))
+
+    def fault(
+        self,
+        rank: int,
+        t: float,
+        kind: str,
+        *,
+        src: int = -1,
+        dst: int = -1,
+        detail: str = "",
+    ) -> None:
+        """Record one fault occurrence (engine injection or protocol event).
+
+        Also drops an instant span on the rank's track so existing
+        exporters (Perfetto) render fault markers with no format changes.
+        """
+        self.faults.append(FaultEvent(rank, t, kind, src, dst, detail))
+        label = f"fault:{kind}" + (f" {detail}" if detail else "")
+        self.spans.append(SpanEvent(rank, t, 0.0, "instant", label))
+
+    def faults_for(self, rank: int | None = None, kind: str | None = None) -> list[FaultEvent]:
+        """Query fault events by rank and/or kind."""
+        return [
+            f
+            for f in self.faults
+            if (rank is None or f.rank == rank) and (kind is None or f.kind == kind)
+        ]
 
     def finish(self, makespan: float) -> None:
         """Close any phases left open at run end and record the makespan."""

@@ -102,6 +102,7 @@ class PgxdRuntime:
         rank_speed: Sequence[float] | None = None,
         trace: bool = False,
         tracer: Any = None,
+        faults: Any = None,
     ):
         """``rank_speed`` makes the cluster heterogeneous: machine ``m``'s
         compute rates are multiplied by ``rank_speed[m]`` (1.0 = nominal,
@@ -109,7 +110,11 @@ class PgxdRuntime:
 
         ``tracer`` attaches a structured :class:`repro.obs.Tracer` to every
         simulator this runtime builds; when None (the default) an ambient
-        ``repro.obs.capture`` scope, if active, supplies one per run."""
+        ``repro.obs.capture`` scope, if active, supplies one per run.
+
+        ``faults`` attaches a :class:`repro.simnet.faults.FaultPlan` to
+        every run; when None, an ambient ``inject_faults`` scope (if
+        active) supplies one — otherwise the run is fault-free."""
         if num_machines < 1:
             raise ValueError("num_machines must be >= 1")
         self.num_machines = num_machines
@@ -124,6 +129,7 @@ class PgxdRuntime:
         self.rank_speed = list(rank_speed) if rank_speed is not None else None
         self.trace = trace
         self.tracer = tracer
+        self.faults = faults
 
     def cost_for_rank(self, rank: int) -> CostModel:
         """The (possibly slowed) cost model of one machine."""
@@ -141,7 +147,11 @@ class PgxdRuntime:
     def run(self, program: MachineProgram, *args: Any, **kwargs: Any) -> RunResult:
         """Run ``program(machine, *args, **kwargs)`` on every machine."""
         sim = Simulator(
-            self.num_machines, self.network, trace=self.trace, tracer=self.tracer
+            self.num_machines,
+            self.network,
+            trace=self.trace,
+            tracer=self.tracer,
+            faults=self.faults,
         )
 
         # Plain function, not a generator: returning the program's generator
@@ -164,7 +174,11 @@ class PgxdRuntime:
                 f"need {self.num_machines} programs, got {len(programs)}"
             )
         sim = Simulator(
-            self.num_machines, self.network, trace=self.trace, tracer=self.tracer
+            self.num_machines,
+            self.network,
+            trace=self.trace,
+            tracer=self.tracer,
+            faults=self.faults,
         )
         for rank, program in enumerate(programs):
 

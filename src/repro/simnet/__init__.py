@@ -23,17 +23,20 @@ from .calls import (
     Sleep,
 )
 from .collectives import allgather, alltoallv, bcast, gather, reduce, scatter
-from .comm import nbytes_of
+from .comm import Envelope, ReliableComm, ResilienceConfig, nbytes_of
 from .cost import CostModel
 from .engine import ProcessHandle, Simulator
 from .errors import (
     DeadlockError,
+    ExchangeTimeoutError,
     InvalidCallError,
+    MembershipError,
     ProcessFailure,
     SimError,
     SimSanError,
     UnknownRankError,
 )
+from .faults import FaultPlan, FaultState, active_fault_plan, chaos_schedules, inject_faults
 from .metrics import ClusterMetrics, MemoryTracker, ProcessMetrics
 from .network import Fabric, NetworkModel, NicState, gbit_per_s
 from .sanitizer import SimSan, SimSanReport, sanitize
@@ -47,10 +50,15 @@ __all__ = [
     "Compute",
     "CostModel",
     "DeadlockError",
+    "Envelope",
+    "ExchangeTimeoutError",
     "Fabric",
+    "FaultPlan",
+    "FaultState",
     "Free",
     "InvalidCallError",
     "Isend",
+    "MembershipError",
     "Mark",
     "MemoryTracker",
     "Message",
@@ -62,6 +70,8 @@ __all__ = [
     "ProcessHandle",
     "ProcessMetrics",
     "Recv",
+    "ReliableComm",
+    "ResilienceConfig",
     "Send",
     "SimError",
     "SimSan",
@@ -71,11 +81,14 @@ __all__ = [
     "Sleep",
     "sanitize",
     "UnknownRankError",
+    "active_fault_plan",
     "allgather",
     "alltoallv",
     "bcast",
+    "chaos_schedules",
     "gather",
     "gbit_per_s",
+    "inject_faults",
     "nbytes_of",
     "reduce",
     "scatter",

@@ -69,6 +69,7 @@ Program = Callable[..., Generator]
 #: Event kinds interpreted by the run loop (slot 2 of an event record).
 _EV_STEP = 0  #: resume rank's generator with ``arg`` as the send value
 _EV_DELIVER = 1  #: deliver ``arg`` (a Message) to its destination mailbox
+_EV_CRASH = 2  #: fail-stop the rank (fault injection); ``arg`` unused
 
 
 class _Status(Enum):
@@ -89,13 +90,20 @@ class ProcessHandle:
     under SimSan, ``sanitizer`` carries the active
     :class:`~repro.simnet.sanitizer.SimSan` so comm facades (e.g.
     :class:`~repro.simnet.mpi.SimComm`) can register request handles; it is
-    ``None`` on unsanitized runs.
+    ``None`` on unsanitized runs.  ``faults`` carries the run's
+    :class:`~repro.simnet.faults.FaultState` when a fault plan is attached
+    (``None`` otherwise) — protocol layers key their resilient paths off
+    it.  ``reliable`` is set by a :class:`~repro.simnet.comm.ReliableComm`
+    registering itself, so deadlock diagnostics can report in-flight
+    retry state.
     """
 
     rank: int
     size: int
     metrics: ProcessMetrics
     sanitizer: "SimSan | None" = None
+    faults: Any = None
+    reliable: Any = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ProcessHandle(rank={self.rank}, size={self.size})"
@@ -266,6 +274,13 @@ class Simulator:
         the tracer.  Guarded the same way — one ``is not None`` test per
         hook — and hooks never touch virtual time, metrics, or event
         order, so sanitized runs are bit-identical to unsanitized ones.
+    faults:
+        A :class:`repro.simnet.faults.FaultPlan` to inject message drops,
+        duplicates, delays, crashes and slow nodes into this run.  ``None``
+        (the default) consults the ambient
+        :func:`repro.simnet.faults.inject_faults` scope.  Consulted through
+        the same single ``is not None`` guard as the observers, so the
+        no-fault path stays bit-identical to the golden fingerprint.
     """
 
     def __init__(
@@ -276,6 +291,7 @@ class Simulator:
         trace: bool = False,
         tracer: "Tracer | None" = None,
         sanitizer: "SimSan | None" = None,
+        faults: Any = None,
     ) -> None:
         if num_ranks <= 0:
             raise ValueError("num_ranks must be positive")
@@ -297,6 +313,16 @@ class Simulator:
 
             sanitizer = active_sanitizer()
         self._sanitizer = sanitizer
+        if faults is None:
+            from .faults import active_fault_plan
+
+            faults = active_fault_plan()
+        self.fault_plan = faults
+        #: Per-run FaultState, or None — the single object every fault
+        #: guard in the run loop tests.
+        self._faults = faults.begin_run(num_ranks) if faults is not None else None
+        if self._faults is not None:
+            self.fabric.faults = self._faults
         self._procs: dict[int, _ProcState] = {}
         self._events: list[tuple[float, int, int, int, Any]] = []
         #: FIFO of Isend completions: their resume times are ``now`` plus a
@@ -345,7 +371,7 @@ class Simulator:
         if not 0 <= rank < self.num_ranks:
             raise UnknownRankError(f"rank {rank} outside [0, {self.num_ranks})")
         handle = ProcessHandle(
-            rank, self.num_ranks, ProcessMetrics(rank), self._sanitizer
+            rank, self.num_ranks, ProcessMetrics(rank), self._sanitizer, self._faults
         )
         gen = fn(handle, *args, **kwargs)
         if not isinstance(gen, Generator):
@@ -373,6 +399,16 @@ class Simulator:
                 f"{len(self._procs)} programs registered for {self.num_ranks} ranks"
             )
         self._ran = True
+        fstate = self._faults
+        if fstate is not None:
+            # Crash events are queued before the initial steps so a
+            # crash-at-t=0 preempts the rank's very first resume (smaller
+            # sequence number pops first on the time tie).
+            for crank in sorted(fstate.crash_at):
+                heapq.heappush(
+                    self._events,
+                    (fstate.crash_at[crank], next(self._seq), _EV_CRASH, crank, None),
+                )
         for rank in sorted(self._procs):
             self._schedule_step(0.0, rank, None)
         # Tight interpreter: pop the globally next event from the heap or the
@@ -441,6 +477,7 @@ class Simulator:
                 DONE,
                 BLOCKED_RECV,
                 processed,
+                fstate,
             )
         finally:
             if gc_was_enabled:
@@ -467,6 +504,7 @@ class Simulator:
         DONE,
         BLOCKED_RECV,
         processed,
+        fstate,
     ) -> ClusterMetrics:
         while events or due:
             if due and (not events or due[0] < events[0]):
@@ -481,6 +519,8 @@ class Simulator:
                 rank = event[3]
                 value = event[4]
                 state = procs[rank]
+                if state.status is DONE:
+                    continue  # stale wake-up of a crashed rank
                 state.status = READY
                 gen = state.gen
                 send = gen.send
@@ -551,9 +591,53 @@ class Simulator:
                                 tracer.span(rank, now, overhead, "send")
                             if sanitizer is not None:
                                 sanitizer.on_send(msg, nonblocking=True)
-                            heappush(
-                                events, (delivered, nx(), _EV_DELIVER, dst, msg)
-                            )
+                            if fstate is None or dst == rank:
+                                heappush(
+                                    events, (delivered, nx(), _EV_DELIVER, dst, msg)
+                                )
+                            else:
+                                drop, extra, dup_delay = fstate.fate(rank, dst)
+                                if drop:
+                                    metrics.messages_dropped += 1
+                                    if tracer is not None:
+                                        tracer.fault(
+                                            rank, now, "drop", src=rank, dst=dst,
+                                            detail=f"tag={call.tag}",
+                                        )
+                                else:
+                                    heappush(
+                                        events,
+                                        (delivered + extra, nx(), _EV_DELIVER, dst, msg),
+                                    )
+                                    if extra > 0.0 and tracer is not None:
+                                        tracer.fault(
+                                            rank, now, "delay", src=rank, dst=dst,
+                                            detail=f"+{extra:.2e}s",
+                                        )
+                                if dup_delay is not None:
+                                    # A duplicate is a *second wire copy*:
+                                    # a fresh Message object, so the two
+                                    # deliveries keep independent state.
+                                    metrics.messages_duplicated += 1
+                                    dup_msg = Message(
+                                        rank, dst, call.tag, nbytes,
+                                        call.payload, now, faulted="dup",
+                                    )
+                                    heappush(
+                                        events,
+                                        (
+                                            delivered + dup_delay,
+                                            nx(),
+                                            _EV_DELIVER,
+                                            dst,
+                                            dup_msg,
+                                        ),
+                                    )
+                                    if tracer is not None:
+                                        tracer.fault(
+                                            rank, now, "dup", src=rank, dst=dst,
+                                            detail=f"tag={call.tag}",
+                                        )
                             metrics.send_seconds += overhead
                             if overhead > 0.0:
                                 # Inline resume: if this rank's wake-up
@@ -601,24 +685,27 @@ class Simulator:
                                 )
                             break
                         if cls is Compute:
-                            metrics.record_compute(call.seconds, call.label)
+                            seconds = call.seconds
+                            if fstate is not None:
+                                seconds *= fstate.slow_mult[rank]
+                            metrics.record_compute(seconds, call.label)
                             if trace:
                                 self._trace(
                                     rank,
-                                    f"compute {call.seconds:.3g}s [{call.label}]",
+                                    f"compute {seconds:.3g}s [{call.label}]",
                                 )
                             if tracer is not None:
                                 tracer.span(
                                     rank,
                                     now,
-                                    call.seconds,
+                                    seconds,
                                     "compute",
                                     call.label or "",
                                 )
                             # Same inline-resume rule as the Isend overhead
                             # wait above: strictly-earliest wake-ups skip
                             # the heap; ties queue to preserve pop order.
-                            t = now + call.seconds
+                            t = now + seconds
                             if (not events or t < events[0][0]) and (
                                 not due or t < due[0][0]
                             ):
@@ -655,7 +742,7 @@ class Simulator:
                         continue
                     if value is _BLOCKED:
                         break
-            else:
+            elif event[2] == _EV_DELIVER:
                 # ---- deliver: place an arriving message; wake the rank if
                 # it matches.  A rank blocked in Recv/Probe implies its
                 # mailbox held no matching message when it blocked (and every
@@ -664,6 +751,17 @@ class Simulator:
                 msg = event[4]
                 msg.delivered_at = now
                 state = procs[msg.dst]
+                if fstate is not None and msg.dst in fstate.crashed:
+                    # Dead letter: the destination fail-stopped.  Retire the
+                    # in-flight bytes in the tracer so counters stay sane,
+                    # then discard the message.
+                    if tracer is not None:
+                        tracer.delivered(msg.dst, now, msg.nbytes)
+                        tracer.fault(
+                            msg.dst, now, "dead-letter", src=msg.src,
+                            dst=msg.dst, detail=f"tag={msg.tag}",
+                        )
+                    continue
                 if tracer is not None:
                     tracer.delivered(msg.dst, now, msg.nbytes)
                 if sanitizer is not None:
@@ -694,6 +792,33 @@ class Simulator:
                         heappush(events, (now, nx(), _EV_STEP, msg.dst, msg))
                         continue
                 state.mailbox.push(msg)
+            else:
+                # ---- crash: fail-stop the rank at its scheduled time.  The
+                # generator (and any suspended trampoline parents) are
+                # closed; the rank produces no result and receives nothing
+                # further.  Messages it already injected still deliver —
+                # they were on the wire when it died.
+                rank = event[3]
+                state = procs[rank]
+                if state.status is DONE:
+                    continue  # finished before its crash time
+                fstate.crashed.add(rank)
+                metrics = state.handle.metrics
+                metrics.crashed = True
+                metrics.finished_at = now
+                try:
+                    state.gen.close()
+                    while state.stack:
+                        state.stack.pop().close()
+                except Exception as exc:
+                    raise ProcessFailure(rank, exc) from exc
+                state.status = DONE
+                state.result = None
+                state.recv_spec = None
+                if trace:
+                    self._trace(rank, "crashed")
+                if tracer is not None:
+                    tracer.fault(rank, now, "crash", detail=f"t={now:.6g}")
         self.events_processed = processed
         if tracer is not None:
             tracer.finish(self._now)
@@ -752,9 +877,17 @@ class Simulator:
         an all-ranks-blocked hang names each rank's awaited source/tag and
         pending mailbox instead of a bare status word.
         """
+        fstate = self._faults
         details: dict[int, dict[str, Any]] = {}
         for rank, state in sorted(self._procs.items()):
             if state.status is _Status.DONE:
+                # Crashed ranks finished involuntarily; they are the usual
+                # *cause* of a chaos-run deadlock, so name them.
+                if fstate is not None and rank in fstate.crashed:
+                    details[rank] = {
+                        "status": "CRASHED",
+                        "crashed_at": state.handle.metrics.finished_at,
+                    }
                 continue
             entry: dict[str, Any] = {
                 "status": state.status.name,
@@ -769,6 +902,12 @@ class Simulator:
                 }
             elif state.status is _Status.BLOCKED_BARRIER:
                 entry["waiting_for"] = {"barrier_seq": state.barrier_seq - 1}
+            reliable = state.handle.reliable
+            if reliable is not None:
+                # In-flight reliable-protocol state: pending retries and
+                # unacked sequence numbers make chaos deadlocks debuggable
+                # from the exception alone.
+                entry["reliable"] = reliable.diagnostics()
             details[rank] = entry
         return details
 
@@ -784,12 +923,15 @@ class Simulator:
     # ------------------------------------------------------- call handlers
 
     def _do_compute(self, rank: int, state: _ProcState, call: Compute) -> Any:
-        state.handle.metrics.record_compute(call.seconds, call.label)
+        seconds = call.seconds
+        if self._faults is not None:
+            seconds *= self._faults.slow_mult[rank]
+        state.handle.metrics.record_compute(seconds, call.label)
         if self._trace_enabled:
-            self._trace(rank, f"compute {call.seconds:.3g}s [{call.label}]")
+            self._trace(rank, f"compute {seconds:.3g}s [{call.label}]")
         if self._tracer is not None:
-            self._tracer.span(rank, self._now, call.seconds, "compute", call.label or "")
-        self._schedule_step(self._now + call.seconds, rank, None)
+            self._tracer.span(rank, self._now, seconds, "compute", call.label or "")
+        self._schedule_step(self._now + seconds, rank, None)
         state.status = _Status.WAITING
         return _BLOCKED
 
@@ -908,9 +1050,50 @@ class Simulator:
             self._tracer.flow(rank, call.dst, call.tag, call.nbytes, now, delivered)
         if self._sanitizer is not None:
             self._sanitizer.on_send(msg, nonblocking=isinstance(call, Isend))
-        heapq.heappush(
-            self._events, (delivered, next(self._seq), _EV_DELIVER, call.dst, msg)
-        )
+        fstate = self._faults
+        if fstate is None or call.dst == rank:
+            heapq.heappush(
+                self._events, (delivered, next(self._seq), _EV_DELIVER, call.dst, msg)
+            )
+            return sender_done
+        # Fault-aware injection (mirrors the inlined Isend path in the run
+        # loop: drop / delay / duplicate, drawn from the seeded plan).
+        tracer = self._tracer
+        drop, extra, dup_delay = fstate.fate(rank, call.dst)
+        if drop:
+            metrics.messages_dropped += 1
+            if tracer is not None:
+                tracer.fault(
+                    rank, now, "drop", src=rank, dst=call.dst, detail=f"tag={call.tag}"
+                )
+        else:
+            heapq.heappush(
+                self._events,
+                (delivered + extra, next(self._seq), _EV_DELIVER, call.dst, msg),
+            )
+            if extra > 0.0 and tracer is not None:
+                tracer.fault(
+                    rank, now, "delay", src=rank, dst=call.dst, detail=f"+{extra:.2e}s"
+                )
+        if dup_delay is not None:
+            metrics.messages_duplicated += 1
+            dup_msg = Message(
+                src=rank,
+                dst=call.dst,
+                tag=call.tag,
+                nbytes=call.nbytes,
+                payload=call.payload,
+                sent_at=now,
+                faulted="dup",
+            )
+            heapq.heappush(
+                self._events,
+                (delivered + dup_delay, next(self._seq), _EV_DELIVER, call.dst, dup_msg),
+            )
+            if tracer is not None:
+                tracer.fault(
+                    rank, now, "dup", src=rank, dst=call.dst, detail=f"tag={call.tag}"
+                )
         return sender_done
 
     def _enter_barrier(self, rank: int, state: _ProcState, call: Barrier) -> Any:

@@ -72,6 +72,17 @@ class ProcessMetrics:
     memory: MemoryTracker = field(default_factory=MemoryTracker)
     #: Virtual time at which the process generator finished.
     finished_at: float | None = None
+    # --- fault-injection accounting (all zero on fault-free runs) ---
+    #: Reliable-protocol retransmissions issued by this rank.
+    retries: int = 0
+    #: Timeout events observed (retry-cap exhaustion, phase deadlines).
+    timeouts: int = 0
+    #: Outbound messages the fault plan dropped on the wire.
+    messages_dropped: int = 0
+    #: Outbound messages the fault plan duplicated.
+    messages_duplicated: int = 0
+    #: True when the fault plan fail-stopped this rank.
+    crashed: bool = False
 
     def record_compute(self, seconds: float, label: str | None) -> None:
         if label is None:

@@ -103,6 +103,9 @@ class Fabric:
     #: Optional structured tracer (set by the engine when tracing is on);
     #: records NIC queue-delay counters.  Untyped to avoid importing obs.
     tracer: Any = field(default=None, repr=False, compare=False)
+    #: Optional fault state (set by the engine when a FaultPlan is attached);
+    #: degrades per-link serialization/latency.  Untyped to avoid a cycle.
+    faults: Any = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.num_ranks <= 0:
@@ -131,6 +134,9 @@ class Fabric:
             return sender_done, sender_done
         ser = nbytes / model.bandwidth
         latency = model.latency
+        faults = self.faults
+        if faults is not None:
+            ser, latency = faults.degrade(src, dst, ser, latency)
         src_nic = self.nics[src]
         egress_start = now + model.per_message_overhead
         free_at = src_nic.egress_free_at

@@ -57,6 +57,8 @@ from typing import TYPE_CHECKING, Any, Iterator
 
 import numpy as np
 
+from .comm import Envelope
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .calls import Message
     from .engine import Simulator
@@ -176,6 +178,13 @@ class SimSan:
         self._in_flight: dict[tuple[int, int, int], int] = {}  # (src, dst, tag) -> count
         self._collisions: dict[tuple[int, int, int], int] = {}  # channel -> peak in-flight
         self._requests: dict[int, dict] = {}  # id(req) -> entry (holds a strong ref)
+        # Reliable-layer data envelopes delivered, by (src, dst, seq):
+        # finalize uses this to tell a retransmission's residual copy (the
+        # datagram *was* consumed at least once) from a genuine leak.
+        self._env_delivered: dict[tuple[int, int, int], int] = {}
+        # True while observing a run with a fault plan attached: recovery
+        # phase-timeouts legitimately abandon protocol traffic there.
+        self._fault_run = False
 
     # ------------------------------------------------------------- engine hooks
 
@@ -186,6 +195,8 @@ class SimSan:
         self._in_flight.clear()
         self._collisions.clear()
         self._requests.clear()
+        self._env_delivered.clear()
+        self._fault_run = getattr(sim, "_faults", None) is not None
 
     def on_send(self, msg: "Message", nonblocking: bool) -> None:
         """Fingerprint an injected payload and track channel concurrency."""
@@ -199,6 +210,10 @@ class SimSan:
     def on_deliver(self, msg: "Message") -> None:
         """Re-check the payload fingerprint as the message lands."""
         self.report.messages_checked += 1
+        payload = msg.payload
+        if isinstance(payload, Envelope) and payload.kind == "data":
+            key = (payload.src, msg.dst, payload.seq)
+            self._env_delivered[key] = self._env_delivered.get(key, 0) + 1
         channel = (msg.src, msg.dst, msg.tag)
         remaining = self._in_flight.get(channel, 1) - 1
         if remaining:
@@ -232,9 +247,29 @@ class SimSan:
     def finish_run(
         self, sim: "Simulator", leftovers: dict[int, list["Message"]]
     ) -> None:
-        """Finalize checks: unmatched messages, leaked requests, collisions."""
+        """Finalize checks: unmatched messages, leaked requests, collisions.
+
+        Fault-injected runs leave benign protocol residue in mailboxes:
+        duplicate copies the engine manufactured, fire-and-forget acks a
+        rank did not drain before finishing, and retransmitted data
+        envelopes whose first copy *was* consumed.  Those are reported as
+        notes, not violations — a data envelope that was never consumed in
+        any copy is still a leak.
+        """
         for rank in sorted(leftovers):
+            # Count leftover copies per reliable datagram: a datagram is
+            # leaked only if *every* delivered copy is still in the mailbox.
+            leftover_data: dict[tuple[int, int, int], int] = {}
             for msg in leftovers[rank]:
+                env = msg.payload
+                if isinstance(env, Envelope) and env.kind == "data":
+                    key = (env.src, rank, env.seq)
+                    leftover_data[key] = leftover_data.get(key, 0) + 1
+            for msg in leftovers[rank]:
+                residue = self._protocol_residue(rank, msg, leftover_data)
+                if residue is not None:
+                    self.report.notes.append(residue)
+                    continue
                 self.report.violations.append(
                     SanViolation(
                         "unmatched-message",
@@ -271,6 +306,62 @@ class SimSan:
             )
         self._requests.clear()
         self._digests.clear()
+
+    def _protocol_residue(
+        self,
+        rank: int,
+        msg: "Message",
+        leftover_data: dict[tuple[int, int, int], int],
+    ) -> dict | None:
+        """Classify a leftover message as benign fault/protocol residue.
+
+        Returns a note dict, or None when the leftover is a real leak.
+        """
+        if getattr(msg, "faulted", None) == "dup":
+            return {
+                "kind": "fault-duplicate-residue",
+                "rank": rank,
+                "src": msg.src,
+                "tag": msg.tag,
+            }
+        env = msg.payload
+        if not isinstance(env, Envelope):
+            return None
+        if env.kind == "ack":
+            # Acks are fire-and-forget: the sender may finish before its
+            # final ack lands.  Never a leak.
+            return {
+                "kind": "unconsumed-ack",
+                "rank": rank,
+                "src": msg.src,
+                "seq": env.seq,
+            }
+        key = (env.src, rank, env.seq)
+        delivered = self._env_delivered.get(key, 0)
+        consumed = delivered - leftover_data.get(key, 0)
+        if consumed >= 1:
+            # Retried-then-acked: an earlier copy of this datagram was
+            # consumed; this copy is a retransmission that arrived after
+            # the receiver moved on.
+            return {
+                "kind": "retransmission-residue",
+                "rank": rank,
+                "src": env.src,
+                "seq": env.seq,
+                "channel": env.channel,
+                "attempt": env.attempt,
+            }
+        if self._fault_run:
+            # Under fault injection a recovery phase may time out and move
+            # on, abandoning in-flight protocol traffic by design.
+            return {
+                "kind": "abandoned-protocol-data",
+                "rank": rank,
+                "src": env.src,
+                "seq": env.seq,
+                "channel": env.channel,
+            }
+        return None
 
     def on_deadlock(self, details: dict[int, dict]) -> None:
         """Fold the engine's per-rank deadlock diagnosis into the report."""

@@ -1,6 +1,6 @@
 """Per-rule positive/negative tests for ``repro-lint``.
 
-Every rule R001–R007 has at least one *positive* case (fires on a minimal
+Every rule R001–R008 has at least one *positive* case (fires on a minimal
 bad snippet) and one *negative* case (silent on the fixed version), as the
 correctness-tooling acceptance criteria require.  Snippets are linted via
 :func:`repro.checks.lint_source` with a path inside ``src/repro`` so the
@@ -202,3 +202,71 @@ class TestR007MutableDefault:
 
     def test_silent_on_immutable_defaults(self):
         assert rules_in("def f(x=0, y=(), name='n'):\n    return x\n") == []
+
+
+class TestR008UnboundedRetry:
+    def test_fires_on_unbounded_retry_loop(self):
+        src = """
+        def pump(self):
+            while True:
+                self.attempt += 1
+                resend()
+        """
+        assert rules_in(src) == ["R008"]
+
+    def test_fires_on_retries_counter_without_cap(self):
+        src = """
+        def pump(ready):
+            retries = 0
+            while not ready():
+                retries += 1
+        """
+        assert rules_in(src) == ["R008"]
+
+    def test_silent_when_counter_is_compared(self):
+        src = """
+        def pump(self, cfg):
+            while True:
+                if self.attempt >= cfg.max_retries:
+                    break
+                self.attempt += 1
+        """
+        assert rules_in(src) == []
+
+    def test_silent_when_cap_name_embeds_retry_word(self):
+        src = """
+        def pump(sent, max_retries):
+            attempt = 0
+            while attempt < max_retries:
+                attempt += 1
+                sent()
+        """
+        assert rules_in(src) == []
+
+    def test_silent_on_non_retry_counters(self):
+        src = """
+        def pump(items):
+            total = 0
+            while items:
+                total += 1
+                items.pop()
+        """
+        assert rules_in(src) == []
+
+    def test_silent_outside_library_scope(self):
+        src = """
+        def hammer(self):
+            while True:
+                self.attempt += 1
+        """
+        assert rules_in(src, TEST) == []
+
+    def test_noqa_suppresses(self):
+        src = (
+            "def pump(self):\n"
+            "    while True:\n"
+            "        self.attempt += 1  # repro: noqa[R008] — bounded by caller\n"
+        )
+        violations, suppressed = lint_source(src, LIB)
+        assert violations == []
+        assert suppressed == 1

@@ -53,8 +53,19 @@ class TestExitCodes:
         assert LintReport().exit_code == 0
 
     def test_parse_error_sets_high_bit(self):
+        # bit 9: one past R008's bit, so rule bits and the parse-error
+        # marker never alias.
         report = LintReport(errors=["f.py: bad syntax (line 1)"])
-        assert report.exit_code == 1 << 7
+        assert report.exit_code == 1 << 8
+
+    def test_r008_bit_distinct_from_parse_errors(self):
+        from repro.checks.rules import Violation
+
+        report = LintReport(
+            violations=[Violation("R008", "f.py", 1, 0, "m")],
+            errors=["g.py: bad syntax (line 1)"],
+        )
+        assert report.exit_code == (1 << 7) | (1 << 8)
 
 
 class TestRunner:
@@ -85,7 +96,7 @@ class TestRunner:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006", "R007"):
+        for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008"):
             assert rule_id in out
 
     def test_unparsable_file_reported_not_fatal(self, tmp_path):

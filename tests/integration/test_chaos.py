@@ -1,0 +1,141 @@
+"""Chaos harness: the seeded fault-schedule matrix over the resilient sort.
+
+Acceptance contract (robustness PR): every schedule must yield either a
+fully sorted, provenance-correct result over the agreed survivor set, or a
+typed :class:`~repro.simnet.errors.SimError` — never silent corruption and
+never a hang (recovery rounds are bounded).  The same schedule + seed must
+reproduce the same fault-event sequence, and the run report's per-rank
+fault counters must be nonzero exactly when injection is active.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.api import DistributedSorter, partition_input
+from repro.obs.context import capture
+from repro.obs.report import RunReport
+from repro.simnet import FaultPlan, ResilienceConfig, chaos_schedules, sanitize
+from repro.simnet.errors import SimError
+
+P = 8
+N_KEYS = 32_000
+#: Tightened protocol knobs: virtual-time budgets small enough that even
+#: the pathological schedules finish their bounded rounds in well under a
+#: second of real time.
+RESILIENCE = ResilienceConfig(
+    ack_timeout=5e-4, poll_interval=5e-5, phase_timeout=1e-2
+)
+
+SCHEDULES = chaos_schedules()
+
+
+@pytest.fixture(scope="module")
+def data():
+    return np.random.default_rng(20260805).integers(0, 50_000, N_KEYS)
+
+
+def _run(plan, data, sanitized=True):
+    """Run the resilient sort under one plan; returns (result, error)."""
+    sorter = DistributedSorter(
+        num_processors=P, faults=plan, resilience=RESILIENCE
+    )
+    try:
+        if sanitized:
+            with sanitize() as san:
+                result = sorter.sort(data)
+            assert san.report.ok, san.report.summary()
+        else:
+            result = sorter.sort(data)
+        return result, None
+    except SimError as exc:
+        return None, exc
+
+
+def _assert_degraded_correct(result, data):
+    """Sorted + provenance-correct over the committed survivor multiset."""
+    assert result.is_globally_sorted()
+    survivors = (
+        set(result.survivors)
+        if result.survivors is not None
+        else set(range(P))
+    )
+    blocks, offsets = partition_input(data, P)
+    expected = np.sort(np.concatenate([blocks[r] for r in sorted(survivors)]))
+    assert np.array_equal(result.to_array(), expected), "key multiset mismatch"
+    for rank, (keys, prov) in enumerate(
+        zip(result.per_processor, result.provenance)
+    ):
+        if rank not in survivors:
+            assert len(keys) == 0
+            continue
+        gidx = prov.global_indices(result.input_offsets)
+        assert np.array_equal(data[gidx], keys), f"rank {rank} provenance broken"
+        assert set(np.unique(prov.origin_proc).tolist()) <= survivors
+
+
+@pytest.mark.parametrize(
+    "name,plan", SCHEDULES, ids=[name for name, _ in SCHEDULES]
+)
+def test_schedule_sorted_or_typed_error(name, plan, data):
+    result, error = _run(plan, data)
+    if error is not None:
+        # typed failure is acceptable; silent corruption is not
+        assert isinstance(error, SimError)
+        return
+    _assert_degraded_correct(result, data)
+    if not plan.crashes:
+        # without crashes the sort must not lose a single key
+        assert result.total_keys == len(data)
+
+
+@pytest.mark.parametrize("name,plan", SCHEDULES[:4], ids=[n for n, _ in SCHEDULES[:4]])
+def test_same_schedule_same_event_sequence(name, plan, data):
+    def fingerprint():
+        with capture(name=name) as cap:
+            result, error = _run(plan, data, sanitized=False)
+        tracer = cap.sessions[-1].tracer
+        events = [
+            (e.rank, round(e.time, 12), e.kind, e.src, e.dst, e.detail)
+            for e in tracer.faults
+        ]
+        tail = (
+            None
+            if result is None
+            else (result.total_keys, tuple(result.to_array()[::997].tolist()))
+        )
+        return events, tail, type(error).__name__ if error else None
+
+    assert fingerprint() == fingerprint()
+
+
+class TestRunReportCounters:
+    def test_counters_nonzero_under_injection(self, data):
+        plan = FaultPlan(seed=201, drop_prob=0.05)
+        with capture(name="chaos-report") as cap:
+            result, error = _run(plan, data, sanitized=False)
+        assert error is None
+        report = RunReport.from_sort_result(result, tracer=cap.sessions[-1].tracer)
+        fault_blocks = [rr.faults for rr in report.ranks if rr.faults]
+        assert fault_blocks, "no rank recorded fault accounting"
+        assert sum(fb["retries"] for fb in fault_blocks) > 0
+        assert sum(fb["messages_dropped"] for fb in fault_blocks) > 0
+        doc = report.to_json()
+        assert any("faults" in entry for entry in doc["ranks"])
+        # round-trips through JSON
+        again = RunReport.from_json(doc)
+        assert [rr.faults for rr in again.ranks] == [rr.faults for rr in report.ranks]
+
+    def test_crash_flag_recorded(self, data):
+        plan = FaultPlan(seed=202, crashes=((5, 0.0),))
+        result, error = _run(plan, data, sanitized=False)
+        assert error is None
+        report = RunReport.from_sort_result(result)
+        assert report.ranks[5].faults is not None
+        assert report.ranks[5].faults["crashed"] is True
+
+    def test_counters_absent_without_injection(self, data):
+        sorter = DistributedSorter(num_processors=P)
+        result = sorter.sort(data)
+        report = RunReport.from_sort_result(result)
+        assert all(rr.faults is None for rr in report.ranks)
+        assert all("faults" not in entry for entry in report.to_json()["ranks"])
