@@ -24,6 +24,17 @@ microbenchmark workloads.  The flat-vs-cascade *ratio* is measured fresh
 on whatever machine runs the check (both sides pay the same hardware), so
 unlike the wall-clock gates it ports to CI; the coarse
 ``--merge-threshold`` only absorbs scheduler noise.
+
+``--wall-suite real`` switches the check to the **real-parallel backend**
+trajectory (``BENCH_real.json``) and runs *none* of the simnet gates above
+— real-backend wall numbers must never trip (or mask) a simulation
+throughput regression, and vice versa.  The real gate validates the last
+committed record internally: the equality check must have run, and the
+speedup floor (``--real-speedup-floor``, default 2.0x vs single-process)
+is enforced only when the recording machine had at least
+``--real-min-cores`` cores (default 4) — on smaller machines a parallel
+speedup is physically impossible and the record documents overhead, so
+the gate prints a note and passes.
 """
 
 import argparse
@@ -34,6 +45,7 @@ from pathlib import Path
 PERF_DIR = Path(__file__).resolve().parent
 REPO_ROOT = PERF_DIR.parent.parent
 BENCH_PATH = REPO_ROOT / "BENCH_sim.json"
+BENCH_REAL_PATH = REPO_ROOT / "BENCH_real.json"
 
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -44,8 +56,93 @@ from bench_simulator_throughput import measure_ping_storm  # noqa: E402
 from harness import measure_merge_kernels  # noqa: E402
 
 
+def check_real_suite(speedup_floor, min_cores, path=BENCH_REAL_PATH):
+    """Validate the last committed real-backend record; 0 on pass.
+
+    Self-contained on purpose: it reads only ``BENCH_real.json`` and never
+    re-measures or consults the simnet trajectory, so a slow CI runner
+    cannot fail it and a fast real backend cannot mask a simnet
+    regression.
+    """
+    if not path.exists():
+        print(f"FAIL: {path.name} missing; run harness.py --suite real first")
+        return 1
+    doc = json.loads(path.read_text())
+    if not doc.get("runs"):
+        print(f"FAIL: {path.name} has no recorded runs")
+        return 1
+    last = doc["runs"][-1]
+    rec = last.get("real_backend")
+    if rec is None:
+        print(f"FAIL: last record in {path.name} lacks a 'real_backend' section")
+        return 1
+    required = (
+        "workers", "cpu_count", "equality_checked",
+        "single_process_wall_seconds", "process_backend_wall_seconds",
+        "speedup_vs_single_process",
+    )
+    missing = [k for k in required if k not in rec]
+    if missing:
+        print(f"FAIL: real_backend record is missing fields {missing}")
+        return 1
+    if not rec["equality_checked"]:
+        print("FAIL: record was taken without the bit-identity check")
+        return 1
+    speedup = rec["speedup_vs_single_process"]
+    derived = rec["single_process_wall_seconds"] / rec["process_backend_wall_seconds"]
+    if abs(speedup - derived) > 1e-6 * max(1.0, abs(derived)):
+        print(
+            f"FAIL: recorded speedup {speedup:.3f}x does not match the "
+            f"recorded wall times ({derived:.3f}x)"
+        )
+        return 1
+    print(
+        f"real backend record '{last.get('label', '?')}' ({last.get('date', '?')}): "
+        f"{rec['workers']} workers on {rec['cpu_count']} core(s), "
+        f"{speedup:.2f}x vs single-process"
+    )
+    if rec["cpu_count"] < min_cores:
+        print(
+            f"speedup floor skipped: recorded on {rec['cpu_count']} core(s) "
+            f"(< {min_cores}); a parallel speedup is not measurable there"
+        )
+    elif speedup < speedup_floor:
+        print(
+            f"FAIL: {speedup:.2f}x is below the {speedup_floor:.1f}x floor "
+            f"on a {rec['cpu_count']}-core recording machine"
+        )
+        return 1
+    else:
+        print(f"speedup floor OK ({speedup:.2f}x >= {speedup_floor:.1f}x)")
+    print("OK")
+    return 0
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--wall-suite",
+        default="sim",
+        choices=["sim", "real"],
+        help="'sim': simnet throughput/tracer/merge gates vs BENCH_sim.json "
+        "(default); 'real': validate the committed BENCH_real.json record "
+        "instead (no simnet gates run)",
+    )
+    parser.add_argument(
+        "--real-speedup-floor",
+        type=float,
+        default=2.0,
+        help="minimum recorded process-backend speedup vs single-process "
+        "(default 2.0; only enforced when the record's cpu_count >= "
+        "--real-min-cores)",
+    )
+    parser.add_argument(
+        "--real-min-cores",
+        type=int,
+        default=4,
+        help="cores the recording machine needs before the speedup floor "
+        "applies (default 4)",
+    )
     parser.add_argument(
         "--threshold",
         type=float,
@@ -79,6 +176,9 @@ def main(argv=None):
         help="skip the merge-kernel gate",
     )
     args = parser.parse_args(argv)
+
+    if args.wall_suite == "real":
+        return check_real_suite(args.real_speedup_floor, args.real_min_cores)
 
     doc = json.loads(BENCH_PATH.read_text())
     recorded = doc["runs"][-1]["ping_storm_16"]["events_per_sec"]

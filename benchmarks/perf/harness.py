@@ -17,11 +17,22 @@ commit the updated trajectory::
 
 Simulated *results* are deterministic, so repeats only tighten the
 wall-clock estimate (best-of is recorded).
+
+``--suite real`` (or ``both``) instead measures the **real-parallel
+process backend** (:mod:`repro.parallel`): the same six-step sort on one
+OS process per rank with a shared-memory exchange, timed against the
+single-process reference backend on the same data.  Outputs are asserted
+bit-identical before any timing.  Real records append to
+``BENCH_real.json`` and always embed ``os.cpu_count()`` — a speedup
+measured on fewer cores than workers documents overhead, not parallelism,
+and the regression gate (``check_regression.py --wall-suite real``) only
+enforces the speedup floor when the recording machine had the cores.
 """
 
 import argparse
 import datetime
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -32,6 +43,7 @@ PERF_DIR = Path(__file__).resolve().parent
 REPO_ROOT = PERF_DIR.parent.parent
 SEED_BASELINE_PATH = PERF_DIR / "seed_baseline.json"
 BENCH_PATH = REPO_ROOT / "BENCH_sim.json"
+BENCH_REAL_PATH = REPO_ROOT / "BENCH_real.json"
 
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -145,6 +157,80 @@ def measure_merge_kernels(repeats=5):
     return results
 
 
+#: Defaults for the real-backend suite: the target workload from the PR
+#: that introduced the backend (n large enough that sort work dominates
+#: process startup) and one worker per core up to four.
+REAL_N_KEYS = 5_000_000
+REAL_SEED = 20260809
+
+
+def measure_real_backend(n_keys=REAL_N_KEYS, workers=None, seed=REAL_SEED, repeats=3):
+    """Wall-clock the process backend vs the single-process reference.
+
+    Both sides sort the same blocks with the same six-step algorithm; the
+    outputs are asserted bit-identical *before* timing, so a broken backend
+    fails loudly instead of posting a fast-but-wrong number.  One
+    :class:`~repro.parallel.ProcessBackend` is reused across repeats, so
+    steady-state numbers exclude shm allocation (but include process spawn,
+    which is per-sort by design).
+    """
+    from repro.core.api import partition_input
+    from repro.core.local_backend import local_sample_sort
+    from repro.parallel import ProcessBackend
+
+    cpu_count = os.cpu_count() or 1
+    if workers is None:
+        workers = min(4, cpu_count)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 1 << 40, n_keys).astype(np.int64)
+    blocks, _ = partition_input(data, workers)
+    blocks = list(blocks)
+
+    reference = local_sample_sort(blocks)
+    with ProcessBackend() as backend:
+        run = backend.sort_blocks(blocks)
+        for rank in range(workers):
+            if not np.array_equal(reference.per_processor[rank], run.outputs[rank].keys):
+                raise AssertionError(
+                    f"process backend diverged from the reference on rank {rank}"
+                )
+        best_process = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            backend.sort_blocks(blocks)
+            wall = time.perf_counter() - start
+            if best_process is None or wall < best_process:
+                best_process = wall
+    best_single = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        local_sample_sort(blocks)
+        wall = time.perf_counter() - start
+        if best_single is None or wall < best_single:
+            best_single = wall
+    return {
+        "n_keys": n_keys,
+        "seed": seed,
+        "repeats": repeats,
+        "workers": workers,
+        "cpu_count": cpu_count,
+        "equality_checked": True,
+        "single_process_wall_seconds": best_single,
+        "process_backend_wall_seconds": best_process,
+        "speedup_vs_single_process": best_single / best_process,
+    }
+
+
+def run_real_harness(label, n_keys=REAL_N_KEYS, workers=None, repeats=3):
+    return {
+        "label": label,
+        "date": datetime.date.today().isoformat(),
+        "real_backend": measure_real_backend(
+            n_keys=n_keys, workers=workers, repeats=repeats
+        ),
+    }
+
+
 def run_harness(label, repeats_storm=5, repeats_sort=3):
     baseline = json.loads(SEED_BASELINE_PATH.read_text())
 
@@ -194,47 +280,127 @@ def append_record(record, path=BENCH_PATH):
     return doc
 
 
+def append_real_record(record, path=BENCH_REAL_PATH):
+    if path.exists():
+        doc = json.loads(path.read_text())
+    else:
+        doc = {
+            "description": (
+                "Wall-clock trajectory of the real-parallel process backend "
+                "(repro.parallel) vs the single-process reference backend on "
+                "identical data, recorded by benchmarks/perf/harness.py "
+                "--suite real. Outputs are asserted bit-identical before "
+                "timing. Every record embeds the recording machine's "
+                "cpu_count: speedups are only meaningful when cpu_count >= "
+                "workers, and the regression gate only enforces the speedup "
+                "floor in that case."
+            ),
+            "runs": [],
+        }
+    doc["runs"].append(record)
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    return doc
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--label", default="dev", help="name for this run (e.g. 'PR 1')")
+    parser.add_argument(
+        "--suite",
+        default="sim",
+        choices=["sim", "real", "both"],
+        help="'sim': simulation-substrate suite -> BENCH_sim.json (default); "
+        "'real': process-backend wall suite -> BENCH_real.json; 'both'",
+    )
     parser.add_argument("--repeats-storm", type=int, default=5)
     parser.add_argument("--repeats-sort", type=int, default=3)
+    parser.add_argument(
+        "--real-n",
+        type=int,
+        default=REAL_N_KEYS,
+        metavar="N",
+        help=f"keys for the real-backend suite (default {REAL_N_KEYS})",
+    )
+    parser.add_argument(
+        "--real-workers",
+        type=int,
+        default=None,
+        metavar="P",
+        help="worker processes for the real-backend suite "
+        "(default min(4, cpu_count))",
+    )
+    parser.add_argument(
+        "--real-repeats",
+        type=int,
+        default=3,
+        help="timing repeats for the real-backend suite (best-of)",
+    )
     parser.add_argument(
         "--dry-run", action="store_true", help="measure and print, don't write"
     )
     parser.add_argument(
         "--json-out",
         default=None,
-        help="also write the measured record to this path (CI artifact)",
+        help="also write the measured record(s) to this path (CI artifact)",
     )
     args = parser.parse_args(argv)
 
-    record = run_harness(args.label, args.repeats_storm, args.repeats_sort)
-
-    storm = record["ping_storm_16"]
-    print(
-        f"ping storm 16r: {storm['wall_seconds']:.4f}s "
-        f"({storm['events_per_sec']:.0f} events/s, "
-        f"{storm['speedup_vs_seed']:.2f}x vs seed)"
-    )
-    for p, r in record["distributed_sort"].items():
+    records = {}
+    if args.suite in ("sim", "both"):
+        record = run_harness(args.label, args.repeats_storm, args.repeats_sort)
+        records["sim"] = record
+        storm = record["ping_storm_16"]
         print(
-            f"distributed_sort p={p:>2}: {r['wall_seconds']:.4f}s "
-            f"({r['speedup_vs_seed']:.2f}x vs seed)"
+            f"ping storm 16r: {storm['wall_seconds']:.4f}s "
+            f"({storm['events_per_sec']:.0f} events/s, "
+            f"{storm['speedup_vs_seed']:.2f}x vs seed)"
         )
-    for name, r in record["merge_kernels"].items():
+        for p, r in record["distributed_sort"].items():
+            print(
+                f"distributed_sort p={p:>2}: {r['wall_seconds']:.4f}s "
+                f"({r['speedup_vs_seed']:.2f}x vs seed)"
+            )
+        for name, r in record["merge_kernels"].items():
+            print(
+                f"merge kernel [{name}]: flat {r['flat_wall_seconds'] * 1e3:.2f}ms "
+                f"vs cascade {r['cascade_wall_seconds'] * 1e3:.2f}ms "
+                f"({r['speedup_flat_vs_cascade']:.1f}x)"
+            )
+        if not args.dry_run:
+            append_record(record)
+            print(f"appended run '{record['label']}' to {BENCH_PATH}")
+    if args.suite in ("real", "both"):
+        record = run_real_harness(
+            args.label,
+            n_keys=args.real_n,
+            workers=args.real_workers,
+            repeats=args.real_repeats,
+        )
+        records["real"] = record
+        r = record["real_backend"]
         print(
-            f"merge kernel [{name}]: flat {r['flat_wall_seconds'] * 1e3:.2f}ms "
-            f"vs cascade {r['cascade_wall_seconds'] * 1e3:.2f}ms "
-            f"({r['speedup_flat_vs_cascade']:.1f}x)"
+            f"real backend: {r['workers']} workers on {r['cpu_count']} core(s), "
+            f"n={r['n_keys']}: process {r['process_backend_wall_seconds']:.3f}s "
+            f"vs single {r['single_process_wall_seconds']:.3f}s "
+            f"({r['speedup_vs_single_process']:.2f}x, outputs bit-identical)"
         )
+        if r["cpu_count"] < r["workers"]:
+            print(
+                f"note: only {r['cpu_count']} core(s) for {r['workers']} workers "
+                "-- this measures backend overhead, not parallel speedup"
+            )
+        if not args.dry_run:
+            append_real_record(record)
+            print(f"appended run '{record['label']}' to {BENCH_REAL_PATH}")
     if args.json_out:
-        Path(args.json_out).write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+        payload = records["sim"] if args.suite == "sim" else (
+            records["real"] if args.suite == "real" else records
+        )
+        Path(args.json_out).write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n"
+        )
         print(f"wrote record to {args.json_out}")
-    if not args.dry_run:
-        append_record(record)
-        print(f"appended run '{record['label']}' to {BENCH_PATH}")
-    return record
+    return records
 
 
 if __name__ == "__main__":

@@ -14,7 +14,9 @@ R001  unseeded RNG: legacy global ``np.random.*`` / stdlib ``random.*``
       calls, or ``default_rng()`` without a seed.
 R002  wall-clock or entropy reads (``time.time``, ``datetime.now``,
       ``os.urandom``, ``uuid.uuid1/4``, ``secrets.*``) inside simulated
-      library code (``src/repro/``); test and benchmark code is exempt.
+      library code (``src/repro/``); tests, benchmarks, and the
+      real-parallel backend (``src/repro/parallel/`` — wall-clock timing
+      and ``os.cpu_count`` are its purpose) are exempt.
 R003  iteration over a hash-ordered ``set``/``frozenset`` expression where
       the order can reach simulated event order (``for``/comprehension
       sources and ``list``/``tuple``/``enumerate`` arguments); wrap in
@@ -61,9 +63,13 @@ class FileContext:
     """Per-file facts rules may consult."""
 
     path: str
-    #: True for library code under ``src/repro`` (not tests/benchmarks):
-    #: the scope where wall-clock reads (R002) are banned outright.
+    #: True for sim-deterministic library code under ``src/repro`` (not
+    #: tests/benchmarks/``repro.parallel``): the scope where wall-clock
+    #: reads (R002) are banned outright.
     simulated: bool
+    #: True for the real-parallel backend (``src/repro/parallel``), whose
+    #: collectives are blocking methods rather than SimComm generators.
+    realtime: bool = False
 
 
 RuleFn = Callable[[ast.Module, FileContext], Iterator[Violation]]
@@ -169,8 +175,9 @@ def rule_wallclock(tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
     A ``time.time`` or ``datetime.now`` read inside ``src/repro/`` leaks host
     scheduling into values that can reach simulated event order or recorded
     results; ``os.urandom``/``uuid4``/``secrets`` are entropy by definition.
-    Only library code is in scope — tests and benchmarks may time
-    themselves.
+    Only sim-deterministic library code is in scope — tests and benchmarks
+    may time themselves, and ``repro.parallel`` (the real-parallel process
+    backend) measures wall time and reads ``os.cpu_count`` by design.
     """
     if not ctx.simulated:
         return
@@ -271,7 +278,10 @@ def rule_undriven_comm_call(tree: ast.Module, ctx: FileContext) -> Iterator[Viol
     be the direct operand of a ``yield from`` (possibly inside
     ``x = yield from ...``).  Receivers are matched by name: any
     ``*comm``-named object, plus unambiguous method names (``isend``,
-    ``bcast``, ``alltoall``, ...) on any receiver.
+    ``bcast``, ``alltoall``, ...) on any receiver.  In ``repro.parallel``
+    the name-only heuristic is off — its ``WorkerLink`` collectives share
+    the SimComm vocabulary but are plain blocking methods — so only
+    ``*comm``-named receivers are flagged there.
     """
     driven: set[int] = set()
     for node in ast.walk(tree):
@@ -286,7 +296,9 @@ def rule_undriven_comm_call(tree: ast.Module, ctx: FileContext) -> Iterator[Viol
         method = func.attr
         if method not in COMM_GENERATOR_METHODS:
             continue
-        if method not in _UNAMBIGUOUS_COMM_METHODS and not _receiver_is_comm(func.value):
+        if not _receiver_is_comm(func.value) and (
+            ctx.realtime or method not in _UNAMBIGUOUS_COMM_METHODS
+        ):
             continue
         if id(node) in driven:
             continue
@@ -455,8 +467,10 @@ def rule_unbounded_retry(tree: ast.Module, ctx: FileContext) -> Iterator[Violati
     fires on ``while`` loops in library code that increment a retry-flavored
     counter (``attempt``/``retries``/``resend``/...) when no comparison
     anywhere in the loop mentions a retry-flavored name — i.e. nothing like
-    ``attempt >= max_retries`` ever breaks the cycle.  Scoped to
-    ``src/repro``: tests may hammer the protocol unboundedly on purpose.
+    ``attempt >= max_retries`` ever breaks the cycle.  Scoped like R002 to
+    sim-deterministic code: tests may hammer the protocol unboundedly on
+    purpose, and ``repro.parallel`` loops are bounded by wall-clock
+    timeouts instead.
     """
     if not ctx.simulated:
         return

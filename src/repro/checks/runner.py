@@ -87,9 +87,27 @@ def _noqa_rules(line: str) -> set[str]:
 
 
 def _simulated_scope(filename: str) -> bool:
-    """True for library code under ``src/repro`` (R002's scope)."""
-    parts = Path(filename).parts
-    return "repro" in parts and not ({"tests", "benchmarks"} & set(parts))
+    """True for sim-deterministic library code under ``src/repro``.
+
+    This is R002's (and R008's) scope.  Three exemptions: tests and
+    benchmarks may time themselves, and :mod:`repro.parallel` — the
+    real-parallel process backend — *exists* to read the wall clock and
+    host core counts (``time.perf_counter``, ``os.cpu_count``), so the
+    determinism rules do not apply there.
+    """
+    parts = set(Path(filename).parts)
+    return "repro" in parts and not ({"tests", "benchmarks", "parallel"} & parts)
+
+
+def _realtime_scope(filename: str) -> bool:
+    """True under any ``parallel/`` directory (package *and* its tests).
+
+    The real-parallel backend's collectives
+    (``WorkerLink.bcast``/``allgather``/...) are plain blocking methods,
+    not SimComm generators — R004's name-based heuristic must not demand
+    ``yield from`` there, nor in the tests that drive them.
+    """
+    return "parallel" in Path(filename).parts
 
 
 def lint_source(
@@ -105,7 +123,11 @@ def lint_source(
     are filtered out and counted as suppressed.
     """
     tree = ast.parse(source, filename=filename)
-    ctx = FileContext(path=filename, simulated=_simulated_scope(filename))
+    ctx = FileContext(
+        path=filename,
+        simulated=_simulated_scope(filename),
+        realtime=_realtime_scope(filename),
+    )
     lines = source.splitlines()
     kept: list[Violation] = []
     suppressed = 0

@@ -48,12 +48,21 @@ class SortConfig:
     #: switches the sort onto the resilient protocol.  None (the default)
     #: still honours an ambient ``inject_faults`` scope.
     faults: "object | None" = None
+    #: Execution substrate: "simnet" (virtual time, the default),
+    #: "process" (one OS process per rank, shared-memory exchange, wall
+    #: time), or None to follow the ambient default installed via
+    #: :func:`repro.parallel.backend.use_backend` (the CLI's --backend).
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.num_processors < 1:
             raise ValueError("num_processors must be >= 1")
         if self.rank_speed is not None and len(self.rank_speed) != self.num_processors:
             raise ValueError("rank_speed needs one factor per processor")
+        if self.backend is not None:
+            from ..parallel.backend import _validated
+
+            _validated(self.backend)
 
     def runtime(self) -> PgxdRuntime:
         return PgxdRuntime(
@@ -94,7 +103,7 @@ class DistributedSorter:
         ``balanced_merge``, ``track_provenance``, ``splitter_strategy``,
         ``threads_per_machine``, ``async_messaging``, ``read_buffer_bytes``,
         ``parallel_merge``, ``data_scale``, ``network``, ``cost``,
-        ``rank_speed``, ``faults``, ``resilience``."""
+        ``rank_speed``, ``faults``, ``resilience``, ``backend``."""
         config = config or SortConfig()
         opt_fields = {
             "sample_factor",
@@ -116,7 +125,9 @@ class DistributedSorter:
         rest = {
             k: v for k, v in overrides.items() if k not in opt_fields | pgxd_fields
         }
-        unknown = set(rest) - {"num_processors", "network", "cost", "rank_speed", "faults"}
+        unknown = set(rest) - {
+            "num_processors", "network", "cost", "rank_speed", "faults", "backend",
+        }
         if unknown:
             raise TypeError(f"unknown sorter options: {sorted(unknown)}")
         self.config = SortConfig(
@@ -135,6 +146,7 @@ class DistributedSorter:
                 else config.options
             ),
             faults=rest.get("faults", config.faults),
+            backend=rest.get("backend", config.backend),
         )
 
     # ------------------------------------------------------------- sorts
@@ -147,13 +159,31 @@ class DistributedSorter:
     def sort_partitioned(
         self, blocks: Sequence[np.ndarray], *, input_offsets: np.ndarray | None = None
     ) -> SortResult:
-        """Sort data already distributed as one block per processor."""
+        """Sort data already distributed as one block per processor.
+
+        Dispatches on the configured execution backend: the default
+        ``simnet`` substrate runs the virtual-time simulation below;
+        ``backend="process"`` (or an ambient :func:`~repro.parallel.backend.
+        use_backend` scope) runs the same six steps on real worker
+        processes with a shared-memory exchange — identical partitions,
+        wall-clock timings.
+        """
         p = self.config.num_processors
         if len(blocks) != p:
             raise ValueError(f"need {p} blocks, got {len(blocks)}")
         if input_offsets is None:
             sizes = [len(b) for b in blocks]
             input_offsets = np.concatenate(([0], np.cumsum(sizes[:-1]))).astype(np.int64)
+        from ..parallel.backend import resolve_backend
+
+        if resolve_backend(self.config.backend) == "process":
+            from ..parallel.backend import ProcessBackend
+
+            with ProcessBackend() as backend:
+                run = backend.sort_blocks(
+                    blocks, options=self.config.options, config=self.config.pgxd
+                )
+            return run.to_sort_result(np.asarray(input_offsets, dtype=np.int64))
         runtime = self.config.runtime()
 
         def program(machine: Machine):

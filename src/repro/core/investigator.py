@@ -75,6 +75,28 @@ def compute_cuts(sorted_keys: np.ndarray, splitters: np.ndarray) -> CutResult:
     return CutResult(cuts, 2 * len(values))
 
 
+def compute_rank_cuts(
+    sorted_keys: np.ndarray,
+    splitters: np.ndarray | None,
+    size: int,
+    *,
+    investigator: bool = True,
+) -> CutResult:
+    """Step-4 cuts with the empty-splitter fallback every backend shares.
+
+    ``splitters`` being ``None`` or empty means no rank produced samples
+    (an empty dataset): everything routes to the Master, expressed as all
+    cut points sitting at ``len(sorted_keys)``.  Otherwise dispatches to
+    the investigator or the naive strategy.  The simulated sorter, the
+    in-process reference backend, and the multiprocess backend all call
+    this one helper, which is what keeps their partitions bit-identical.
+    """
+    if splitters is None or len(splitters) == 0:
+        return CutResult(np.full(size - 1, len(sorted_keys), dtype=np.int64), 0)
+    cut_fn = compute_cuts if investigator else compute_cuts_naive
+    return cut_fn(sorted_keys, splitters)
+
+
 def compute_cuts_naive(
     sorted_keys: np.ndarray, splitters: np.ndarray, side: str = "right"
 ) -> CutResult:

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .balanced_merge import balanced_merge, sequential_fold_merge
-from .investigator import compute_cuts, compute_cuts_naive, slices_from_cuts
+from .investigator import compute_rank_cuts, slices_from_cuts
 from .provenance import Provenance
 from .sampling import sample_count, select_regular_samples
 from .sorter import SortOptions
@@ -80,11 +80,12 @@ def local_sample_sort(
     samples = [select_regular_samples(keys, count) for keys in sorted_keys]
     splitters = select_splitters(merge_samples(samples), p)
     # Step 4: cuts (with or without the investigator).
-    if len(splitters) == 0:
-        cuts_per_rank = [np.full(p - 1, len(keys), dtype=np.int64) for keys in sorted_keys]
-    else:
-        cut_fn = compute_cuts if options.investigator else compute_cuts_naive
-        cuts_per_rank = [cut_fn(keys, splitters).cuts for keys in sorted_keys]
+    cuts_per_rank = [
+        compute_rank_cuts(
+            keys, splitters, p, investigator=options.investigator
+        ).cuts
+        for keys in sorted_keys
+    ]
     # Step 5: the "exchange" — in-process routing of slices.
     key_runs: list[list[np.ndarray]] = [[] for _ in range(p)]
     idx_runs: list[list[np.ndarray]] = [[] for _ in range(p)]

@@ -43,7 +43,7 @@ from ..simnet.calls import Mark, Now
 from ..simnet.comm import Envelope, ReliableComm, ResilienceConfig
 from ..simnet.errors import ExchangeTimeoutError, MembershipError
 from .balanced_merge import balanced_merge, merge_cost_seconds, sequential_fold_merge
-from .investigator import CutResult, compute_cuts, compute_cuts_naive, slices_from_cuts
+from .investigator import compute_rank_cuts, slices_from_cuts
 from .local_sort import parallel_quicksort
 from .provenance import Provenance
 from .sampling import sample_count, select_regular_samples
@@ -239,11 +239,9 @@ def _exchange_round(machine: "Machine", rc: ReliableComm, inbox: _Inbox, sorted_
     # ---- step 4: partition against this round's splitters
     yield Mark(f"recovery:exchange:r{round_no}", event="instant")
     t4 = yield Now()
-    if len(splitters) == 0:
-        cut = CutResult(np.full(p_r - 1, len(sorted_keys), dtype=np.int64), 0)
-    else:
-        cut_fn = compute_cuts if options.investigator else compute_cuts_naive
-        cut = cut_fn(sorted_keys, splitters)
+    cut = compute_rank_cuts(
+        sorted_keys, splitters, p_r, investigator=options.investigator
+    )
     out.searches += cut.searches
     yield machine.compute(
         cost.binary_search_seconds(cut.searches, int(len(sorted_keys) * cfg.data_scale)),

@@ -37,7 +37,7 @@ from .balanced_merge import (
     sequential_fold_merge,
 )
 from .exchange import ExchangeResult, exchange_partitions
-from .investigator import CutResult, compute_cuts, compute_cuts_naive
+from .investigator import compute_rank_cuts
 from .local_sort import parallel_quicksort
 from .provenance import Provenance
 from .sampling import sample_count, select_regular_samples
@@ -199,13 +199,9 @@ def sample_sort_program(machine: Machine, local_keys: np.ndarray, options: SortO
 
     # ---------------------------------------------------- step 4: partition
     yield Mark(STEP_LABELS[3])
-    if len(splitters) == 0:
-        # No samples anywhere (empty dataset): route everything to rank 0.
-        splitters = None
-        cut = CutResult(np.full(size - 1, len(local.keys), dtype=np.int64), 0)
-    else:
-        cut_fn = compute_cuts if options.investigator else compute_cuts_naive
-        cut = cut_fn(local.keys, splitters)
+    cut = compute_rank_cuts(
+        local.keys, splitters, size, investigator=options.investigator
+    )
     out.searches = cut.searches
     scale = cfg.data_scale
     yield machine.compute(

@@ -11,6 +11,12 @@ report.json`` writes the matching run reports (see :mod:`repro.obs`).
 Both flags work for *all* experiments — simulators pick the tracer up from
 the ambient capture scope, no per-experiment plumbing.
 
+Backends: ``--backend process`` installs the real-parallel process backend
+as the ambient default for every sort an experiment runs (see
+:mod:`repro.parallel`); the default ``simnet`` keeps the virtual-time
+simulator.  Outputs are bit-identical either way — only the clock and the
+hardware differ.
+
 Correctness: ``--sanitize`` runs every simulation under SimSan
 (:mod:`repro.simnet.sanitizer` — use-after-Isend, leaked requests,
 unmatched messages), printing the report summary to stderr and exiting
@@ -109,6 +115,16 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="seed of the fault schedule's RNG (default: 0)",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=["simnet", "process"],
+        help=(
+            "execution substrate for every sort: 'simnet' (virtual time, "
+            "the default) or 'process' (one OS process per rank with a "
+            "shared-memory exchange; identical outputs, wall-clock timing)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.list:
         for name in EXPERIMENTS:
@@ -147,6 +163,10 @@ def main(argv: list[str] | None = None) -> int:
                 from ..simnet.faults import inject_faults
 
                 stack.enter_context(inject_faults(fault_plan))
+            if args.backend is not None:
+                from ..parallel.backend import use_backend
+
+                stack.enter_context(use_backend(args.backend))
             cap = None
             if observing:
                 from ..obs.context import capture

@@ -1,0 +1,68 @@
+"""Real-parallel execution backend for the six-step sample sort.
+
+Where :mod:`repro.simnet` runs the paper's algorithm on a deterministic
+virtual-time simulator, this package runs it on real hardware: one worker
+process per rank, the data plane in shared memory, the control plane over
+pipes.  The same step implementations produce bit-identical partitions on
+both substrates; only the clock differs (virtual vs wall).
+
+Layout:
+
+* :mod:`repro.parallel.arena` — cross-process shared-memory arena with
+  pooled, leased numpy blocks (``ScratchArena`` across processes);
+* :mod:`repro.parallel.collectives` — pipe-based barrier / gather /
+  bcast / allgather with a liveness-watching driver hub;
+* :mod:`repro.parallel.worker` — the per-rank six-step worker loop and
+  the zero-copy shm all-to-all exchange;
+* :mod:`repro.parallel.backend` — the backend abstraction
+  (:class:`ProcessBackend`, :class:`SimnetBackend`, ambient selection);
+* :mod:`repro.parallel.errors` — typed failures (worker crash, remote
+  exception, control-plane timeout) in place of hangs.
+
+This package deliberately reads the real clock (``time.perf_counter``)
+and real core counts — it is exempt from repro-lint's R002 wall-clock
+rule, which guards only sim-deterministic packages.
+"""
+
+from .arena import AttachedLease, SharedArena, ShmLease, attach
+from .backend import (
+    BACKENDS,
+    BackendRun,
+    ExecutionBackend,
+    ProcessBackend,
+    SimnetBackend,
+    default_backend,
+    get_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
+from .errors import (
+    ControlPlaneTimeout,
+    ParallelBackendError,
+    ProtocolError,
+    WorkerCrashedError,
+    WorkerFailedError,
+)
+
+__all__ = [
+    "AttachedLease",
+    "BACKENDS",
+    "BackendRun",
+    "ControlPlaneTimeout",
+    "ExecutionBackend",
+    "ParallelBackendError",
+    "ProcessBackend",
+    "ProtocolError",
+    "SharedArena",
+    "ShmLease",
+    "SimnetBackend",
+    "WorkerCrashedError",
+    "WorkerFailedError",
+    "attach",
+    "default_backend",
+    "get_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
+]

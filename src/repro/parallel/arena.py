@@ -1,0 +1,197 @@
+"""Cross-process shared-memory arena: pooled blocks leased as numpy arrays.
+
+This is :class:`repro.core.scratch.ScratchArena`'s idea taken across the
+process boundary.  The driver (parent) owns a pool of
+:mod:`multiprocessing.shared_memory` segments; data-plane buffers — input
+blocks, the all-to-all exchange streams, merged output — are *leased* as
+numpy views of pooled segments and returned wholesale with
+:meth:`SharedArena.release_all` once a sort completes.  Segments grow
+geometrically and are reused across sorts, so a backend that sorts many
+datasets performs no shm system calls in steady state.
+
+A lease is described by a small picklable :class:`ShmLease` (segment name,
+dtype, length) that travels to workers over the control pipe; workers map
+the same physical pages with :func:`attach` — no data ever crosses a pipe.
+
+Ownership contract: the parent creates and unlinks every segment; workers
+only ever attach and close.  On POSIX the resource-tracker process is
+shared between parent and workers (its fd travels through both fork and
+spawn), so a worker's attach re-registering the segment is a harmless
+set-add and the parent's ``unlink`` performs the single real unregister —
+workers must never call ``resource_tracker.unregister`` themselves, which
+would strip the parent's leak protection and make its unlink race the
+tracker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+
+import numpy as np
+
+#: Smallest segment the arena allocates (bytes); avoids churn from tiny
+#: leases the way ``ScratchArena.MIN_BLOCK_ELEMENTS`` does in-process.
+MIN_SEGMENT_BYTES = 1 << 16
+
+
+@dataclass(frozen=True)
+class ShmLease:
+    """Picklable descriptor of one leased numpy region.
+
+    ``name`` identifies the shared segment; the region is ``length``
+    elements of ``dtype`` starting at ``offset_bytes``.  Sending a lease to
+    a worker conveys *access*, not ownership.
+    """
+
+    name: str
+    dtype: np.dtype
+    length: int
+    offset_bytes: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.length) * np.dtype(self.dtype).itemsize
+
+
+@dataclass
+class _Segment:
+    shm: shared_memory.SharedMemory
+    in_use: bool = False
+
+    @property
+    def capacity(self) -> int:
+        return self.shm.size
+
+
+class SharedArena:
+    """Parent-side pool of shared-memory segments with lease semantics.
+
+    Mirrors the in-process scratch arena: ``lease(n, dtype)`` hands out a
+    region backed by a pooled segment (picking the smallest free segment
+    that fits, creating one with geometric growth otherwise) and
+    ``release_all`` returns every lease without freeing pages.  ``close``
+    unlinks everything; the arena is also a context manager.
+    """
+
+    def __init__(self) -> None:
+        self._segments: list[_Segment] = []
+        #: Real shm segment creations so far (tests pin pooling on this).
+        self.allocations = 0
+        #: Leases handed out since the last ``release_all``.
+        self.live_leases = 0
+        self._closed = False
+
+    # ------------------------------------------------------------ leasing
+
+    def lease(self, length: int, dtype) -> ShmLease:
+        """Lease ``length`` elements of ``dtype`` from pooled shm storage.
+
+        Contents are uninitialized, like ``np.empty``.  The returned
+        descriptor may be pickled to workers; pair it with :func:`attach`
+        (worker) or :meth:`view` (parent) to get the numpy array.
+        """
+        if self._closed:
+            raise ValueError("arena is closed")
+        if length < 0:
+            raise ValueError("lease length must be >= 0")
+        dtype = np.dtype(dtype)
+        nbytes = max(int(length) * dtype.itemsize, 1)
+        best: _Segment | None = None
+        for seg in self._segments:
+            if not seg.in_use and seg.capacity >= nbytes:
+                if best is None or seg.capacity < best.capacity:
+                    best = seg
+        if best is None:
+            largest = max((s.capacity for s in self._segments), default=0)
+            capacity = max(nbytes, 2 * largest, MIN_SEGMENT_BYTES)
+            best = _Segment(shared_memory.SharedMemory(create=True, size=capacity))
+            self.allocations += 1
+            self._segments.append(best)
+        best.in_use = True
+        self.live_leases += 1
+        return ShmLease(name=best.shm.name, dtype=dtype, length=int(length))
+
+    def view(self, lease: ShmLease) -> np.ndarray:
+        """Parent-side numpy view of a lease issued by this arena."""
+        for seg in self._segments:
+            if seg.shm.name == lease.name:
+                return np.ndarray(
+                    lease.length,
+                    dtype=np.dtype(lease.dtype),
+                    buffer=seg.shm.buf,
+                    offset=lease.offset_bytes,
+                )
+        raise KeyError(f"lease names unknown segment {lease.name!r}")
+
+    def release_all(self) -> None:
+        """Return every lease to the pool (segments stay mapped)."""
+        for seg in self._segments:
+            seg.in_use = False
+        self.live_leases = 0
+
+    def pooled_bytes(self) -> int:
+        """Total bytes of shared storage the arena keeps alive."""
+        return sum(s.capacity for s in self._segments)
+
+    # ------------------------------------------------------------ lifetime
+
+    def close(self) -> None:
+        """Unmap and unlink every segment.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for seg in self._segments:
+            try:
+                seg.shm.close()
+                seg.shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._segments.clear()
+        self.live_leases = 0
+
+    def __enter__(self) -> "SharedArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort leak guard
+        try:
+            self.close()
+        except Exception:  # repro: noqa[R006] — raising from __del__ at interpreter teardown is worse than a leaked segment the tracker reaps
+            pass
+
+
+@dataclass
+class AttachedLease:
+    """Worker-side mapping of a :class:`ShmLease`.
+
+    Keeps the :class:`~multiprocessing.shared_memory.SharedMemory` handle
+    alive for as long as ``array`` is in use; ``close`` unmaps (never
+    unlinks — the parent owns the pages).
+    """
+
+    array: np.ndarray
+    _shm: shared_memory.SharedMemory = field(repr=False)
+
+    def close(self) -> None:
+        self.array = None  # drop the buffer reference before unmapping
+        self._shm.close()
+
+
+def attach(lease: ShmLease) -> AttachedLease:
+    """Map an existing lease in this (worker) process.
+
+    Attaching re-registers the segment with the (shared) resource tracker;
+    that is a set-add no-op, and deliberately left in place — see the
+    ownership contract in the module docstring.
+    """
+    shm = shared_memory.SharedMemory(name=lease.name)
+    array = np.ndarray(
+        lease.length,
+        dtype=np.dtype(lease.dtype),
+        buffer=shm.buf,
+        offset=lease.offset_bytes,
+    )
+    return AttachedLease(array=array, _shm=shm)

@@ -1,0 +1,417 @@
+"""Execution backends: one sort program, simnet or real processes.
+
+The repository's six-step sample sort can execute on two substrates:
+
+* ``simnet`` — the deterministic virtual-time simulator (the default;
+  golden-fingerprinted, fault-injectable, zero real parallelism);
+* ``process`` — this module's :class:`ProcessBackend`: one OS process per
+  rank, key/provenance arrays in :mod:`multiprocessing.shared_memory`
+  blocks leased from a :class:`~repro.parallel.arena.SharedArena`, a
+  zero-copy all-to-all through peer-addressed shm regions, and pipe-based
+  collectives for the control plane.
+
+Both produce bit-identical per-rank partitions (pinned by the
+cross-backend equivalence tests against the ``local_backend`` oracle and
+the simnet golden fingerprint); they differ in what the clock means —
+virtual seconds there, wall seconds here.
+
+Backend selection: :class:`~repro.core.api.SortConfig` takes
+``backend="process"`` explicitly, or an ambient default installed with
+:func:`use_backend` / :func:`set_default_backend` (how the experiments
+CLI's ``--backend`` flag reaches every sorter an experiment builds).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from ..core.provenance import Provenance
+from ..core.sorter import STEP_LABELS, RankSortOutput, SortOptions
+from ..pgxd.config import PgxdConfig
+from .arena import SharedArena
+from .collectives import serve_control_plane
+from .errors import ParallelBackendError
+from .worker import WorkerPlan, WorkerReport, worker_main
+
+#: The selectable execution substrates.
+BACKENDS = ("simnet", "process")
+
+_default_backend = "simnet"
+
+
+def default_backend() -> str:
+    """The ambient backend name used when a SortConfig does not pick one."""
+    return _default_backend
+
+
+def set_default_backend(name: str) -> None:
+    """Install the ambient default backend (``simnet`` or ``process``)."""
+    global _default_backend
+    _default_backend = _validated(name)
+
+
+@contextmanager
+def use_backend(name: str):
+    """Scope the ambient default backend (the CLI's ``--backend`` plumbing)."""
+    global _default_backend
+    previous = _default_backend
+    _default_backend = _validated(name)
+    try:
+        yield
+    finally:
+        _default_backend = previous
+
+
+def resolve_backend(name: str | None) -> str:
+    """Explicit choice wins; None falls back to the ambient default."""
+    return _validated(name) if name is not None else _default_backend
+
+
+def _validated(name: str) -> str:
+    if name not in BACKENDS:
+        raise ValueError(f"unknown backend {name!r}; choose one of {BACKENDS}")
+    return name
+
+
+class ExecutionBackend(Protocol):
+    """What a substrate must provide to run the partitioned sort."""
+
+    name: str
+
+    def sort_blocks(
+        self,
+        blocks: Sequence[np.ndarray],
+        options: SortOptions | None = None,
+        config: PgxdConfig | None = None,
+    ) -> "BackendRun": ...
+
+
+@dataclass
+class BackendRun:
+    """Backend-agnostic outcome of one partitioned sort."""
+
+    #: Per-rank outputs in the simulated sorter's shape (keys, provenance,
+    #: per-step seconds — wall seconds on real backends).
+    outputs: list[RankSortOutput]
+    #: Final splitters the Master selected.
+    splitters: np.ndarray
+    #: counts_matrix[src][dst] = keys shipped src -> dst.
+    counts_matrix: np.ndarray
+    #: Driver-observed wall seconds for the whole run (spawn to collect).
+    wall_seconds: float
+    #: Max over workers of in-step wall seconds (excludes spawn overhead).
+    worker_seconds: float
+
+    def to_sort_result(self, input_offsets: np.ndarray):
+        """Assemble the user-facing :class:`~repro.core.result.SortResult`.
+
+        The metrics slot is filled with wall-clock accounting: per-step
+        wall seconds as phase seconds, shm traffic as bytes, and the
+        driver's wall time as the makespan — so ``elapsed_seconds``,
+        ``step_breakdown`` and friends answer in real seconds.
+        """
+        from ..core.result import SortResult
+
+        return SortResult.from_rank_outputs(
+            self.outputs, self.cluster_metrics(), input_offsets
+        )
+
+    def cluster_metrics(self):
+        """Wall-clock :class:`~repro.simnet.metrics.ClusterMetrics` shim."""
+        from ..simnet.metrics import ClusterMetrics, ProcessMetrics
+
+        p = len(self.outputs)
+        key_itemsize = (
+            self.outputs[0].keys.dtype.itemsize if p else 8
+        )
+        idx_itemsize = 4  # int32 origin indices ride the exchange
+        processes = []
+        remote_bytes = 0
+        local_bytes = 0
+        messages = 0
+        for rank, out in enumerate(self.outputs):
+            row = self.counts_matrix[rank]
+            col = self.counts_matrix[:, rank]
+            off_row = int(row.sum() - row[rank])
+            off_col = int(col.sum() - col[rank])
+            has_prov = len(out.provenance) > 0
+            per_key = key_itemsize + (idx_itemsize if has_prov else 0)
+            m = ProcessMetrics(rank=rank)
+            m.phase_seconds.update(out.step_seconds)
+            m.bytes_sent = off_row * per_key
+            m.bytes_received = off_col * per_key
+            m.messages_sent = int(np.count_nonzero(np.delete(row, rank)))
+            m.messages_received = int(np.count_nonzero(np.delete(col, rank)))
+            m.finished_at = sum(out.step_seconds.values())
+            processes.append(m)
+            remote_bytes += m.bytes_sent
+            local_bytes += int(row[rank]) * per_key
+            messages += m.messages_sent
+        return ClusterMetrics(
+            processes=processes,
+            makespan=self.wall_seconds,
+            remote_bytes=remote_bytes,
+            local_bytes=local_bytes,
+            messages=messages,
+        )
+
+
+class ProcessBackend:
+    """Real-parallel substrate: one worker process per rank over shm.
+
+    Reusable: the shared-memory arena pools its segments across sorts, so
+    a long-lived backend re-sorts without new shm system calls.  Use as a
+    context manager (or call :meth:`close`) to unlink the pool.
+
+    ``start_method`` defaults to ``fork`` where available (cheapest spawn;
+    the workers re-import nothing) and ``spawn`` elsewhere — the plan and
+    worker entry are picklable, so both work.  ``timeout_seconds`` bounds
+    control-plane silence, turning any stall into a typed error.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        *,
+        start_method: str | None = None,
+        timeout_seconds: float = 120.0,
+        crash_rank: int | None = None,
+        crash_stage: str = "start",
+    ):
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self.timeout_seconds = timeout_seconds
+        self._crash_rank = crash_rank
+        self._crash_stage = crash_stage
+        self.arena = SharedArena()
+
+    # ------------------------------------------------------------ lifetime
+
+    def close(self) -> None:
+        self.arena.close()
+
+    def __enter__(self) -> "ProcessBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ----------------------------------------------------------------- run
+
+    def sort_blocks(
+        self,
+        blocks: Sequence[np.ndarray],
+        options: SortOptions | None = None,
+        config: PgxdConfig | None = None,
+    ) -> BackendRun:
+        """Sort already-partitioned blocks, one worker process per block.
+
+        Same conventions as :func:`repro.core.local_backend.local_sample_sort`
+        (ascending across ranks, provenance per element) — and the same
+        bits, which the equivalence tests assert.
+        """
+        options = options or SortOptions()
+        config = config or PgxdConfig()
+        size = len(blocks)
+        if size == 0:
+            raise ValueError("need at least one block")
+        blocks = [np.ascontiguousarray(b) for b in blocks]
+        dtypes = {b.dtype for b in blocks}
+        if len(dtypes) != 1:
+            raise ParallelBackendError(
+                f"process backend requires dtype-uniform blocks, got "
+                f"{sorted(map(str, dtypes))}; pre-convert or use the "
+                f"simnet backend"
+            )
+        (key_dtype,) = dtypes
+        track = options.track_provenance
+        lengths = [len(b) for b in blocks]
+        n = sum(lengths)
+        bounds = tuple(np.concatenate(([0], np.cumsum(lengths))).tolist())
+
+        start = time.perf_counter()
+        input_lease = self.arena.lease(n, key_dtype)
+        key_lease = self.arena.lease(n, key_dtype)
+        index_lease = self.arena.lease(n, np.int32) if track else None
+        proc_lease = self.arena.lease(n, np.int16) if track else None
+        input_view = self.arena.view(input_lease)
+        for rank, block in enumerate(blocks):
+            input_view[bounds[rank] : bounds[rank + 1]] = block
+
+        plan = WorkerPlan(
+            size=size,
+            block_bounds=bounds,
+            input_lease=input_lease,
+            key_lease=key_lease,
+            index_lease=index_lease,
+            proc_lease=proc_lease,
+            options=options,
+            config=config,
+            crash_rank=self._crash_rank,
+            crash_stage=self._crash_stage,
+        )
+
+        hub_conns = []
+        procs = []
+        try:
+            worker_ends = []
+            for rank in range(size):
+                hub_end, worker_end = self._ctx.Pipe(duplex=True)
+                hub_conns.append(hub_end)
+                worker_ends.append(worker_end)
+                procs.append(
+                    self._ctx.Process(
+                        target=worker_main,
+                        args=(rank, plan, worker_end),
+                        name=f"repro-sort-rank-{rank}",
+                        daemon=True,
+                    )
+                )
+            for proc in procs:
+                proc.start()
+            for end in worker_ends:
+                end.close()  # the workers own their ends now
+            reports: dict[int, WorkerReport] = serve_control_plane(
+                hub_conns, procs, timeout_seconds=self.timeout_seconds
+            )
+            for proc in procs:
+                proc.join()
+            wall = time.perf_counter() - start
+            return self._collect(reports, key_lease, index_lease, proc_lease, wall)
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in procs:
+                if proc.pid is not None:
+                    proc.join(timeout=5.0)
+            for conn in hub_conns:
+                conn.close()
+            self.arena.release_all()
+
+    def _collect(
+        self,
+        reports: dict[int, WorkerReport],
+        key_lease,
+        index_lease,
+        proc_lease,
+        wall: float,
+    ) -> BackendRun:
+        size = len(reports)
+        counts_matrix = np.stack([reports[r].counts_row for r in range(size)])
+        rank_base = np.zeros(size + 1, dtype=np.int64)
+        np.cumsum(counts_matrix.sum(axis=0), out=rank_base[1:])
+        keys_view = self.arena.view(key_lease)
+        idx_view = self.arena.view(index_lease) if index_lease else None
+        proc_view = self.arena.view(proc_lease) if proc_lease else None
+        outputs = []
+        for rank in range(size):
+            report = reports[rank]
+            lo, hi = int(rank_base[rank]), int(rank_base[rank + 1])
+            keys = keys_view[lo:hi].copy()  # fresh: leases return to the pool
+            if idx_view is not None:
+                prov = Provenance(proc_view[lo:hi].copy(), idx_view[lo:hi].copy())
+            else:
+                prov = Provenance.empty()
+            outputs.append(
+                RankSortOutput(
+                    keys=keys,
+                    provenance=prov,
+                    step_seconds=dict(report.step_seconds),
+                    samples_sent=report.samples_sent,
+                    searches=report.searches,
+                    sent_counts=counts_matrix[rank].copy(),
+                    received_counts=counts_matrix[:, rank].copy(),
+                )
+            )
+        master = reports[0]
+        splitters = (
+            master.splitters
+            if master.splitters is not None
+            else outputs[0].keys[:0].copy()
+        )
+        worker_seconds = max(reports[r].wall_seconds for r in range(size))
+        return BackendRun(
+            outputs=outputs,
+            splitters=splitters,
+            counts_matrix=counts_matrix,
+            wall_seconds=wall,
+            worker_seconds=worker_seconds,
+        )
+
+
+class SimnetBackend:
+    """Adapter presenting the virtual-time simulator as a backend.
+
+    Exists so callers can treat the two substrates uniformly; delegates to
+    :class:`~repro.core.api.DistributedSorter` (which is where the simnet
+    machinery already lives) and reshapes the result.
+    """
+
+    name = "simnet"
+
+    def sort_blocks(
+        self,
+        blocks: Sequence[np.ndarray],
+        options: SortOptions | None = None,
+        config: PgxdConfig | None = None,
+    ) -> BackendRun:
+        from ..core.api import DistributedSorter, SortConfig
+
+        sort_config = SortConfig(
+            num_processors=len(blocks),
+            pgxd=config or PgxdConfig(),
+            options=options or SortOptions(),
+        )
+        result = DistributedSorter(sort_config).sort_partitioned(blocks)
+        outputs = [
+            RankSortOutput(
+                keys=result.per_processor[r],
+                provenance=result.provenance[r],
+                step_seconds=result.step_seconds[r],
+                sent_counts=result.counts_matrix[r].copy(),
+                received_counts=result.counts_matrix[:, r].copy(),
+            )
+            for r in range(result.num_processors)
+        ]
+        return BackendRun(
+            outputs=outputs,
+            splitters=result.per_processor[0][:0].copy()
+            if result.per_processor
+            else np.empty(0),
+            counts_matrix=result.counts_matrix,
+            wall_seconds=result.metrics.makespan,
+            worker_seconds=result.metrics.makespan,
+        )
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """Instantiate a backend by name (see :data:`BACKENDS`)."""
+    name = _validated(name)
+    return ProcessBackend() if name == "process" else SimnetBackend()
+
+
+#: Every step label a backend reports (re-export for metric consumers).
+__all__ = [
+    "BACKENDS",
+    "BackendRun",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SimnetBackend",
+    "STEP_LABELS",
+    "default_backend",
+    "get_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "use_backend",
+]

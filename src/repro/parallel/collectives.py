@@ -1,0 +1,195 @@
+"""Pipe-based control-plane collectives for the process backend.
+
+The sort's *data* never touches a pipe — it moves through shared memory
+(:mod:`repro.parallel.arena`).  What does cross pipes is the lightweight
+control plane the six-step algorithm needs: the sample gather to the
+Master, the splitter broadcast, the counts-matrix allgather before the
+exchange, and barriers around the shared-memory writes.
+
+Topology is a star: each worker holds one duplex pipe to the driver, and
+the driver runs :func:`serve_control_plane` — a tiny collective server
+that collects one contribution per rank per operation, computes the reply
+(gather/bcast/allgather/barrier), and answers every participant.  All
+ranks execute the same program, so operations arrive in the same order on
+every pipe and are matched by an (op, sequence) key.
+
+The hub is also the backend's *liveness monitor*: while waiting for
+contributions it watches worker processes, so a crashed rank surfaces as a
+typed :class:`~repro.parallel.errors.WorkerCrashedError` instead of the
+barrier deadlock it would cause in a leaderless design.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from multiprocessing.connection import Connection, wait
+from typing import Any
+
+from .errors import ControlPlaneTimeout, ProtocolError, WorkerCrashedError
+
+#: How often the hub wakes to check worker liveness while idle (seconds).
+_POLL_SECONDS = 0.25
+
+
+class WorkerLink:
+    """Worker-side endpoint: blocking collectives over one pipe.
+
+    Mirrors the simnet collective API (:mod:`repro.simnet.collectives`)
+    closely enough that the six-step program reads the same in both
+    backends: ``gather`` returns the rank-ordered list at the root and
+    ``None`` elsewhere, ``bcast`` returns the root's payload everywhere,
+    ``allgather`` returns the full list to all ranks, ``barrier`` returns
+    once every rank arrived.
+    """
+
+    def __init__(self, rank: int, size: int, conn: Connection):
+        self.rank = rank
+        self.size = size
+        self.conn = conn
+        self._seq = 0
+
+    def _collective(self, op: str, payload: Any = None, root: int = 0) -> Any:
+        self._seq += 1
+        self.conn.send(("coll", op, self._seq, self.rank, root, payload))
+        return self.conn.recv()
+
+    def barrier(self) -> None:
+        self._collective("barrier")
+
+    def gather(self, payload: Any, root: int = 0) -> list | None:
+        return self._collective("gather", payload, root)
+
+    def bcast(self, payload: Any, root: int = 0) -> Any:
+        return self._collective("bcast", payload, root)
+
+    def allgather(self, payload: Any) -> list:
+        return self._collective("allgather", payload)
+
+    def send_done(self, payload: Any) -> None:
+        self.conn.send(("done", self.rank, payload))
+
+    def send_error(self, exc_type: str, traceback_text: str) -> None:
+        self.conn.send(("error", self.rank, exc_type, traceback_text))
+
+
+@dataclass
+class _PendingOp:
+    root: int
+    contributions: dict[int, Any]
+
+
+def _reply(op: str, pending: _PendingOp, size: int) -> dict[int, Any]:
+    """Compute each rank's reply for a completed collective."""
+    if op == "barrier":
+        return {rank: None for rank in range(size)}
+    if op == "gather":
+        ordered = [pending.contributions[r] for r in range(size)]
+        return {
+            rank: (ordered if rank == pending.root else None)
+            for rank in range(size)
+        }
+    if op == "bcast":
+        value = pending.contributions[pending.root]
+        return {rank: value for rank in range(size)}
+    if op == "allgather":
+        ordered = [pending.contributions[r] for r in range(size)]
+        return {rank: ordered for rank in range(size)}
+    raise ProtocolError(f"unknown collective op {op!r}")
+
+
+def serve_control_plane(
+    conns: list[Connection],
+    processes: list,
+    *,
+    timeout_seconds: float | None = None,
+) -> dict[int, Any]:
+    """Drive the collective hub until every worker reports done.
+
+    ``conns[rank]`` is the driver end of rank's pipe; ``processes[rank]``
+    the worker process (anything with ``is_alive()`` and ``exitcode``).
+    Returns ``{rank: done_payload}``.  Raises
+    :class:`~repro.parallel.errors.WorkerCrashedError` when a pipe hits
+    EOF or a process dies with messages outstanding,
+    :class:`~repro.parallel.errors.WorkerFailedError` when a worker
+    reports an exception (re-raised by the caller from the payload), and
+    :class:`~repro.parallel.errors.ControlPlaneTimeout` when
+    ``timeout_seconds`` passes without any progress.
+    """
+    from .errors import WorkerFailedError
+
+    size = len(conns)
+    rank_of = {id(conn): rank for rank, conn in enumerate(conns)}
+    active: set[int] = set(range(size))
+    done: dict[int, Any] = {}
+    pending: dict[tuple[str, int], _PendingOp] = {}
+    last_progress = time.perf_counter()
+
+    def phase() -> str:
+        if pending:
+            ops = ", ".join(f"{op}#{seq}" for op, seq in sorted(pending))
+            return f"collectives pending: {ops}"
+        return "between collectives"
+
+    def crash(rank: int) -> WorkerCrashedError:
+        proc = processes[rank]
+        exitcode = getattr(proc, "exitcode", None)
+        return WorkerCrashedError(rank, exitcode, phase())
+
+    while active:
+        ready = wait([conns[r] for r in active], timeout=_POLL_SECONDS)
+        now = time.perf_counter()
+        if not ready:
+            for rank in sorted(active):
+                proc = processes[rank]
+                if not proc.is_alive() and not conns[rank].poll():
+                    raise crash(rank)
+            if (
+                timeout_seconds is not None
+                and now - last_progress > timeout_seconds
+            ):
+                raise ControlPlaneTimeout(now - last_progress, phase())
+            continue
+        last_progress = now
+        for conn in ready:
+            rank = rank_of[id(conn)]
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                raise crash(rank) from None
+            kind = msg[0]
+            if kind == "done":
+                done[msg[1]] = msg[2]
+                active.discard(msg[1])
+            elif kind == "error":
+                raise WorkerFailedError(msg[1], msg[2], msg[3])
+            elif kind == "coll":
+                _, op, seq, sender, root, payload = msg
+                key = (op, seq)
+                slot = pending.get(key)
+                if slot is None:
+                    slot = pending[key] = _PendingOp(root=root, contributions={})
+                elif slot.root != root:
+                    raise ProtocolError(
+                        f"collective {op}#{seq}: rank {sender} named root "
+                        f"{root}, earlier ranks named {slot.root}"
+                    )
+                if sender in slot.contributions:
+                    raise ProtocolError(
+                        f"collective {op}#{seq}: duplicate contribution "
+                        f"from rank {sender}"
+                    )
+                slot.contributions[sender] = payload
+                if len(slot.contributions) == size:
+                    del pending[key]
+                    replies = _reply(op, slot, size)
+                    for peer, reply in replies.items():
+                        conns[peer].send(reply)
+            else:
+                raise ProtocolError(f"unknown control message kind {kind!r}")
+    if pending:
+        ops = ", ".join(f"{op}#{seq}" for op, seq in sorted(pending))
+        raise ProtocolError(
+            f"all workers reported done but collectives never completed: {ops}"
+        )
+    return done

@@ -1,0 +1,62 @@
+"""Typed failures of the real-parallel execution backend.
+
+Everything a process-backend run can do wrong surfaces as one of these —
+never as a hang, and never as a bare ``BrokenPipeError`` deep inside
+``multiprocessing``.  The control-plane hub watches worker liveness while
+serving collectives, so a worker that dies mid-protocol turns into a
+:class:`WorkerCrashedError` naming the rank, and a worker that raised is
+re-reported as a :class:`WorkerFailedError` carrying the remote traceback.
+"""
+
+from __future__ import annotations
+
+
+class ParallelBackendError(RuntimeError):
+    """Base class for process-backend failures."""
+
+
+class WorkerCrashedError(ParallelBackendError):
+    """A worker process died without reporting a result or an error.
+
+    Raised by the control-plane hub when a worker's pipe hits EOF or its
+    process exits while collectives are still outstanding — the situation
+    that would otherwise deadlock every surviving rank inside a barrier.
+    """
+
+    def __init__(self, rank: int, exitcode: int | None, phase: str):
+        self.rank = rank
+        self.exitcode = exitcode
+        self.phase = phase
+        super().__init__(
+            f"worker rank {rank} crashed (exitcode {exitcode}) "
+            f"during {phase}; remaining workers were terminated"
+        )
+
+
+class WorkerFailedError(ParallelBackendError):
+    """A worker raised an exception; the remote traceback rides along."""
+
+    def __init__(self, rank: int, exc_type: str, remote_traceback: str):
+        self.rank = rank
+        self.exc_type = exc_type
+        self.remote_traceback = remote_traceback
+        super().__init__(
+            f"worker rank {rank} failed with {exc_type}\n"
+            f"--- remote traceback ---\n{remote_traceback}"
+        )
+
+
+class ControlPlaneTimeout(ParallelBackendError):
+    """The hub's wall-clock deadline expired with collectives pending."""
+
+    def __init__(self, waited_seconds: float, pending: str):
+        self.waited_seconds = waited_seconds
+        self.pending = pending
+        super().__init__(
+            f"control plane made no progress for {waited_seconds:.1f}s "
+            f"({pending}); terminating workers"
+        )
+
+
+class ProtocolError(ParallelBackendError):
+    """A worker sent a control message the hub cannot reconcile."""

@@ -1,0 +1,245 @@
+"""The per-rank worker loop of the multiprocess backend.
+
+One process per rank runs :func:`worker_main`, executing the paper's six
+steps over real OS parallelism — the same step implementations as the
+simulated sorter and the in-process reference backend (regular sampling,
+Master splitter selection, the investigator, the flat k-way merge), so the
+produced partitions are **bit-identical** to both.
+
+Data plane (all shared memory, described by a :class:`WorkerPlan`):
+
+* the unsorted input lives in one shm block, rank ``r`` reading
+  ``input[bounds[r]:bounds[r+1]]``;
+* the step-5 exchange writes *directly into the receivers' regions* of a
+  second shm block: the allgathered counts matrix fixes every (src, dst)
+  run's offset, the regions are disjoint, so every rank writes its
+  outgoing runs concurrently with zero copies through the control plane
+  and zero locks — a barrier separates the writes from the merges;
+* step 6 merges the rank's own region with the flat k-way kernel and
+  stores the result (keys + provenance) back over that region, where the
+  driver collects it.
+
+Control plane (pickled over one pipe per rank, via the hub in
+:mod:`repro.parallel.collectives`): the sample gather, the splitter
+broadcast, the counts allgather, and the pre/post-exchange barriers —
+bytes proportional to ``p``, never to ``n``.
+
+Timing here is *wall-clock* (``time.perf_counter``), which is the whole
+point of this backend; the simulated path keeps its virtual clock.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection
+
+import numpy as np
+
+from ..core.investigator import compute_rank_cuts, slices_from_cuts
+from ..core.packsort import packed_stable_sort
+from ..core.sampling import sample_count, select_regular_samples
+from ..core.sorter import MASTER, STEP_LABELS, SortOptions
+from ..core.splitters import merge_samples, select_splitters
+from ..pgxd.config import PgxdConfig
+from .arena import AttachedLease, ShmLease, attach
+from .collectives import WorkerLink
+
+
+@dataclass(frozen=True)
+class WorkerPlan:
+    """Everything a worker needs, picklable, shipped once at spawn."""
+
+    size: int
+    #: Prefix bounds of each rank's block in the input lease (size+1).
+    block_bounds: tuple[int, ...]
+    input_lease: ShmLease
+    #: Exchange + output stream for keys (doubles as the result buffer).
+    key_lease: ShmLease
+    #: Exchange + output stream for origin indices (None w/o provenance).
+    index_lease: ShmLease | None
+    #: Output stream for origin processors (None without provenance).
+    proc_lease: ShmLease | None
+    options: SortOptions
+    config: PgxdConfig
+    #: Test hook: this rank calls ``os._exit`` at ``crash_stage``.
+    crash_rank: int | None = None
+    crash_stage: str = "start"
+
+
+@dataclass
+class WorkerReport:
+    """Small per-rank metadata returned over the pipe (never bulk data)."""
+
+    rank: int
+    #: Keys this rank sent to each destination (row of the counts matrix).
+    counts_row: np.ndarray
+    #: Wall seconds per step label.
+    step_seconds: dict[str, float] = field(default_factory=dict)
+    samples_sent: int = 0
+    searches: int = 0
+    #: Final splitters (Master only; None elsewhere).
+    splitters: np.ndarray | None = None
+    #: Total wall seconds inside the six steps on this worker.
+    wall_seconds: float = 0.0
+
+
+def _maybe_crash(plan: WorkerPlan, rank: int, stage: str) -> None:
+    if plan.crash_rank == rank and plan.crash_stage == stage:
+        os._exit(43)  # simulate a hard worker death (no cleanup, no message)
+
+
+def _run_six_steps(rank: int, plan: WorkerPlan, link: WorkerLink) -> WorkerReport:
+    options, config, size = plan.options, plan.config, plan.size
+    track = options.track_provenance
+    report = WorkerReport(rank=rank, counts_row=np.zeros(size, dtype=np.int64))
+    attachments: list[AttachedLease] = []
+
+    def _attach(lease: ShmLease) -> np.ndarray:
+        mapped = attach(lease)
+        attachments.append(mapped)
+        return mapped.array
+
+    try:
+        input_block = _attach(plan.input_lease)
+        ex_keys = _attach(plan.key_lease)
+        ex_index = _attach(plan.index_lease) if track else None
+        out_proc = _attach(plan.proc_lease) if track else None
+        lo, hi = plan.block_bounds[rank], plan.block_bounds[rank + 1]
+        block = input_block[lo:hi]
+
+        t0 = time.perf_counter()
+        # ------------------------------------------------ step 1: local sort
+        # Same data plane as the simulated sorter's parallel_quicksort:
+        # packed fast path when the dtype allows, stable argsort otherwise
+        # (bit-identical either way), int32 permutation.
+        if track:
+            fast = packed_stable_sort(block)
+            if fast is not None:
+                sorted_keys, order = fast
+            else:
+                order = block.argsort(kind="stable")
+                sorted_keys = block[order]
+            perm = order.astype(np.int32)
+        else:
+            sorted_keys = np.sort(block)
+            perm = np.empty(0, dtype=np.int32)
+        t1 = time.perf_counter()
+        report.step_seconds[STEP_LABELS[0]] = t1 - t0
+
+        # -------------------------------------------------- step 2: sampling
+        count = sample_count(
+            config, size, sorted_keys.dtype.itemsize, options.sample_factor
+        )
+        samples = select_regular_samples(sorted_keys, count)
+        report.samples_sent = len(samples)
+        gathered = link.gather(samples, root=MASTER)
+        t2 = time.perf_counter()
+        report.step_seconds[STEP_LABELS[1]] = t2 - t1
+
+        # ------------------------------------------------- step 3: splitters
+        if rank == MASTER:
+            assert gathered is not None
+            splitters = select_splitters(merge_samples(gathered), size)
+            report.splitters = splitters
+        else:
+            splitters = None
+        splitters = link.bcast(splitters, root=MASTER)
+        t3 = time.perf_counter()
+        report.step_seconds[STEP_LABELS[2]] = t3 - t2
+
+        # ------------------------------------------------- step 4: partition
+        cut = compute_rank_cuts(
+            sorted_keys, splitters, size, investigator=options.investigator
+        )
+        report.searches = cut.searches
+        out_slices = slices_from_cuts(cut.cuts, len(sorted_keys))
+        counts = np.array(
+            [sl.stop - sl.start for sl in out_slices], dtype=np.int64
+        )
+        report.counts_row = counts
+        t4 = time.perf_counter()
+        report.step_seconds[STEP_LABELS[3]] = t4 - t3
+
+        # -------------------------------------------------- step 5: exchange
+        # Everyone learns the counts matrix, which fixes each (src, dst)
+        # run's offset in the shared exchange stream; writes are disjoint.
+        all_counts = link.allgather(counts)
+        counts_matrix = np.stack(all_counts)
+        _maybe_crash(plan, rank, "exchange")
+        recv_totals = counts_matrix.sum(axis=0)
+        rank_base = np.zeros(size + 1, dtype=np.int64)
+        np.cumsum(recv_totals, out=rank_base[1:])
+        # Exclusive prefix within each destination's region, by source.
+        col_starts = np.zeros_like(counts_matrix)
+        np.cumsum(counts_matrix[:-1], axis=0, out=col_starts[1:])
+        for dst in range(size):
+            sl = out_slices[dst]
+            if sl.stop == sl.start:
+                continue
+            pos = int(rank_base[dst] + col_starts[rank, dst])
+            end = pos + (sl.stop - sl.start)
+            ex_keys[pos:end] = sorted_keys[sl]
+            if track:
+                ex_index[pos:end] = perm[sl]
+        link.barrier()  # all runs landed; regions are safe to read
+        t5 = time.perf_counter()
+        report.step_seconds[STEP_LABELS[4]] = t5 - t4
+
+        # ----------------------------------------------------- step 6: merge
+        # The rank's region holds one sorted run per source, back to back in
+        # source order — exactly the flat k-way kernel's input layout, and
+        # exactly what the simulated exchange reassembles.
+        from ..core.balanced_merge import flat_kway_merge
+
+        base, total = int(rank_base[rank]), int(recv_totals[rank])
+        region = ex_keys[base : base + total]
+        run_lengths = counts_matrix[:, rank].tolist()
+        if track:
+            idx_region = ex_index[base : base + total]
+            proc_col = np.empty(total, dtype=np.int16)
+            bounds = np.zeros(size + 1, dtype=np.int64)
+            np.cumsum(counts_matrix[:, rank], out=bounds[1:])
+            for src in range(size):
+                proc_col[bounds[src] : bounds[src + 1]] = src
+            aux_cols = [idx_region, proc_col]
+        else:
+            aux_cols = []
+        outcome = flat_kway_merge(
+            region, run_lengths, aux_cols, balanced=options.balanced_merge
+        )
+        # Store the merged result back over the (now dead) exchange region;
+        # the driver reads it from there — no pickling on the way out.
+        region[:] = outcome.keys
+        if track:
+            idx_region[:] = outcome.aux[0]
+            out_proc[base : base + total] = outcome.aux[1]
+        t6 = time.perf_counter()
+        report.step_seconds[STEP_LABELS[5]] = t6 - t5
+        report.wall_seconds = t6 - t0
+        return report
+    finally:
+        for mapped in attachments:
+            mapped.close()
+
+
+def worker_main(rank: int, plan: WorkerPlan, conn: Connection) -> None:
+    """Process entry point: run the six steps, report done or error.
+
+    Any exception is serialized to the driver (which re-raises it as a
+    typed :class:`~repro.parallel.errors.WorkerFailedError`); the worker
+    then exits hard so a broken rank can never wedge the cluster.
+    """
+    link = WorkerLink(rank, plan.size, conn)
+    try:
+        _maybe_crash(plan, rank, "start")
+        report = _run_six_steps(rank, plan, link)
+        link.send_done(report)
+    except BaseException as exc:  # repro: noqa[R006] — process boundary: the exception is serialized to the driver, which re-raises it typed
+        try:
+            link.send_error(type(exc).__name__, traceback.format_exc())
+        except Exception:  # repro: noqa[R006] — pipe already gone; the hub detects the crash by liveness instead
+            pass
+        os._exit(1)

@@ -1,0 +1,121 @@
+"""SharedArena: pooling, lease/attach round trips, cross-process visibility."""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.parallel import SharedArena, attach
+from repro.parallel.arena import MIN_SEGMENT_BYTES
+
+
+def _child_square(lease, out_lease):
+    """Read one lease, write element-wise squares into another."""
+    src = attach(lease)
+    dst = attach(out_lease)
+    try:
+        dst.array[:] = src.array * src.array
+    finally:
+        src.close()
+        dst.close()
+
+
+class TestLeasing:
+    def test_lease_view_round_trip(self):
+        with SharedArena() as arena:
+            lease = arena.lease(1000, np.int64)
+            view = arena.view(lease)
+            view[:] = np.arange(1000)
+            again = arena.view(lease)
+            np.testing.assert_array_equal(again, np.arange(1000))
+            assert lease.nbytes == 8000
+
+    def test_attach_sees_parent_writes_and_vice_versa(self):
+        ctx = multiprocessing.get_context()
+        with SharedArena() as arena:
+            lease = arena.lease(512, np.int64)
+            out = arena.lease(512, np.int64)
+            arena.view(lease)[:] = np.arange(512)
+            proc = ctx.Process(target=_child_square, args=(lease, out))
+            proc.start()
+            proc.join()
+            assert proc.exitcode == 0
+            np.testing.assert_array_equal(arena.view(out), np.arange(512) ** 2)
+
+    def test_zero_length_lease(self):
+        with SharedArena() as arena:
+            lease = arena.lease(0, np.float64)
+            assert arena.view(lease).shape == (0,)
+
+    def test_negative_length_rejected(self):
+        with SharedArena() as arena:
+            with pytest.raises(ValueError):
+                arena.lease(-1, np.int64)
+
+    def test_view_of_foreign_lease_rejected(self):
+        with SharedArena() as arena, SharedArena() as other:
+            lease = other.lease(10, np.int64)
+            with pytest.raises(KeyError):
+                arena.view(lease)
+
+
+class TestPooling:
+    def test_release_all_reuses_segments(self):
+        with SharedArena() as arena:
+            arena.lease(100_000, np.int64)
+            arena.lease(100_000, np.int32)
+            allocs = arena.allocations
+            assert allocs == 2
+            for _ in range(5):
+                arena.release_all()
+                arena.lease(100_000, np.int64)
+                arena.lease(100_000, np.int32)
+            assert arena.allocations == allocs
+
+    def test_small_leases_share_min_segment_sizing(self):
+        with SharedArena() as arena:
+            lease = arena.lease(4, np.int64)
+            arena.release_all()
+            # A later, larger-but-still-tiny lease fits the same segment.
+            again = arena.lease(1024, np.int64)
+            assert again.name == lease.name
+            assert arena.allocations == 1
+            assert arena.pooled_bytes() >= MIN_SEGMENT_BYTES
+
+    def test_geometric_growth(self):
+        with SharedArena() as arena:
+            arena.lease(MIN_SEGMENT_BYTES, np.uint8)
+            big = 5 * MIN_SEGMENT_BYTES
+            arena.lease(big, np.uint8)
+            assert arena.allocations == 2
+            arena.release_all()
+            # Anything up to the big segment is served from the pool.
+            arena.lease(2 * MIN_SEGMENT_BYTES, np.uint8)
+            assert arena.allocations == 2
+
+    def test_live_lease_counter(self):
+        with SharedArena() as arena:
+            arena.lease(10, np.int64)
+            arena.lease(10, np.int64)
+            assert arena.live_leases == 2
+            arena.release_all()
+            assert arena.live_leases == 0
+
+
+class TestLifetime:
+    def test_close_is_idempotent_and_final(self):
+        arena = SharedArena()
+        arena.lease(100, np.int64)
+        arena.close()
+        arena.close()
+        with pytest.raises(ValueError):
+            arena.lease(1, np.int64)
+
+    def test_context_manager_closes(self):
+        with SharedArena() as arena:
+            lease = arena.lease(100, np.int64)
+            name = lease.name
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)

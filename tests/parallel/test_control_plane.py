@@ -1,0 +1,116 @@
+"""The pipe-star control plane: collective semantics and failure typing."""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.parallel import WorkerCrashedError, WorkerFailedError
+from repro.parallel.collectives import WorkerLink, serve_control_plane
+from repro.parallel.errors import ProtocolError
+
+
+def _run_hub(target, size, timeout_seconds=30.0, extra=()):
+    """Spawn ``size`` workers running ``target(link, *extra)`` under the hub."""
+    ctx = multiprocessing.get_context()
+    conns, procs = [], []
+    try:
+        for rank in range(size):
+            hub_end, worker_end = ctx.Pipe(duplex=True)
+            conns.append(hub_end)
+            procs.append(
+                ctx.Process(target=_worker_shell, args=(target, rank, size, worker_end, extra))
+            )
+        for proc in procs:
+            proc.start()
+        return serve_control_plane(conns, procs, timeout_seconds=timeout_seconds)
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
+            proc.join(timeout=5.0)
+        for conn in conns:
+            conn.close()
+
+
+def _worker_shell(target, rank, size, conn, extra):
+    link = WorkerLink(rank, size, conn)
+    try:
+        link.send_done(target(link, *extra))
+    except Exception as exc:  # repro: noqa[R006] — process boundary: the exception is reported to the hub, which re-raises it typed
+        link.send_error(type(exc).__name__, str(exc))
+        os._exit(1)
+
+
+def _exercise_collectives(link):
+    gathered = link.gather(link.rank * 10, root=1)
+    if link.rank == 1:
+        assert gathered == [0, 10, 20]
+    else:
+        assert gathered is None
+    word = link.bcast("go" if link.rank == 2 else None, root=2)
+    assert word == "go"
+    everyone = link.allgather(link.rank + 100)
+    assert everyone == [100, 101, 102]
+    link.barrier()
+    return {"rank": link.rank, "sum": sum(everyone)}
+
+
+def _crash_at_barrier(link, crash_rank):
+    if link.rank == crash_rank:
+        os._exit(9)
+    link.barrier()
+    return link.rank
+
+
+def _raise_on_one(link, failing_rank):
+    link.barrier()
+    if link.rank == failing_rank:
+        raise ValueError("intentional worker failure")
+    link.barrier()
+    return link.rank
+
+
+def _disagree_on_root(link):
+    # Rank 0 names itself root; everyone else names rank 1.
+    link.gather(link.rank, root=0 if link.rank == 0 else 1)
+    return link.rank
+
+
+class TestCollectiveSemantics:
+    def test_gather_bcast_allgather_barrier(self):
+        done = _run_hub(_exercise_collectives, size=3)
+        assert sorted(done) == [0, 1, 2]
+        for rank, payload in done.items():
+            assert payload == {"rank": rank, "sum": 303}
+
+    def test_single_rank_collectives(self):
+        done = _run_hub(_exercise_single, size=1)
+        assert done[0] == "ok"
+
+
+def _exercise_single(link):
+    assert link.gather("x", root=0) == ["x"]
+    assert link.bcast("y", root=0) == "y"
+    assert link.allgather("z") == ["z"]
+    link.barrier()
+    return "ok"
+
+
+class TestFailureTyping:
+    def test_crashed_worker_becomes_typed_error(self):
+        with pytest.raises(WorkerCrashedError) as excinfo:
+            _run_hub(_crash_at_barrier, size=3, extra=(1,))
+        assert excinfo.value.rank == 1
+        assert "barrier" in excinfo.value.phase
+
+    def test_worker_exception_becomes_typed_error(self):
+        with pytest.raises(WorkerFailedError) as excinfo:
+            _run_hub(_raise_on_one, size=2, extra=(0,))
+        assert excinfo.value.rank == 0
+        assert excinfo.value.exc_type == "ValueError"
+
+    def test_root_disagreement_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            _run_hub(_disagree_on_root, size=2)

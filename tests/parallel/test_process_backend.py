@@ -1,0 +1,198 @@
+"""Cross-backend equivalence: the process backend must reproduce, bit for
+bit, the partitions of the in-process oracle and the simnet golden run."""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.core.api import DistributedSorter, partition_input
+from repro.core.local_backend import local_sample_sort
+from repro.core.sorter import SortOptions
+from repro.parallel import (
+    ParallelBackendError,
+    ProcessBackend,
+    WorkerCrashedError,
+    default_backend,
+    get_backend,
+    resolve_backend,
+    use_backend,
+)
+
+GOLDEN_PATH = pathlib.Path(__file__).parents[1] / "golden" / "sim_golden_p16.json"
+
+
+def _workloads(n=20_000, seed=7):
+    rng = np.random.default_rng(seed)
+    return {
+        "uniform": rng.integers(0, 1 << 40, n).astype(np.int64),
+        "duplicate_heavy": rng.integers(0, 50, n).astype(np.int64),
+        "presorted": np.sort(rng.integers(0, 1 << 30, n).astype(np.int64)),
+        "tiny": rng.integers(0, 100, 7).astype(np.int64),
+        "empty": np.empty(0, dtype=np.int64),
+        "float_keys": rng.normal(size=n),
+        "uint32_keys": rng.integers(0, 1 << 31, n).astype(np.uint32),
+    }
+
+
+def _assert_bit_identical(reference, run):
+    for rank, out in enumerate(run.outputs):
+        ref_keys = reference.per_processor[rank]
+        assert out.keys.dtype == ref_keys.dtype
+        np.testing.assert_array_equal(out.keys, ref_keys)
+        ref_prov = reference.provenance[rank]
+        assert out.provenance.origin_proc.dtype == ref_prov.origin_proc.dtype
+        assert out.provenance.origin_index.dtype == ref_prov.origin_index.dtype
+        np.testing.assert_array_equal(out.provenance.origin_proc, ref_prov.origin_proc)
+        np.testing.assert_array_equal(out.provenance.origin_index, ref_prov.origin_index)
+    assert run.splitters.dtype == reference.splitters.dtype
+    np.testing.assert_array_equal(run.splitters, reference.splitters)
+
+
+class TestOracleEquivalence:
+    @pytest.mark.parametrize("p", [2, 4])
+    @pytest.mark.parametrize("name", sorted(_workloads(16, 0)))
+    def test_bit_identical_to_local_backend(self, p, name):
+        data = _workloads()[name]
+        blocks = list(partition_input(data, p)[0])
+        reference = local_sample_sort(blocks)
+        with ProcessBackend() as backend:
+            run = backend.sort_blocks(blocks)
+        _assert_bit_identical(reference, run)
+
+    def test_single_rank(self):
+        data = _workloads()["uniform"]
+        reference = local_sample_sort([data])
+        with ProcessBackend() as backend:
+            run = backend.sort_blocks([data])
+        _assert_bit_identical(reference, run)
+
+    def test_without_provenance(self):
+        data = _workloads()["duplicate_heavy"]
+        blocks = list(partition_input(data, 4)[0])
+        options = SortOptions(track_provenance=False)
+        with ProcessBackend() as backend:
+            run = backend.sort_blocks(blocks, options=options)
+        merged = np.concatenate([out.keys for out in run.outputs])
+        np.testing.assert_array_equal(merged, np.sort(data))
+        assert all(len(out.provenance) == 0 for out in run.outputs)
+
+    def test_no_investigator_variant_matches_oracle(self):
+        data = _workloads()["duplicate_heavy"]
+        blocks = list(partition_input(data, 4)[0])
+        options = SortOptions(investigator=False)
+        reference = local_sample_sort(blocks, options)
+        with ProcessBackend() as backend:
+            run = backend.sort_blocks(blocks, options=options)
+        _assert_bit_identical(reference, run)
+
+    def test_arena_pools_across_sorts(self):
+        blocks = list(partition_input(_workloads()["uniform"], 4)[0])
+        with ProcessBackend() as backend:
+            backend.sort_blocks(blocks)
+            allocations = backend.arena.allocations
+            backend.sort_blocks(blocks)
+            assert backend.arena.allocations == allocations
+
+    def test_dtype_mismatch_is_typed(self):
+        blocks = [np.arange(4, dtype=np.int64), np.arange(4, dtype=np.int32)]
+        with ProcessBackend() as backend:
+            with pytest.raises(ParallelBackendError, match="dtype-uniform"):
+                backend.sort_blocks(blocks)
+
+
+class TestSimnetEquivalence:
+    def test_partitions_match_simnet(self):
+        data = _workloads()["uniform"]
+        p = 4
+        sim = DistributedSorter(num_processors=p).sort(data)
+        real = DistributedSorter(num_processors=p, backend="process").sort(data)
+        for rank in range(p):
+            np.testing.assert_array_equal(sim.per_processor[rank], real.per_processor[rank])
+            np.testing.assert_array_equal(
+                sim.provenance[rank].origin_proc, real.provenance[rank].origin_proc
+            )
+            np.testing.assert_array_equal(
+                sim.provenance[rank].origin_index, real.provenance[rank].origin_index
+            )
+        np.testing.assert_array_equal(sim.counts_matrix, real.counts_matrix)
+        assert real.is_globally_sorted()
+
+    def test_matches_golden_p16_fingerprint(self):
+        """The committed simnet golden digests pin the process backend too."""
+        from repro.analysis.determinism import _digest
+
+        golden = json.loads(GOLDEN_PATH.read_text())
+        wl = golden["workload"]
+        rng = np.random.default_rng(wl["seed"])
+        data = rng.integers(0, 1 << 40, wl["n_keys"]).astype(np.int64)
+        blocks = list(partition_input(data, wl["num_ranks"])[0])
+        with ProcessBackend() as backend:
+            run = backend.sort_blocks(blocks)
+        keys = [out.keys for out in run.outputs]
+        prov = []
+        for out in run.outputs:
+            prov.append(out.provenance.origin_proc)
+            prov.append(out.provenance.origin_index)
+        assert [len(k) for k in keys] == golden["output_sizes"]
+        assert _digest(keys) == golden["output_keys_sha256"]
+        assert _digest(prov) == golden["output_provenance_sha256"]
+
+
+class TestBackendSelection:
+    def test_sorter_accepts_backend_override(self):
+        result = DistributedSorter(num_processors=2, backend="process").sort(
+            np.arange(100)[::-1].copy()
+        )
+        assert result.is_globally_sorted()
+        assert result.elapsed_seconds > 0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            DistributedSorter(num_processors=2, backend="threads")
+
+    def test_ambient_use_backend_scope(self):
+        assert default_backend() == "simnet"
+        with use_backend("process"):
+            assert resolve_backend(None) == "process"
+            result = DistributedSorter(num_processors=2).sort(
+                np.array([5, 1, 4, 2, 3, 0], dtype=np.int64)
+            )
+            assert result.is_globally_sorted()
+        assert resolve_backend(None) == "simnet"
+
+    def test_explicit_simnet_wins_over_ambient(self):
+        with use_backend("process"):
+            assert resolve_backend("simnet") == "simnet"
+
+    def test_get_backend_round_trip(self):
+        backend = get_backend("process")
+        assert backend.name == "process"
+        backend.close()
+        assert get_backend("simnet").name == "simnet"
+
+
+class TestFailureHandling:
+    def test_crash_of_one_worker_is_typed_not_a_hang(self):
+        blocks = list(partition_input(_workloads()["uniform"], 4)[0])
+        backend = ProcessBackend(crash_rank=2, crash_stage="exchange", timeout_seconds=30.0)
+        try:
+            with pytest.raises(WorkerCrashedError) as excinfo:
+                backend.sort_blocks(blocks)
+            assert excinfo.value.rank == 2
+            assert excinfo.value.exitcode == 43
+        finally:
+            backend.close()
+
+    def test_backend_still_usable_after_a_crash(self):
+        blocks = list(partition_input(_workloads()["uniform"], 2)[0])
+        backend = ProcessBackend(crash_rank=0, crash_stage="start", timeout_seconds=30.0)
+        try:
+            with pytest.raises(WorkerCrashedError):
+                backend.sort_blocks(blocks)
+            backend._crash_rank = None
+            reference = local_sample_sort(blocks)
+            _assert_bit_identical(reference, backend.sort_blocks(blocks))
+        finally:
+            backend.close()
