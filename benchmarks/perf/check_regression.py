@@ -29,17 +29,27 @@ unlike the wall-clock gates it ports to CI; the coarse
 trajectory (``BENCH_real.json``) and runs *none* of the simnet gates above
 — real-backend wall numbers must never trip (or mask) a simulation
 throughput regression, and vice versa.  The real gate validates the last
-committed record internally: the equality check must have run, and the
-speedup floor (``--real-speedup-floor``, default 2.0x vs single-process)
-is enforced only when the recording machine had at least
-``--real-min-cores`` cores (default 4) — on smaller machines a parallel
-speedup is physically impossible and the record documents overhead, so
-the gate prints a note and passes.
+committed record internally: the equality check must have run, the
+``step_breakdown`` (when the record carries one) must name all six steps
+with a positive total, and the speedup floor (``--real-speedup-floor``,
+default 2.0x vs single-process) is enforced only when the recording
+machine had at least ``--real-min-cores`` cores (default 4) — on smaller
+machines a parallel speedup is physically impossible and the record
+documents overhead, so the gate prints a note and passes.
+
+The real suite has its own tracer-cost gate, mirroring the simnet one:
+the worker loop's observability hooks (heartbeats, wait clocks, the
+``is not None`` trace guards) ride the untraced path too, so a fresh
+*untraced* process-backend measurement must stay within
+``--real-tracer-threshold`` (default 2%) of the committed record's wall
+time.  Wall-vs-wall only means anything on the machine that recorded the
+trajectory — pass ``--skip-real-tracer-gate`` everywhere else (CI does).
 """
 
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 PERF_DIR = Path(__file__).resolve().parent
@@ -56,12 +66,46 @@ from bench_simulator_throughput import measure_ping_storm  # noqa: E402
 from harness import measure_merge_kernels  # noqa: E402
 
 
-def check_real_suite(speedup_floor, min_cores, path=BENCH_REAL_PATH):
+def _measure_untraced_process_wall(n_keys, workers, seed, repeats=3):
+    """Best-of wall seconds for an untraced process-backend sort.
+
+    No capture is active, so no handshake runs and no trace payloads ship
+    — this is exactly the path the ``--real-tracer-threshold`` gate
+    protects.
+    """
+    import numpy as np
+
+    from repro.core.api import partition_input
+    from repro.parallel import ProcessBackend
+
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 1 << 40, n_keys).astype(np.int64)
+    blocks, _ = partition_input(data, workers)
+    blocks = list(blocks)
+    best = None
+    with ProcessBackend() as backend:
+        for _ in range(repeats):
+            start = time.perf_counter()
+            backend.sort_blocks(blocks)
+            wall = time.perf_counter() - start
+            if best is None or wall < best:
+                best = wall
+    return best
+
+
+def check_real_suite(
+    speedup_floor,
+    min_cores,
+    tracer_threshold=0.02,
+    skip_tracer_gate=False,
+    path=BENCH_REAL_PATH,
+):
     """Validate the last committed real-backend record; 0 on pass.
 
-    Self-contained on purpose: it reads only ``BENCH_real.json`` and never
-    re-measures or consults the simnet trajectory, so a slow CI runner
-    cannot fail it and a fast real backend cannot mask a simnet
+    Self-contained on purpose: it reads only ``BENCH_real.json`` and (for
+    the optional tracer gate) re-measures the process backend itself —
+    never the simnet trajectory — so a slow CI runner cannot fail the
+    simnet gates through it and a fast real backend cannot mask a simnet
     regression.
     """
     if not path.exists():
@@ -114,6 +158,42 @@ def check_real_suite(speedup_floor, min_cores, path=BENCH_REAL_PATH):
         return 1
     else:
         print(f"speedup floor OK ({speedup:.2f}x >= {speedup_floor:.1f}x)")
+    breakdown = rec.get("step_breakdown")
+    if breakdown is None:
+        print("step-breakdown check skipped (record predates traced runs)")
+    else:
+        from repro.core.sorter import STEP_LABELS
+
+        missing_steps = [s for s in STEP_LABELS if s not in breakdown]
+        if missing_steps:
+            print(f"FAIL: step_breakdown is missing steps {missing_steps}")
+            return 1
+        if not sum(breakdown.values()) > 0.0:
+            print("FAIL: step_breakdown walls sum to zero (nothing measured)")
+            return 1
+        print(
+            f"step breakdown OK ({len(breakdown)} steps, "
+            f"{sum(breakdown.values()):.3f}s total)"
+        )
+    if skip_tracer_gate:
+        print("real tracer-disabled gate skipped")
+    else:
+        wall = _measure_untraced_process_wall(
+            rec["n_keys"], rec["workers"], rec["seed"]
+        )
+        recorded_wall = rec["process_backend_wall_seconds"]
+        slowdown = wall / recorded_wall - 1.0
+        print(
+            f"untraced process wall: measured {wall:.3f}s vs recorded "
+            f"{recorded_wall:.3f}s ({slowdown:+.1%}; gate {tracer_threshold:.0%})"
+        )
+        if slowdown > tracer_threshold:
+            print(
+                "FAIL: untraced process-backend path regressed beyond the "
+                "tracer gate (obs hooks must stay in the noise when off)"
+            )
+            return 1
+        print("real tracer-disabled gate OK")
     print("OK")
     return 0
 
@@ -142,6 +222,20 @@ def main(argv=None):
         default=4,
         help="cores the recording machine needs before the speedup floor "
         "applies (default 4)",
+    )
+    parser.add_argument(
+        "--real-tracer-threshold",
+        type=float,
+        default=0.02,
+        help="maximum fractional slowdown of a fresh untraced process-backend "
+        "run vs the committed BENCH_real.json record (default 0.02; "
+        "same-machine only)",
+    )
+    parser.add_argument(
+        "--skip-real-tracer-gate",
+        action="store_true",
+        help="skip the untraced process-backend wall gate (use on machines "
+        "other than the one that recorded BENCH_real.json, e.g. CI)",
     )
     parser.add_argument(
         "--threshold",
@@ -178,7 +272,12 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     if args.wall_suite == "real":
-        return check_real_suite(args.real_speedup_floor, args.real_min_cores)
+        return check_real_suite(
+            args.real_speedup_floor,
+            args.real_min_cores,
+            tracer_threshold=args.real_tracer_threshold,
+            skip_tracer_gate=args.skip_real_tracer_gate,
+        )
 
     doc = json.loads(BENCH_PATH.read_text())
     recorded = doc["runs"][-1]["ping_storm_16"]["events_per_sec"]

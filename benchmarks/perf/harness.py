@@ -201,6 +201,21 @@ def measure_real_backend(n_keys=REAL_N_KEYS, workers=None, seed=REAL_SEED, repea
             wall = time.perf_counter() - start
             if best_process is None or wall < best_process:
                 best_process = wall
+        # One traced run (ambient capture -> WorkerTracer in every worker):
+        # the merged RunReport yields the per-step wall breakdown the
+        # paper's figures are built from, and comparing its wall to the
+        # untraced best-of bounds the observability overhead.
+        from repro.obs.context import capture
+        from repro.obs.report import RunReport
+
+        start = time.perf_counter()
+        with capture(name="bench-real") as cap:
+            traced_run = backend.sort_blocks(blocks)
+        traced_wall = time.perf_counter() - start
+        report = RunReport.from_backend_run(
+            traced_run, tracer=cap.sessions[-1].tracer
+        )
+        step_breakdown = report.step_breakdown()
     best_single = None
     for _ in range(repeats):
         start = time.perf_counter()
@@ -218,6 +233,12 @@ def measure_real_backend(n_keys=REAL_N_KEYS, workers=None, seed=REAL_SEED, repea
         "single_process_wall_seconds": best_single,
         "process_backend_wall_seconds": best_process,
         "speedup_vs_single_process": best_single / best_process,
+        "traced_wall_seconds": traced_wall,
+        #: Max-over-ranks measured wall seconds per step (traced run).
+        "step_breakdown": step_breakdown,
+        "peak_worker_rss_bytes": max(
+            r.peak_rss_bytes for r in traced_run.reports
+        ),
     }
 
 
@@ -389,6 +410,10 @@ def main(argv=None):
                 f"note: only {r['cpu_count']} core(s) for {r['workers']} workers "
                 "-- this measures backend overhead, not parallel speedup"
             )
+        total = sum(r["step_breakdown"].values()) or 1.0
+        print(f"per-step breakdown (traced run, {r['traced_wall_seconds']:.3f}s):")
+        for label, secs in sorted(r["step_breakdown"].items()):
+            print(f"  {label:<14} {secs:8.4f}s  {100.0 * secs / total:5.1f}%")
         if not args.dry_run:
             append_real_record(record)
             print(f"appended run '{record['label']}' to {BENCH_REAL_PATH}")

@@ -16,7 +16,11 @@ R002  wall-clock or entropy reads (``time.time``, ``datetime.now``,
       ``os.urandom``, ``uuid.uuid1/4``, ``secrets.*``) inside simulated
       library code (``src/repro/``); tests, benchmarks, and the
       real-parallel backend (``src/repro/parallel/`` — wall-clock timing
-      and ``os.cpu_count`` are its purpose) are exempt.
+      and ``os.cpu_count`` are its purpose, including the cross-process
+      observability code in ``parallel/tracing.py``) are exempt.  The
+      exemption is *directory-scoped, not topic-scoped*: observability
+      code outside ``parallel/`` — all of ``src/repro/obs/`` included —
+      must stay on the virtual clock and still trips R002.
 R003  iteration over a hash-ordered ``set``/``frozenset`` expression where
       the order can reach simulated event order (``for``/comprehension
       sources and ``list``/``tuple``/``enumerate`` arguments); wrap in
@@ -177,7 +181,11 @@ def rule_wallclock(tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
     results; ``os.urandom``/``uuid4``/``secrets`` are entropy by definition.
     Only sim-deterministic library code is in scope — tests and benchmarks
     may time themselves, and ``repro.parallel`` (the real-parallel process
-    backend) measures wall time and reads ``os.cpu_count`` by design.
+    backend, its ``tracing`` observability module included) measures wall
+    time and reads ``os.cpu_count`` by design.  The exemption follows the
+    directory, not the subject: :mod:`repro.obs` consumes measured times
+    but must never *read* the clock itself, so obs code outside
+    ``parallel/`` remains fully in scope.
     """
     if not ctx.simulated:
         return

@@ -93,7 +93,11 @@ def _simulated_scope(filename: str) -> bool:
     benchmarks may time themselves, and :mod:`repro.parallel` — the
     real-parallel process backend — *exists* to read the wall clock and
     host core counts (``time.perf_counter``, ``os.cpu_count``), so the
-    determinism rules do not apply there.
+    determinism rules do not apply there.  That covers the backend's
+    observability code too (:mod:`repro.parallel.tracing`: step timing,
+    the clock-offset handshake, heartbeat ages), but only by directory:
+    :mod:`repro.obs` merely *consumes* measured times, stays inside the
+    scope, and still trips R002 if it ever reads the clock itself.
     """
     parts = set(Path(filename).parts)
     return "repro" in parts and not ({"tests", "benchmarks", "parallel"} & parts)

@@ -15,7 +15,10 @@ Backends: ``--backend process`` installs the real-parallel process backend
 as the ambient default for every sort an experiment runs (see
 :mod:`repro.parallel`); the default ``simnet`` keeps the virtual-time
 simulator.  Outputs are bit-identical either way — only the clock and the
-hardware differ.
+hardware differ.  ``--trace-out``/``--report-out`` work on both: process
+runs merge their per-worker payloads into the same trace/report schema.
+``--progress`` (process backend only) streams every worker's step-boundary
+heartbeat to stderr as the control-plane hub receives it.
 
 Correctness: ``--sanitize`` runs every simulation under SimSan
 (:mod:`repro.simnet.sanitizer` — use-after-Isend, leaked requests,
@@ -125,6 +128,14 @@ def main(argv: list[str] | None = None) -> int:
             "shared-memory exchange; identical outputs, wall-clock timing)"
         ),
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "stream per-worker step heartbeats (rank, step, rows) to stderr "
+            "— live visibility into process-backend sorts"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.list:
         for name in EXPERIMENTS:
@@ -167,6 +178,10 @@ def main(argv: list[str] | None = None) -> int:
                 from ..parallel.backend import use_backend
 
                 stack.enter_context(use_backend(args.backend))
+            if args.progress:
+                from ..parallel.tracing import use_progress
+
+                stack.enter_context(use_progress(_print_progress))
             cap = None
             if observing:
                 from ..obs.context import capture
@@ -194,6 +209,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[{name} regenerated in {elapsed:.1f}s wall]\n")
     _write_artifacts(args.trace_out, args.report_out, captures)
     return _finish_sanitized(sanitizer, args.sanitize_out)
+
+
+def _print_progress(rank: int, step: str, rows: int) -> None:
+    """The ``--progress`` sink: one stderr line per worker heartbeat."""
+    print(f"[progress r{rank} -> {step} ({rows} rows)]", file=sys.stderr)
 
 
 def _finish_sanitized(sanitizer, sanitize_out) -> int:
@@ -227,7 +247,14 @@ def _write_artifacts(trace_out, report_out, captures) -> None:
                 sim = session.simulator
                 if not getattr(sim, "_ran", False):
                     continue  # constructed but never run
-                report = RunReport.from_metrics(sim.metrics(), tracer=session.tracer)
+                report = RunReport.from_metrics(
+                    sim.metrics(),
+                    tracer=session.tracer,
+                    # Process-backend sessions carry measured per-rank step
+                    # walls; simulators don't (their reports derive walls
+                    # from the tracer's phase spans as before).
+                    step_seconds=getattr(sim, "step_seconds", None),
+                )
                 reports.append(
                     {"experiment": name, "session": i, "report": report.to_json()}
                 )

@@ -52,6 +52,20 @@ class Capture:
         self.sessions.append(Session(tracer, simulator))
         return tracer
 
+    def adopt_session(self, tracer: Tracer, runner: Any) -> Tracer:
+        """Register an externally assembled tracer (the process backend).
+
+        The real-parallel backend cannot hand a tracer to a simulator — it
+        merges per-worker payloads *after* the run — so it adopts the
+        finished tracer here instead, renamed to this capture's sequence so
+        sim and real sessions are addressed identically.  ``runner`` plays
+        the ``simulator`` role: anything exposing ``metrics()`` (and
+        optionally ``step_seconds``) works for downstream report writers.
+        """
+        tracer.name = f"{self.name}#{len(self.sessions)}"
+        self.sessions.append(Session(tracer, runner))
+        return tracer
+
     @property
     def tracers(self) -> list[Tracer]:
         return [s.tracer for s in self.sessions]

@@ -52,6 +52,9 @@ class FlowEvent:
     nbytes: int
     inject_t: float
     deliver_t: float
+    #: Byte offset of the write in the destination's region — measured shm
+    #: flows only (process backend); -1 on simnet's modeled messages.
+    offset: int = -1
 
     @property
     def remote(self) -> bool:

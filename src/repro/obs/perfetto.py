@@ -73,6 +73,8 @@ def chrome_trace_events(tracer: Tracer, pid: int = 0) -> list[dict[str, Any]]:
             "nbytes": flow.nbytes,
             "remote": flow.remote,
         }
+        if flow.offset >= 0:  # measured shm write position (process backend)
+            args["offset"] = flow.offset
         name = f"msg tag={flow.tag}"
         events.append(
             {

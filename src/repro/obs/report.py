@@ -17,6 +17,22 @@ rank's phase spans, which needs a tracer; without one they are zero.
 Reports are deterministic for a fixed-seed run — the committed golden
 snapshot ``tests/golden/run_report_p16.json`` locks the p=16 report the
 same way the engine fingerprint locks virtual times.
+
+Modeled vs measured fields
+--------------------------
+
+The same schema serves both backends, but the numbers mean different
+things.  Under ``simnet`` every quantity is **modeled**: times are virtual
+seconds from the cost model, bytes are post-``data_scale`` wire charges,
+and peak memory is the ``MemoryTracker``'s pool accounting.  Under the
+process backend every time is **measured** wall clock: step walls are the
+worker's own ``perf_counter`` boundaries, waits are clocked inside the
+blocking collectives, compute is their difference, flow bytes are the
+actual shm write sizes, and ``peak_resident_bytes`` is the worker
+process's real ``ru_maxrss`` — only ``peak_temporary_bytes`` (no real
+counterpart; 0) and the modeled network series stay sim-only.  Real
+reports are therefore machine-dependent and never golden-snapshotted;
+the schema-equality test pins that both backends emit identical keys.
 """
 
 from __future__ import annotations
@@ -167,6 +183,21 @@ class RunReport:
             result.metrics, tracer=tracer, step_seconds=result.step_seconds
         )
 
+    @classmethod
+    def from_backend_run(cls, run, tracer: Tracer | None = None) -> "RunReport":
+        """Report for a :class:`repro.parallel.backend.BackendRun`.
+
+        All-measured variant: walls are the workers' step boundaries,
+        compute/wait splits come from the measured collective blocking, and
+        peak RSS from the worker processes (see the module docstring's
+        modeled-vs-measured table).
+        """
+        return cls.from_metrics(
+            run.cluster_metrics(),
+            tracer=tracer,
+            step_seconds=[dict(out.step_seconds) for out in run.outputs],
+        )
+
     # ---------------------------------------------------- serialization
 
     def to_json(self) -> dict[str, Any]:
@@ -274,13 +305,18 @@ def _attribute_flows(tracer: Tracer, rank: int, steps: dict[str, StepStats]) -> 
 
 
 def capture_run_report(
-    num_ranks: int = 16, n_keys: int = 60_000, seed: int = 20260805
+    num_ranks: int = 16,
+    n_keys: int = 60_000,
+    seed: int = 20260805,
+    backend: str | None = None,
 ):
     """Run the fixed-seed paper sort under capture; return (report, tracer).
 
     The default workload matches the golden determinism fingerprint
     (``tests/golden/sim_golden_p16.json``); the resulting report is what
-    ``tests/golden/run_report_p16.json`` snapshots.
+    ``tests/golden/run_report_p16.json`` snapshots.  ``backend="process"``
+    runs the same workload on real worker processes instead — same report
+    schema, measured wall-clock numbers (machine-dependent, never golden).
     """
     import numpy as np
 
@@ -290,7 +326,7 @@ def capture_run_report(
     rng = np.random.default_rng(seed)
     data = rng.integers(0, 1 << 40, n_keys).astype(np.int64)
     with capture(name=f"sort-p{num_ranks}") as cap:
-        result = distributed_sort(data, num_processors=num_ranks)
+        result = distributed_sort(data, num_processors=num_ranks, backend=backend)
     tracer = cap.sessions[-1].tracer
     return RunReport.from_sort_result(result, tracer=tracer), tracer
 
@@ -308,11 +344,19 @@ if __name__ == "__main__":  # pragma: no cover - artifact/golden CLI
     parser.add_argument("--keys", type=int, default=60_000)
     parser.add_argument("--seed", type=int, default=20260805)
     parser.add_argument(
+        "--backend",
+        choices=("simnet", "process"),
+        default=None,
+        help="execution substrate (default: ambient, i.e. simnet)",
+    )
+    parser.add_argument(
         "--report-out", default="-", help="run-report JSON path ('-': stdout)"
     )
     parser.add_argument("--trace-out", default=None, help="Perfetto trace path")
     args = parser.parse_args()
-    report, tracer = capture_run_report(args.ranks, args.keys, args.seed)
+    report, tracer = capture_run_report(
+        args.ranks, args.keys, args.seed, backend=args.backend
+    )
     if args.trace_out:
         export_chrome_trace(tracer, args.trace_out)
     if args.report_out == "-":

@@ -100,6 +100,29 @@ class Tracer:
         )
         return event
 
+    def shm_flow(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        inject_t: float,
+        deliver_t: float,
+        *,
+        offset: int = -1,
+    ) -> FlowEvent:
+        """Record one measured shared-memory all-to-all write (process backend).
+
+        Unlike :meth:`flow` this leaves the ``net.bytes_in_flight`` series
+        untouched — a shm write is never "in flight"; the interval *is* the
+        transfer.  ``tag`` doubles as the destination rank and ``offset``
+        carries the write's byte position in the receiver's region.
+        """
+        fid = self._next_flow_id
+        self._next_flow_id = fid + 1
+        event = FlowEvent(fid, src, dst, dst, nbytes, inject_t, deliver_t, offset)
+        self.flows.append(event)
+        return event
+
     def delivered(self, rank: int, t: float, nbytes: int) -> None:
         """Mailbox delivery: retire ``nbytes`` from the in-flight series."""
         self._inflight_bytes -= nbytes

@@ -17,7 +17,10 @@ Layout:
 * :mod:`repro.parallel.backend` — the backend abstraction
   (:class:`ProcessBackend`, :class:`SimnetBackend`, ambient selection);
 * :mod:`repro.parallel.errors` — typed failures (worker crash, remote
-  exception, control-plane timeout) in place of hangs.
+  exception, control-plane timeout) in place of hangs;
+* :mod:`repro.parallel.tracing` — cross-process observability: per-worker
+  event recording, the clock-offset handshake, parent-side trace merging
+  into the :mod:`repro.obs` schema, and the live-progress heartbeat sink.
 
 This package deliberately reads the real clock (``time.perf_counter``)
 and real core counts — it is exempt from repro-lint's R002 wall-clock
@@ -30,12 +33,22 @@ from .backend import (
     BackendRun,
     ExecutionBackend,
     ProcessBackend,
+    ProcessRunHandle,
     SimnetBackend,
     default_backend,
     get_backend,
     resolve_backend,
     set_default_backend,
     use_backend,
+)
+from .tracing import (
+    WorkerTrace,
+    WorkerTracer,
+    ambient_progress,
+    estimate_clock_offset,
+    merge_worker_traces,
+    peak_rss_bytes,
+    use_progress,
 )
 from .errors import (
     ControlPlaneTimeout,
@@ -53,16 +66,24 @@ __all__ = [
     "ExecutionBackend",
     "ParallelBackendError",
     "ProcessBackend",
+    "ProcessRunHandle",
     "ProtocolError",
     "SharedArena",
     "ShmLease",
     "SimnetBackend",
     "WorkerCrashedError",
     "WorkerFailedError",
+    "WorkerTrace",
+    "WorkerTracer",
+    "ambient_progress",
     "attach",
     "default_backend",
+    "estimate_clock_offset",
     "get_backend",
+    "merge_worker_traces",
+    "peak_rss_bytes",
     "resolve_backend",
     "set_default_backend",
     "use_backend",
+    "use_progress",
 ]

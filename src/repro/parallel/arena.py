@@ -80,6 +80,12 @@ class SharedArena:
         self.allocations = 0
         #: Leases handed out since the last ``release_all``.
         self.live_leases = 0
+        #: Bytes currently out on lease (resets with ``release_all``).
+        self.leased_bytes = 0
+        #: Observability hook: ``on_sample(name, value)`` fires on lease
+        #: grants, segment growth, and ``release_all`` (None when untraced
+        #: — the repository's guard pattern).
+        self.on_sample = None
         self._closed = False
 
     # ------------------------------------------------------------ leasing
@@ -108,8 +114,13 @@ class SharedArena:
             best = _Segment(shared_memory.SharedMemory(create=True, size=capacity))
             self.allocations += 1
             self._segments.append(best)
+            if self.on_sample is not None:
+                self.on_sample("arena.pooled_bytes", float(self.pooled_bytes()))
         best.in_use = True
         self.live_leases += 1
+        self.leased_bytes += nbytes
+        if self.on_sample is not None:
+            self.on_sample("arena.leased_bytes", float(self.leased_bytes))
         return ShmLease(name=best.shm.name, dtype=dtype, length=int(length))
 
     def view(self, lease: ShmLease) -> np.ndarray:
@@ -129,6 +140,9 @@ class SharedArena:
         for seg in self._segments:
             seg.in_use = False
         self.live_leases = 0
+        self.leased_bytes = 0
+        if self.on_sample is not None:
+            self.on_sample("arena.leased_bytes", 0.0)
 
     def pooled_bytes(self) -> int:
         """Total bytes of shared storage the arena keeps alive."""
@@ -149,6 +163,7 @@ class SharedArena:
                 pass
         self._segments.clear()
         self.live_leases = 0
+        self.leased_bytes = 0
 
     def __enter__(self) -> "SharedArena":
         return self

@@ -33,10 +33,12 @@ import numpy as np
 
 from ..core.provenance import Provenance
 from ..core.sorter import STEP_LABELS, RankSortOutput, SortOptions
+from ..obs.context import active_capture
 from ..pgxd.config import PgxdConfig
 from .arena import SharedArena
 from .collectives import serve_control_plane
 from .errors import ParallelBackendError
+from .tracing import ProgressFn, ambient_progress, merge_worker_traces
 from .worker import WorkerPlan, WorkerReport, worker_main
 
 #: The selectable execution substrates.
@@ -107,6 +109,9 @@ class BackendRun:
     wall_seconds: float
     #: Max over workers of in-step wall seconds (excludes spawn overhead).
     worker_seconds: float
+    #: Per-rank worker reports (process backend only; None from simnet) —
+    #: carry the measured waits, peak RSS, and optional trace payloads.
+    reports: list[WorkerReport] | None = None
 
     def to_sort_result(self, input_offsets: np.ndarray):
         """Assemble the user-facing :class:`~repro.core.result.SortResult`.
@@ -123,7 +128,15 @@ class BackendRun:
         )
 
     def cluster_metrics(self):
-        """Wall-clock :class:`~repro.simnet.metrics.ClusterMetrics` shim."""
+        """Wall-clock :class:`~repro.simnet.metrics.ClusterMetrics` shim.
+
+        With worker reports (process backend) the accounting is *measured*:
+        each step's compute is its wall minus the blocking time the worker
+        clocked inside collectives during that step, the recv/barrier wait
+        totals are the worker's own, and peak resident memory is the
+        worker process's real ``ru_maxrss``.  Without reports (the simnet
+        adapter) step walls stand in for compute and waits stay zero.
+        """
         from ..simnet.metrics import ClusterMetrics, ProcessMetrics
 
         p = len(self.outputs)
@@ -143,7 +156,17 @@ class BackendRun:
             has_prov = len(out.provenance) > 0
             per_key = key_itemsize + (idx_itemsize if has_prov else 0)
             m = ProcessMetrics(rank=rank)
-            m.phase_seconds.update(out.step_seconds)
+            report = self.reports[rank] if self.reports is not None else None
+            if report is not None:
+                for label, wall in out.step_seconds.items():
+                    waited = report.step_wait_seconds.get(label, 0.0)
+                    m.phase_seconds[label] = max(wall - waited, 0.0)
+                m.recv_wait_seconds = report.recv_wait_seconds
+                m.barrier_wait_seconds = report.barrier_wait_seconds
+                m.memory.peak_resident = report.peak_rss_bytes
+                m.memory.peak_total = report.peak_rss_bytes
+            else:
+                m.phase_seconds.update(out.step_seconds)
             m.bytes_sent = off_row * per_key
             m.bytes_received = off_col * per_key
             m.messages_sent = int(np.count_nonzero(np.delete(row, rank)))
@@ -184,6 +207,7 @@ class ProcessBackend:
         timeout_seconds: float = 120.0,
         crash_rank: int | None = None,
         crash_stage: str = "start",
+        progress: ProgressFn | None = None,
     ):
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
@@ -193,6 +217,9 @@ class ProcessBackend:
         self.timeout_seconds = timeout_seconds
         self._crash_rank = crash_rank
         self._crash_stage = crash_stage
+        #: Live heartbeat sink ``(rank, step, rows)``; an explicit argument
+        #: wins over the ambient :func:`~repro.parallel.tracing.use_progress`.
+        self._progress = progress
         self.arena = SharedArena()
 
     # ------------------------------------------------------------ lifetime
@@ -239,6 +266,15 @@ class ProcessBackend:
         n = sum(lengths)
         bounds = tuple(np.concatenate(([0], np.cumsum(lengths))).tolist())
 
+        # An ambient obs capture turns tracing on; untraced runs skip the
+        # handshake and ship no event payloads (the guard pattern).
+        cap = active_capture()
+        driver_counters: list[tuple[float, str, float]] = []
+        if cap is not None:
+            self.arena.on_sample = lambda cname, value: driver_counters.append(
+                (time.perf_counter(), cname, value)
+            )
+
         start = time.perf_counter()
         input_lease = self.arena.lease(n, key_dtype)
         key_lease = self.arena.lease(n, key_dtype)
@@ -259,8 +295,10 @@ class ProcessBackend:
             config=config,
             crash_rank=self._crash_rank,
             crash_stage=self._crash_stage,
+            trace=cap is not None,
         )
 
+        run: BackendRun | None = None
         hub_conns = []
         procs = []
         try:
@@ -281,13 +319,21 @@ class ProcessBackend:
                 proc.start()
             for end in worker_ends:
                 end.close()  # the workers own their ends now
+            progress = (
+                self._progress
+                if self._progress is not None
+                else ambient_progress()
+            )
             reports: dict[int, WorkerReport] = serve_control_plane(
-                hub_conns, procs, timeout_seconds=self.timeout_seconds
+                hub_conns,
+                procs,
+                timeout_seconds=self.timeout_seconds,
+                progress=progress,
             )
             for proc in procs:
                 proc.join()
             wall = time.perf_counter() - start
-            return self._collect(reports, key_lease, index_lease, proc_lease, wall)
+            run = self._collect(reports, key_lease, index_lease, proc_lease, wall)
         finally:
             for proc in procs:
                 if proc.is_alive():
@@ -298,6 +344,20 @@ class ProcessBackend:
             for conn in hub_conns:
                 conn.close()
             self.arena.release_all()
+            self.arena.on_sample = None
+        if cap is not None:
+            # Assemble the per-worker payloads into one simnet-schema tracer
+            # on the hub timeline (t=0 at sort start) and register it with
+            # the capture exactly like a simulator session.
+            tracer = merge_worker_traces(
+                (r.trace for r in run.reports or [] if r.trace is not None),
+                num_ranks=size,
+                base_time=start,
+                makespan=run.wall_seconds,
+                driver_counters=driver_counters,
+            )
+            cap.adopt_session(tracer, ProcessRunHandle(run))
+        return run
 
     def _collect(
         self,
@@ -347,7 +407,30 @@ class ProcessBackend:
             counts_matrix=counts_matrix,
             wall_seconds=wall,
             worker_seconds=worker_seconds,
+            reports=[reports[r] for r in range(size)],
         )
+
+
+class ProcessRunHandle:
+    """Adopted-capture runner: a finished process-backend run as a session.
+
+    Fills the ``simulator`` slot of an obs :class:`~repro.obs.context.Session`
+    for runs the real backend registered with ``adopt_session``: report
+    writers duck-type against ``_ran``/``metrics()`` (and, when present,
+    ``step_seconds``) and never notice they are not holding a simulator.
+    """
+
+    def __init__(self, run: BackendRun) -> None:
+        self.run = run
+        self._ran = True
+
+    def metrics(self):
+        return self.run.cluster_metrics()
+
+    @property
+    def step_seconds(self) -> list[dict[str, float]]:
+        """Measured per-rank ``{step label: wall seconds}`` dicts."""
+        return [dict(out.step_seconds) for out in self.run.outputs]
 
 
 class SimnetBackend:
@@ -407,6 +490,7 @@ __all__ = [
     "BackendRun",
     "ExecutionBackend",
     "ProcessBackend",
+    "ProcessRunHandle",
     "SimnetBackend",
     "STEP_LABELS",
     "default_backend",

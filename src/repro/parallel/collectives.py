@@ -16,7 +16,20 @@ every pipe and are matched by an (op, sequence) key.
 The hub is also the backend's *liveness monitor*: while waiting for
 contributions it watches worker processes, so a crashed rank surfaces as a
 typed :class:`~repro.parallel.errors.WorkerCrashedError` instead of the
-barrier deadlock it would cause in a leaderless design.
+barrier deadlock it would cause in a leaderless design.  Workers send a
+fire-and-forget **heartbeat** at every step boundary (rank, step label,
+rows); the hub keeps the latest per rank, forwards them to an optional
+live-progress sink (the CLI's ``--progress``), and folds the last beat of
+a dead or hung rank into the crash/timeout diagnostics — a worker that
+dies mid-run reports *which step* it died in.
+
+Two per-rank (non-collective) message kinds support observability: a
+``probe`` is answered immediately with the hub's ``perf_counter`` reading
+(the clock-offset handshake of :mod:`repro.parallel.tracing`), and a
+``hb`` heartbeat is recorded without a reply.  Worker-side, the
+:class:`WorkerLink` always measures its blocking time per collective
+(two clock reads per call — noise next to a pipe round-trip) so real
+runs report measured wait seconds even without a tracer attached.
 """
 
 from __future__ import annotations
@@ -41,6 +54,12 @@ class WorkerLink:
     ``None`` elsewhere, ``bcast`` returns the root's payload everywhere,
     ``allgather`` returns the full list to all ranks, ``barrier`` returns
     once every rank arrived.
+
+    Every collective's blocking time is accumulated by kind
+    (``barrier`` → barrier wait, everything else → recv wait) and by the
+    current step label (set by the worker loop via :attr:`step_label`);
+    when a :class:`~repro.parallel.tracing.WorkerTracer` is attached the
+    same interval is also recorded as a wait span.
     """
 
     def __init__(self, rank: int, size: int, conn: Connection):
@@ -48,11 +67,29 @@ class WorkerLink:
         self.size = size
         self.conn = conn
         self._seq = 0
+        #: Attached tracer (None on untraced runs — the guard pattern).
+        self.tracer = None
+        #: Label of the step the worker loop is currently inside.
+        self.step_label = ""
+        #: Measured blocking seconds, by wait kind and by step label.
+        self.wait_by_kind = {"recv-wait": 0.0, "barrier-wait": 0.0}
+        self.wait_by_step: dict[str, float] = {}
 
     def _collective(self, op: str, payload: Any = None, root: int = 0) -> Any:
         self._seq += 1
+        start = time.perf_counter()
         self.conn.send(("coll", op, self._seq, self.rank, root, payload))
-        return self.conn.recv()
+        reply = self.conn.recv()
+        end = time.perf_counter()
+        kind = "barrier-wait" if op == "barrier" else "recv-wait"
+        self.wait_by_kind[kind] += end - start
+        if self.step_label:
+            self.wait_by_step[self.step_label] = (
+                self.wait_by_step.get(self.step_label, 0.0) + (end - start)
+            )
+        if self.tracer is not None:
+            self.tracer.wait(kind, op, start, end)
+        return reply
 
     def barrier(self) -> None:
         self._collective("barrier")
@@ -65,6 +102,27 @@ class WorkerLink:
 
     def allgather(self, payload: Any) -> list:
         return self._collective("allgather", payload)
+
+    # ------------------------------------------------- observability plane
+
+    def probe(self) -> float:
+        """Round-trip one clock probe; returns the hub's ``perf_counter``.
+
+        Per-rank, not a collective: the hub answers immediately, so the
+        round trip bounds the clock-offset estimate (see
+        :func:`repro.parallel.tracing.estimate_clock_offset`).
+        """
+        self.conn.send(("probe", self.rank))
+        return self.conn.recv()
+
+    def heartbeat(self, step: str, rows: int) -> None:
+        """Fire-and-forget liveness beat: entering ``step`` with ``rows``.
+
+        Also rotates :attr:`step_label` so subsequent collective waits are
+        attributed to the new step.
+        """
+        self.step_label = step
+        self.conn.send(("hb", self.rank, step, int(rows)))
 
     def send_done(self, payload: Any) -> None:
         self.conn.send(("done", self.rank, payload))
@@ -103,18 +161,23 @@ def serve_control_plane(
     processes: list,
     *,
     timeout_seconds: float | None = None,
+    progress=None,
 ) -> dict[int, Any]:
     """Drive the collective hub until every worker reports done.
 
     ``conns[rank]`` is the driver end of rank's pipe; ``processes[rank]``
     the worker process (anything with ``is_alive()`` and ``exitcode``).
-    Returns ``{rank: done_payload}``.  Raises
+    ``progress``, when given, receives every heartbeat as
+    ``progress(rank, step_label, rows)``.  Returns ``{rank:
+    done_payload}``.  Raises
     :class:`~repro.parallel.errors.WorkerCrashedError` when a pipe hits
-    EOF or a process dies with messages outstanding,
+    EOF or a process dies with messages outstanding (carrying the dead
+    rank's last heartbeat step and its age),
     :class:`~repro.parallel.errors.WorkerFailedError` when a worker
     reports an exception (re-raised by the caller from the payload), and
     :class:`~repro.parallel.errors.ControlPlaneTimeout` when
-    ``timeout_seconds`` passes without any progress.
+    ``timeout_seconds`` passes without any progress (naming each rank's
+    last heartbeat, so a hang reports which step every worker was in).
     """
     from .errors import WorkerFailedError
 
@@ -123,6 +186,8 @@ def serve_control_plane(
     active: set[int] = set(range(size))
     done: dict[int, Any] = {}
     pending: dict[tuple[str, int], _PendingOp] = {}
+    #: rank -> (step label, rows, hub time the beat arrived).
+    heartbeats: dict[int, tuple[str, int, float]] = {}
     last_progress = time.perf_counter()
 
     def phase() -> str:
@@ -131,10 +196,28 @@ def serve_control_plane(
             return f"collectives pending: {ops}"
         return "between collectives"
 
+    def last_beat(rank: int) -> tuple[str | None, float | None]:
+        beat = heartbeats.get(rank)
+        if beat is None:
+            return None, None
+        step, _rows, seen = beat
+        return step, time.perf_counter() - seen
+
+    def beat_summary() -> str:
+        if not heartbeats:
+            return "no heartbeats received"
+        parts = [
+            f"r{rank}@{heartbeats[rank][0]}" for rank in sorted(heartbeats)
+        ]
+        return "last heartbeats: " + ", ".join(parts)
+
     def crash(rank: int) -> WorkerCrashedError:
         proc = processes[rank]
         exitcode = getattr(proc, "exitcode", None)
-        return WorkerCrashedError(rank, exitcode, phase())
+        step, age = last_beat(rank)
+        return WorkerCrashedError(
+            rank, exitcode, phase(), last_step=step, heartbeat_age=age
+        )
 
     while active:
         ready = wait([conns[r] for r in active], timeout=_POLL_SECONDS)
@@ -148,7 +231,9 @@ def serve_control_plane(
                 timeout_seconds is not None
                 and now - last_progress > timeout_seconds
             ):
-                raise ControlPlaneTimeout(now - last_progress, phase())
+                raise ControlPlaneTimeout(
+                    now - last_progress, phase(), heartbeats=beat_summary()
+                )
             continue
         last_progress = now
         for conn in ready:
@@ -162,7 +247,16 @@ def serve_control_plane(
                 done[msg[1]] = msg[2]
                 active.discard(msg[1])
             elif kind == "error":
-                raise WorkerFailedError(msg[1], msg[2], msg[3])
+                step, _age = last_beat(msg[1])
+                raise WorkerFailedError(msg[1], msg[2], msg[3], last_step=step)
+            elif kind == "hb":
+                _, sender, step, rows = msg
+                heartbeats[sender] = (step, rows, now)
+                if progress is not None:
+                    progress(sender, step, rows)
+            elif kind == "probe":
+                # Clock-sync handshake: answer with the hub clock, now.
+                conns[msg[1]].send(time.perf_counter())
             elif kind == "coll":
                 _, op, seq, sender, root, payload = msg
                 key = (op, seq)

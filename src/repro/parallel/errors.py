@@ -15,33 +15,63 @@ class ParallelBackendError(RuntimeError):
     """Base class for process-backend failures."""
 
 
+def _beat_clause(last_step: str | None, heartbeat_age: float | None) -> str:
+    """Render a rank's last heartbeat for an error message."""
+    if last_step is None:
+        return "no heartbeat received"
+    if heartbeat_age is None:
+        return f"last heartbeat at step {last_step!r}"
+    return f"last heartbeat at step {last_step!r}, {heartbeat_age:.1f}s before detection"
+
+
 class WorkerCrashedError(ParallelBackendError):
     """A worker process died without reporting a result or an error.
 
     Raised by the control-plane hub when a worker's pipe hits EOF or its
     process exits while collectives are still outstanding — the situation
     that would otherwise deadlock every surviving rank inside a barrier.
+    Carries the dead rank's last step-boundary heartbeat (and how long
+    before detection it arrived), so a crash reports *which step* the
+    worker died in.
     """
 
-    def __init__(self, rank: int, exitcode: int | None, phase: str):
+    def __init__(
+        self,
+        rank: int,
+        exitcode: int | None,
+        phase: str,
+        last_step: str | None = None,
+        heartbeat_age: float | None = None,
+    ):
         self.rank = rank
         self.exitcode = exitcode
         self.phase = phase
+        self.last_step = last_step
+        self.heartbeat_age = heartbeat_age
         super().__init__(
             f"worker rank {rank} crashed (exitcode {exitcode}) "
-            f"during {phase}; remaining workers were terminated"
+            f"during {phase} ({_beat_clause(last_step, heartbeat_age)}); "
+            f"remaining workers were terminated"
         )
 
 
 class WorkerFailedError(ParallelBackendError):
     """A worker raised an exception; the remote traceback rides along."""
 
-    def __init__(self, rank: int, exc_type: str, remote_traceback: str):
+    def __init__(
+        self,
+        rank: int,
+        exc_type: str,
+        remote_traceback: str,
+        last_step: str | None = None,
+    ):
         self.rank = rank
         self.exc_type = exc_type
         self.remote_traceback = remote_traceback
+        self.last_step = last_step
+        beat = "" if last_step is None else f" (last heartbeat at step {last_step!r})"
         super().__init__(
-            f"worker rank {rank} failed with {exc_type}\n"
+            f"worker rank {rank} failed with {exc_type}{beat}\n"
             f"--- remote traceback ---\n{remote_traceback}"
         )
 
@@ -49,12 +79,14 @@ class WorkerFailedError(ParallelBackendError):
 class ControlPlaneTimeout(ParallelBackendError):
     """The hub's wall-clock deadline expired with collectives pending."""
 
-    def __init__(self, waited_seconds: float, pending: str):
+    def __init__(self, waited_seconds: float, pending: str, heartbeats: str = ""):
         self.waited_seconds = waited_seconds
         self.pending = pending
+        self.heartbeats = heartbeats
+        beats = f"; {heartbeats}" if heartbeats else ""
         super().__init__(
             f"control plane made no progress for {waited_seconds:.1f}s "
-            f"({pending}); terminating workers"
+            f"({pending}{beats}); terminating workers"
         )
 
 

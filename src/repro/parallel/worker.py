@@ -26,6 +26,15 @@ bytes proportional to ``p``, never to ``n``.
 
 Timing here is *wall-clock* (``time.perf_counter``), which is the whole
 point of this backend; the simulated path keeps its virtual clock.
+
+Observability: every worker heartbeats the hub at each step boundary
+(always on — six tiny pipe messages that power the crash detector's
+which-step-died diagnostics) and, when the parent requested tracing
+(``plan.trace``), records a :class:`~repro.parallel.tracing.WorkerTrace`
+— clock-offset handshake, per-step windows, collective wait spans, one
+flow per (src, dst) shm write with bytes and destination offsets, and
+counter samples — shipped home on the :class:`WorkerReport` and merged
+on the parent into the simnet-schema tracer.
 """
 
 from __future__ import annotations
@@ -46,6 +55,7 @@ from ..core.splitters import merge_samples, select_splitters
 from ..pgxd.config import PgxdConfig
 from .arena import AttachedLease, ShmLease, attach
 from .collectives import WorkerLink
+from .tracing import WorkerTrace, WorkerTracer, estimate_clock_offset, peak_rss_bytes
 
 
 @dataclass(frozen=True)
@@ -67,6 +77,9 @@ class WorkerPlan:
     #: Test hook: this rank calls ``os._exit`` at ``crash_stage``.
     crash_rank: int | None = None
     crash_stage: str = "start"
+    #: Record a :class:`~repro.parallel.tracing.WorkerTrace` (set by the
+    #: parent when an ambient obs capture is active; off by default).
+    trace: bool = False
 
 
 @dataclass
@@ -84,6 +97,16 @@ class WorkerReport:
     splitters: np.ndarray | None = None
     #: Total wall seconds inside the six steps on this worker.
     wall_seconds: float = 0.0
+    #: Measured blocking seconds per step label (collective waits).
+    step_wait_seconds: dict[str, float] = field(default_factory=dict)
+    #: Measured blocking seconds in gather/bcast/allgather replies.
+    recv_wait_seconds: float = 0.0
+    #: Measured blocking seconds in barriers.
+    barrier_wait_seconds: float = 0.0
+    #: Peak resident set size of the worker process, bytes (measured).
+    peak_rss_bytes: int = 0
+    #: Event payload when the parent requested tracing (None otherwise).
+    trace: WorkerTrace | None = None
 
 
 def _maybe_crash(plan: WorkerPlan, rank: int, stage: str) -> None:
@@ -102,6 +125,18 @@ def _run_six_steps(rank: int, plan: WorkerPlan, link: WorkerLink) -> WorkerRepor
         attachments.append(mapped)
         return mapped.array
 
+    tracer: WorkerTracer | None = None
+    if plan.trace:
+        # Clock-offset handshake: align this process's perf_counter with
+        # the hub's before any event is recorded, then barrier so every
+        # rank enters step 1 from a common point.
+        tracer = WorkerTracer(rank)
+        link.tracer = tracer
+        offset, rtt = estimate_clock_offset(link.probe)
+        tracer.trace.clock_offset = offset
+        tracer.trace.clock_rtt = rtt
+        link.barrier()
+
     try:
         input_block = _attach(plan.input_lease)
         ex_keys = _attach(plan.key_lease)
@@ -110,6 +145,7 @@ def _run_six_steps(rank: int, plan: WorkerPlan, link: WorkerLink) -> WorkerRepor
         lo, hi = plan.block_bounds[rank], plan.block_bounds[rank + 1]
         block = input_block[lo:hi]
 
+        link.heartbeat(STEP_LABELS[0], len(block))
         t0 = time.perf_counter()
         # ------------------------------------------------ step 1: local sort
         # Same data plane as the simulated sorter's parallel_quicksort:
@@ -130,6 +166,7 @@ def _run_six_steps(rank: int, plan: WorkerPlan, link: WorkerLink) -> WorkerRepor
         report.step_seconds[STEP_LABELS[0]] = t1 - t0
 
         # -------------------------------------------------- step 2: sampling
+        link.heartbeat(STEP_LABELS[1], len(sorted_keys))
         count = sample_count(
             config, size, sorted_keys.dtype.itemsize, options.sample_factor
         )
@@ -140,6 +177,7 @@ def _run_six_steps(rank: int, plan: WorkerPlan, link: WorkerLink) -> WorkerRepor
         report.step_seconds[STEP_LABELS[1]] = t2 - t1
 
         # ------------------------------------------------- step 3: splitters
+        link.heartbeat(STEP_LABELS[2], report.samples_sent)
         if rank == MASTER:
             assert gathered is not None
             splitters = select_splitters(merge_samples(gathered), size)
@@ -151,6 +189,7 @@ def _run_six_steps(rank: int, plan: WorkerPlan, link: WorkerLink) -> WorkerRepor
         report.step_seconds[STEP_LABELS[2]] = t3 - t2
 
         # ------------------------------------------------- step 4: partition
+        link.heartbeat(STEP_LABELS[3], len(sorted_keys))
         cut = compute_rank_cuts(
             sorted_keys, splitters, size, investigator=options.investigator
         )
@@ -166,6 +205,7 @@ def _run_six_steps(rank: int, plan: WorkerPlan, link: WorkerLink) -> WorkerRepor
         # -------------------------------------------------- step 5: exchange
         # Everyone learns the counts matrix, which fixes each (src, dst)
         # run's offset in the shared exchange stream; writes are disjoint.
+        link.heartbeat(STEP_LABELS[4], len(sorted_keys))
         all_counts = link.allgather(counts)
         counts_matrix = np.stack(all_counts)
         _maybe_crash(plan, rank, "exchange")
@@ -175,15 +215,26 @@ def _run_six_steps(rank: int, plan: WorkerPlan, link: WorkerLink) -> WorkerRepor
         # Exclusive prefix within each destination's region, by source.
         col_starts = np.zeros_like(counts_matrix)
         np.cumsum(counts_matrix[:-1], axis=0, out=col_starts[1:])
+        key_itemsize = sorted_keys.dtype.itemsize
+        row_bytes = key_itemsize + (perm.dtype.itemsize if track else 0)
         for dst in range(size):
             sl = out_slices[dst]
             if sl.stop == sl.start:
                 continue
             pos = int(rank_base[dst] + col_starts[rank, dst])
             end = pos + (sl.stop - sl.start)
+            t_w0 = time.perf_counter() if tracer is not None else 0.0
             ex_keys[pos:end] = sorted_keys[sl]
             if track:
                 ex_index[pos:end] = perm[sl]
+            if tracer is not None:
+                tracer.flow(
+                    dst,
+                    (sl.stop - sl.start) * row_bytes,
+                    pos * key_itemsize,
+                    t_w0,
+                    time.perf_counter(),
+                )
         link.barrier()  # all runs landed; regions are safe to read
         t5 = time.perf_counter()
         report.step_seconds[STEP_LABELS[4]] = t5 - t4
@@ -195,6 +246,7 @@ def _run_six_steps(rank: int, plan: WorkerPlan, link: WorkerLink) -> WorkerRepor
         from ..core.balanced_merge import flat_kway_merge
 
         base, total = int(rank_base[rank]), int(recv_totals[rank])
+        link.heartbeat(STEP_LABELS[5], total)
         region = ex_keys[base : base + total]
         run_lengths = counts_matrix[:, rank].tolist()
         if track:
@@ -219,6 +271,18 @@ def _run_six_steps(rank: int, plan: WorkerPlan, link: WorkerLink) -> WorkerRepor
         t6 = time.perf_counter()
         report.step_seconds[STEP_LABELS[5]] = t6 - t5
         report.wall_seconds = t6 - t0
+        report.step_wait_seconds = dict(link.wait_by_step)
+        report.recv_wait_seconds = link.wait_by_kind["recv-wait"]
+        report.barrier_wait_seconds = link.wait_by_kind["barrier-wait"]
+        report.peak_rss_bytes = peak_rss_bytes()
+        if tracer is not None:
+            for start, end, label in zip(
+                (t0, t1, t2, t3, t4, t5),
+                (t1, t2, t3, t4, t5, t6),
+                STEP_LABELS,
+            ):
+                tracer.step(start, end, label)
+            report.trace = tracer.trace
         return report
     finally:
         for mapped in attachments:

@@ -182,6 +182,10 @@ class TestFailureHandling:
                 backend.sort_blocks(blocks)
             assert excinfo.value.rank == 2
             assert excinfo.value.exitcode == 43
+            # Heartbeat-enriched diagnostics: the crash happened inside
+            # step 5, and the message says so.
+            assert excinfo.value.last_step == "5-exchange"
+            assert "last heartbeat at step '5-exchange'" in str(excinfo.value)
         finally:
             backend.close()
 
