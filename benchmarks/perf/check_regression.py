@@ -39,11 +39,15 @@ documents overhead, so the gate prints a note and passes.
 
 The real suite has its own tracer-cost gate, mirroring the simnet one:
 the worker loop's observability hooks (heartbeats, wait clocks, the
-``is not None`` trace guards) ride the untraced path too, so a fresh
-*untraced* process-backend measurement must stay within
-``--real-tracer-threshold`` (default 2%) of the committed record's wall
-time.  Wall-vs-wall only means anything on the machine that recorded the
-trajectory — pass ``--skip-real-tracer-gate`` everywhere else (CI does).
+``is not None`` trace guards — and the ShmSan recorder's ``is not None``
+checks, which ride the same path) must stay in the noise when off, so a
+fresh *untraced, unsanitized* process-backend measurement must stay
+within ``--real-tracer-threshold`` (default 2%) of the committed record's
+wall time.  Wall-vs-wall only means anything on the machine that recorded
+the trajectory — pass ``--skip-real-tracer-gate`` everywhere else (CI
+does).  Records carrying a ``sanitized_wall_seconds`` field are also
+validated internally: the sanitized run must have come back clean
+(``shmsan_ok``) and the recorded overhead must match the recorded walls.
 """
 
 import argparse
@@ -175,6 +179,26 @@ def check_real_suite(
             f"step breakdown OK ({len(breakdown)} steps, "
             f"{sum(breakdown.values()):.3f}s total)"
         )
+    if "sanitized_wall_seconds" not in rec:
+        print("shmsan check skipped (record predates sanitized runs)")
+    else:
+        if not rec.get("shmsan_ok"):
+            print("FAIL: the recorded sanitized run reported ShmSan violations")
+            return 1
+        overhead = (
+            rec["sanitized_wall_seconds"] / rec["process_backend_wall_seconds"]
+            - 1.0
+        )
+        recorded_overhead = rec.get("sanitize_overhead_vs_plain")
+        if recorded_overhead is None or abs(overhead - recorded_overhead) > (
+            1e-6 * max(1.0, abs(overhead))
+        ):
+            print(
+                "FAIL: recorded sanitize overhead does not match the "
+                "recorded wall times"
+            )
+            return 1
+        print(f"shmsan record OK (clean run; {overhead:+.1%} wall vs plain)")
     if skip_tracer_gate:
         print("real tracer-disabled gate skipped")
     else:

@@ -216,6 +216,21 @@ def measure_real_backend(n_keys=REAL_N_KEYS, workers=None, seed=REAL_SEED, repea
             traced_run, tracer=cap.sessions[-1].tracer
         )
         step_breakdown = report.step_breakdown()
+        # One sanitized run: ShmSan (ambient scope) records every shared-
+        # memory access interval and must come back clean.  Its wall vs the
+        # untraced best-of is the sanitizer's whole-run overhead; the plain
+        # path itself stays instrumentation-free, which check_regression
+        # verifies against the usual threshold.
+        from repro.parallel.shmsan import shm_sanitize
+
+        start = time.perf_counter()
+        with shm_sanitize() as san:
+            backend.sort_blocks(blocks)
+        sanitized_wall = time.perf_counter() - start
+        if not san.report.ok:
+            raise AssertionError(
+                "ShmSan flagged the benchmark workload:\n" + san.report.summary()
+            )
     best_single = None
     for _ in range(repeats):
         start = time.perf_counter()
@@ -234,6 +249,10 @@ def measure_real_backend(n_keys=REAL_N_KEYS, workers=None, seed=REAL_SEED, repea
         "process_backend_wall_seconds": best_process,
         "speedup_vs_single_process": best_single / best_process,
         "traced_wall_seconds": traced_wall,
+        "sanitized_wall_seconds": sanitized_wall,
+        "sanitize_overhead_vs_plain": sanitized_wall / best_process - 1.0,
+        "shmsan_ok": san.report.ok,
+        "shmsan_accesses": san.report.accesses_recorded,
         #: Max-over-ranks measured wall seconds per step (traced run).
         "step_breakdown": step_breakdown,
         "peak_worker_rss_bytes": max(
@@ -410,6 +429,11 @@ def main(argv=None):
                 f"note: only {r['cpu_count']} core(s) for {r['workers']} workers "
                 "-- this measures backend overhead, not parallel speedup"
             )
+        print(
+            f"sanitized run (ShmSan, {r['shmsan_accesses']} access intervals): "
+            f"{r['sanitized_wall_seconds']:.3f}s "
+            f"({100.0 * r['sanitize_overhead_vs_plain']:+.1f}% vs plain, clean)"
+        )
         total = sum(r["step_breakdown"].values()) or 1.0
         print(f"per-step breakdown (traced run, {r['traced_wall_seconds']:.3f}s):")
         for label, secs in sorted(r["step_breakdown"].items()):

@@ -13,14 +13,14 @@ Catalog
 R001  unseeded RNG: legacy global ``np.random.*`` / stdlib ``random.*``
       calls, or ``default_rng()`` without a seed.
 R002  wall-clock or entropy reads (``time.time``, ``datetime.now``,
-      ``os.urandom``, ``uuid.uuid1/4``, ``secrets.*``) inside simulated
-      library code (``src/repro/``); tests, benchmarks, and the
-      real-parallel backend (``src/repro/parallel/`` — wall-clock timing
-      and ``os.cpu_count`` are its purpose, including the cross-process
-      observability code in ``parallel/tracing.py``) are exempt.  The
-      exemption is *directory-scoped, not topic-scoped*: observability
+      ``os.urandom``, ``uuid.uuid1/4``, ``secrets.*``) inside library
+      code (``src/repro/``); tests and benchmarks are exempt.  The
+      real-parallel backend (``src/repro/parallel/``) is **not** exempt:
+      wall-clock timing is its purpose, but every legitimate site must
+      carry a per-line ``# repro: noqa[R002]`` with a justification, so
+      new parallel code is under the rule by default.  Observability
       code outside ``parallel/`` — all of ``src/repro/obs/`` included —
-      must stay on the virtual clock and still trips R002.
+      must stay on the virtual clock, no escape hatch expected.
 R003  iteration over a hash-ordered ``set``/``frozenset`` expression where
       the order can reach simulated event order (``for``/comprehension
       sources and ``list``/``tuple``/``enumerate`` arguments); wrap in
@@ -39,6 +39,29 @@ R008  retry loop without a bound: a ``while`` loop in ``src/repro`` that
       increments a retry-flavored counter (``attempt``, ``retries``, ...)
       but never compares it (or a ``max_*`` cap) inside the loop — under
       fault injection such a loop retransmits forever.
+
+Parallel-aware rules (library scope; these replaced the old blanket
+``parallel/`` exemption with real analysis):
+
+R009  shm acquisition discarded: an arena ``.lease(...)`` / ``.view(...)``
+      or ``attach(...)`` call whose result is thrown away — nobody can
+      release, close, or even use the mapping, so the segment leaks until
+      arena teardown.
+R010  arena ndarray view stored on ``self``: ``self.x = arena.view(...)``
+      (or ``attach(...)``) retains a mapping across steps and sorts — the
+      lease returns to the pool at ``release_all`` and the stored view
+      silently aliases the *next* sort's bytes (ShmSan's ``stale-view``
+      finding, caught statically).
+R011  hand-rolled exchange offsets: prefix sums over a counts matrix
+      (``cumsum`` touching a ``counts``-named value) in the real-parallel
+      backend outside :func:`repro.parallel.layout.exchange_layout` — every
+      cross-process shm write must derive its offsets from the one layout
+      helper ShmSan checks against.
+R012  direct multiprocessing coordination primitive (``Lock``, ``Queue``,
+      ``Event``, ``Pool``, ``Manager``, ...) outside
+      ``parallel/collectives.py`` — ad-hoc synchronization bypasses the
+      pipe-star hub, invisible to the barrier-epoch happens-before model
+      (and to the crash detector's liveness watch).
 """
 
 from __future__ import annotations
@@ -67,13 +90,18 @@ class FileContext:
     """Per-file facts rules may consult."""
 
     path: str
-    #: True for sim-deterministic library code under ``src/repro`` (not
-    #: tests/benchmarks/``repro.parallel``): the scope where wall-clock
-    #: reads (R002) are banned outright.
+    #: True for library code under ``src/repro`` (not tests/benchmarks):
+    #: the scope where wall-clock reads (R002) are banned — in
+    #: ``repro.parallel`` each deliberate timing site carries a per-line
+    #: ``# repro: noqa[R002]`` instead of a blanket exemption.
     simulated: bool
     #: True for the real-parallel backend (``src/repro/parallel``), whose
-    #: collectives are blocking methods rather than SimComm generators.
+    #: collectives are blocking methods rather than SimComm generators and
+    #: whose loops are bounded by wall-clock timeouts rather than retry caps.
     realtime: bool = False
+    #: True for any ``src/repro`` library file (the R009–R012 scope; unlike
+    #: ``simulated`` it never excludes subpackages).
+    library: bool = False
 
 
 RuleFn = Callable[[ast.Module, FileContext], Iterator[Violation]]
@@ -172,20 +200,21 @@ _WALLCLOCK_CALLS = {
 }
 
 
-@_rule("R002", "wall-clock/entropy read inside simulated library code")
+@_rule("R002", "wall-clock/entropy read inside library code")
 def rule_wallclock(tree: ast.Module, ctx: FileContext) -> Iterator[Violation]:
-    """Simulated paths must read only the virtual clock (``yield Now()``).
+    """Library code must read only the virtual clock (``yield Now()``).
 
     A ``time.time`` or ``datetime.now`` read inside ``src/repro/`` leaks host
     scheduling into values that can reach simulated event order or recorded
     results; ``os.urandom``/``uuid4``/``secrets`` are entropy by definition.
-    Only sim-deterministic library code is in scope — tests and benchmarks
-    may time themselves, and ``repro.parallel`` (the real-parallel process
-    backend, its ``tracing`` observability module included) measures wall
-    time and reads ``os.cpu_count`` by design.  The exemption follows the
-    directory, not the subject: :mod:`repro.obs` consumes measured times
-    but must never *read* the clock itself, so obs code outside
-    ``parallel/`` remains fully in scope.
+    Tests and benchmarks may time themselves; everything else in
+    ``src/repro`` is in scope — including ``repro.parallel``, whose
+    *measured wall time is the product*: there, every deliberate timing
+    site licenses itself with a per-line ``# repro: noqa[R002]`` plus a
+    justification, so new parallel code is under the rule by default
+    rather than riding a blanket directory exemption.  :mod:`repro.obs`
+    consumes measured times but must never *read* the clock itself; no
+    suppression is expected outside ``parallel/``.
     """
     if not ctx.simulated:
         return
@@ -475,12 +504,12 @@ def rule_unbounded_retry(tree: ast.Module, ctx: FileContext) -> Iterator[Violati
     fires on ``while`` loops in library code that increment a retry-flavored
     counter (``attempt``/``retries``/``resend``/...) when no comparison
     anywhere in the loop mentions a retry-flavored name — i.e. nothing like
-    ``attempt >= max_retries`` ever breaks the cycle.  Scoped like R002 to
+    ``attempt >= max_retries`` ever breaks the cycle.  Scoped to
     sim-deterministic code: tests may hammer the protocol unboundedly on
     purpose, and ``repro.parallel`` loops are bounded by wall-clock
-    timeouts instead.
+    timeouts (the control plane's ``timeout_seconds``) instead of retry caps.
     """
-    if not ctx.simulated:
+    if not ctx.simulated or ctx.realtime:
         return
     for loop in ast.walk(tree):
         if not isinstance(loop, ast.While):
@@ -515,4 +544,199 @@ def rule_unbounded_retry(tree: ast.Module, ctx: FileContext) -> Iterator[Violati
                 f"retry counter {counter!r} is incremented but never compared "
                 "against a cap in this loop; bound the retries (and back off) "
                 "or the loop can spin forever under fault injection",
+            )
+
+
+# --------------------------------------------------------------------- R009
+
+#: Shm-acquiring call shapes: ``<arena-ish>.lease(...)`` / ``.view(...)``
+#: methods, and the module-level ``attach(lease)`` helper.
+_SHM_ACQUIRE_METHODS = {"lease", "view"}
+_SHM_ATTACH_NAMES = {"attach"}
+
+
+def _shm_acquisition(node: ast.expr) -> str | None:
+    """Name of the shm-acquiring call ``node`` is, or None.
+
+    ``.lease``/``.view`` count only on an ``arena``-flavored receiver (so
+    numpy's own ``ndarray.view`` never matches); ``attach`` counts as a
+    bare name or an ``arena``-module attribute.
+    """
+    if not isinstance(node, ast.Call):
+        return None
+    name = _dotted(node.func)
+    if name is None:
+        return None
+    head, _, tail = name.rpartition(".")
+    if tail in _SHM_ACQUIRE_METHODS and "arena" in head.lower():
+        return name
+    if tail in _SHM_ATTACH_NAMES and (not head or "arena" in head.lower()):
+        return name
+    return None
+
+
+@_rule("R009", "shm lease/view/attach result discarded (unmanageable segment)")
+def rule_discarded_shm_acquisition(
+    tree: ast.Module, ctx: FileContext
+) -> Iterator[Violation]:
+    """An unbound shm acquisition can never be released or closed.
+
+    ``arena.lease(...)``, ``arena.view(...)`` and ``attach(lease)`` hand
+    back the only handle to a shared-memory mapping; evaluating one as a
+    bare expression statement discards that handle, so the lease escapes
+    every scope that could return it to the pool — the segment (or the
+    worker-side mapping) leaks until arena teardown.  Bind the result, or
+    don't acquire.
+    """
+    if not ctx.library:
+        return
+    for stmt in ast.walk(tree):
+        if not isinstance(stmt, ast.Expr):
+            continue
+        name = _shm_acquisition(stmt.value)
+        if name is not None:
+            yield Violation(
+                "R009", ctx.path, stmt.lineno, stmt.col_offset,
+                f"result of {name}(...) is discarded: the lease/mapping "
+                "escapes every scope that could release it; bind it (and "
+                "release/close it) or drop the acquisition",
+            )
+
+
+# --------------------------------------------------------------------- R010
+
+
+@_rule("R010", "arena ndarray view stored on self (outlives its lease)")
+def rule_view_stored_on_self(
+    tree: ast.Module, ctx: FileContext
+) -> Iterator[Violation]:
+    """``self.x = arena.view(...)`` retains a mapping across steps.
+
+    Arena views are valid only while their lease is live; ``release_all``
+    returns the lease to the pool and the next sort re-leases the same
+    segment, so a view stored on an object silently aliases *different
+    data* later — the dynamic ``stale-view`` finding ShmSan reports,
+    caught statically.  Keep views in local scope and re-derive them from
+    the lease each step.
+    """
+    if not ctx.library:
+        return
+    for stmt in ast.walk(tree):
+        if isinstance(stmt, ast.Assign):
+            value, targets = stmt.value, stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            value, targets = stmt.value, [stmt.target]
+        else:
+            continue
+        name = _shm_acquisition(value)
+        if name is None:
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                yield Violation(
+                    "R010", ctx.path, stmt.lineno, stmt.col_offset,
+                    f"self.{target.attr} = {name}(...) stores an arena view "
+                    "on the instance: it outlives the lease and aliases the "
+                    "next sort's bytes after release_all; keep views local "
+                    "to the step that derives them",
+                )
+
+
+# --------------------------------------------------------------------- R011
+
+
+@_rule("R011", "hand-rolled exchange offsets outside the layout helper")
+def rule_handrolled_offsets(
+    tree: ast.Module, ctx: FileContext
+) -> Iterator[Violation]:
+    """Counts-matrix prefix sums belong in ``exchange_layout`` alone.
+
+    The disjoint-write contract of the zero-copy all-to-all holds only
+    because every rank — and ShmSan's analyzer — derives each (src, dst)
+    run's home from the *same* arithmetic.  A ``cumsum`` over a
+    ``counts``-named value inside the real-parallel backend (outside
+    ``parallel/layout.py`` itself, the helper's one sanctioned home) is a
+    second copy of that arithmetic waiting to drift; call the helper and
+    take ``run_offset``/``region``/``run_bounds`` from it.
+    """
+    if not (ctx.library and ctx.realtime) or ctx.path.replace(
+        "\\", "/"
+    ).endswith("parallel/layout.py"):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted(node.func)
+        if name is None or name.split(".")[-1] != "cumsum":
+            continue
+        # Scan the receiver too: ``all_counts.cumsum(axis=0)`` carries the
+        # counts value on the method side, not in the arguments.
+        mentions_counts = any(
+            isinstance(sub, ast.Name) and "counts" in sub.id.lower()
+            for root in [node.func, *node.args, *[kw.value for kw in node.keywords]]
+            for sub in ast.walk(root)
+        )
+        if mentions_counts:
+            yield Violation(
+                "R011", ctx.path, node.lineno, node.col_offset,
+                "prefix sum over a counts matrix outside exchange_layout: "
+                "shm write offsets must come from "
+                "repro.parallel.layout.exchange_layout (run_offset/region), "
+                "the arithmetic ShmSan verifies against",
+            )
+
+
+# --------------------------------------------------------------------- R012
+
+#: Coordination primitives that bypass the pipe-star hub.  Deliberately
+#: excludes the sanctioned spawn machinery (``get_context``, ``Process``,
+#: ``Pipe``) and the data plane (``shared_memory``) — the rule targets
+#: *synchronization*, which must flow through the collectives.
+_MP_COORDINATION = {
+    "Lock", "RLock", "Semaphore", "BoundedSemaphore", "Condition", "Event",
+    "Barrier", "Queue", "JoinableQueue", "SimpleQueue", "Pool", "Manager",
+    "Value", "Array",
+}
+_MP_RECEIVER_HINTS = ("multiprocessing", "mp", "ctx", "_ctx")
+
+
+@_rule("R012", "multiprocessing coordination primitive outside collectives.py")
+def rule_adhoc_mp_primitive(
+    tree: ast.Module, ctx: FileContext
+) -> Iterator[Violation]:
+    """All cross-process coordination goes through the pipe-star hub.
+
+    A ``multiprocessing.Lock``/``Queue``/``Event`` (or the same off a
+    spawn context) creates an ordering edge the barrier-epoch
+    happens-before model cannot see — ShmSan would report phantom races
+    or, worse, miss real ones — and a blocking primitive the hub's
+    liveness watch cannot time out.  ``parallel/collectives.py`` is the
+    one sanctioned home for cross-process coordination; everything else
+    synchronizes via its gather/bcast/allgather/barrier.
+    """
+    if not ctx.library or ctx.path.replace("\\", "/").endswith(
+        "parallel/collectives.py"
+    ):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _dotted(node.func)
+        if name is None:
+            continue
+        head, _, tail = name.rpartition(".")
+        if tail not in _MP_COORDINATION or not head:
+            continue
+        segments = head.lower().split(".")
+        if any(hint in segments for hint in _MP_RECEIVER_HINTS):
+            yield Violation(
+                "R012", ctx.path, node.lineno, node.col_offset,
+                f"{name}() is ad-hoc cross-process coordination: it is "
+                "invisible to the barrier-epoch happens-before model and "
+                "the hub's liveness watch; synchronize through "
+                "repro.parallel.collectives instead",
             )

@@ -4,11 +4,13 @@ The runner walks the requested paths, parses each ``*.py`` file once, runs
 every registered rule (see :mod:`repro.checks.rules`), drops violations
 suppressed by a same-line ``# repro: noqa[Rxxx]`` comment, and renders a
 text or ``--json`` report.  The exit code is a bitmask with one bit per
-rule that fired (R001 -> 1, R002 -> 2, ..., R008 -> 128), so CI logs show
-*which* rule class regressed without parsing output; bit 9 (256) marks
-files that failed to parse.  (Exit code 2 is also argparse's usage-error
-code; treat bits as meaningful only when the run itself printed a
-report.)
+rule that fired (R001 -> 1, R002 -> 2, ..., R012 -> 2048), so CI logs
+show *which* rule class regressed without parsing output; bit 13 (4096)
+marks files that failed to parse.  POSIX exit statuses are 8-bit, so
+:func:`main` clamps any mask >= 256 to 255 for the process exit — the
+full mask lives in the JSON report's ``exit_code`` field.  (Exit code 2
+is also argparse's usage-error code; treat bits as meaningful only when
+the run itself printed a report.)
 """
 
 from __future__ import annotations
@@ -46,7 +48,10 @@ class LintReport:
         for v in self.violations:
             code |= 1 << (int(v.rule[1:]) - 1)
         if self.errors:
-            code |= 1 << 8  # bit 9: files that failed to parse
+            # Bit 13: files that failed to parse.  Kept clear of the rule
+            # bits (R009–R012 occupy 256..2048) — and note a raw mask no
+            # longer fits a POSIX exit status; main() clamps it.
+            code |= 1 << 12
         return code
 
     def rule_counts(self) -> dict[str, int]:
@@ -87,20 +92,20 @@ def _noqa_rules(line: str) -> set[str]:
 
 
 def _simulated_scope(filename: str) -> bool:
-    """True for sim-deterministic library code under ``src/repro``.
+    """True for library code under ``src/repro`` (R002's scope).
 
-    This is R002's (and R008's) scope.  Three exemptions: tests and
-    benchmarks may time themselves, and :mod:`repro.parallel` — the
-    real-parallel process backend — *exists* to read the wall clock and
-    host core counts (``time.perf_counter``, ``os.cpu_count``), so the
-    determinism rules do not apply there.  That covers the backend's
-    observability code too (:mod:`repro.parallel.tracing`: step timing,
-    the clock-offset handshake, heartbeat ages), but only by directory:
-    :mod:`repro.obs` merely *consumes* measured times, stays inside the
-    scope, and still trips R002 if it ever reads the clock itself.
+    Two exemptions only: tests and benchmarks may time themselves.
+    :mod:`repro.parallel` — the real-parallel process backend — reads the
+    wall clock *on purpose*, but it is no longer blanket-exempt: each
+    deliberate timing site there licenses itself with a per-line
+    ``# repro: noqa[R002]`` and a justification, so any *new* clock read
+    in parallel code trips the rule until a human signs it off.
+    :mod:`repro.obs` merely consumes measured times and gets no escape
+    hatch at all.  (R008 shares the scope but additionally skips
+    ``realtime`` files, whose loops are bounded by wall-clock timeouts.)
     """
     parts = set(Path(filename).parts)
-    return "repro" in parts and not ({"tests", "benchmarks", "parallel"} & parts)
+    return "repro" in parts and not ({"tests", "benchmarks"} & parts)
 
 
 def _realtime_scope(filename: str) -> bool:
@@ -109,9 +114,22 @@ def _realtime_scope(filename: str) -> bool:
     The real-parallel backend's collectives
     (``WorkerLink.bcast``/``allgather``/...) are plain blocking methods,
     not SimComm generators — R004's name-based heuristic must not demand
-    ``yield from`` there, nor in the tests that drive them.
+    ``yield from`` there, nor in the tests that drive them.  R008 skips
+    the scope (timeout-bounded loops); R011 is confined to it (exchange
+    offsets only exist in the real backend).
     """
     return "parallel" in Path(filename).parts
+
+
+def _library_scope(filename: str) -> bool:
+    """True for any ``src/repro`` library file (R009–R012's scope).
+
+    Unlike ``_simulated_scope`` this never grew subpackage carve-outs:
+    the shm-discipline rules apply to the whole library, the parallel
+    package most of all.
+    """
+    parts = set(Path(filename).parts)
+    return "repro" in parts and not ({"tests", "benchmarks"} & parts)
 
 
 def lint_source(
@@ -131,6 +149,7 @@ def lint_source(
         path=filename,
         simulated=_simulated_scope(filename),
         realtime=_realtime_scope(filename),
+        library=_library_scope(filename),
     )
     lines = source.splitlines()
     kept: list[Violation] = []
@@ -230,9 +249,16 @@ def main(argv: list[str] | None = None) -> int:
 
     report = lint_paths(list(args.paths), select=select)
 
+    # POSIX exit statuses are 8-bit: a mask >= 256 (R009+, or the parse
+    # bit) would silently wrap — 4096 % 256 == 0 reads as *clean*.  Clamp
+    # here (not in __main__: the ``repro-lint`` console script calls this
+    # function directly); the JSON report keeps the full mask.
+    def clamp(code: int) -> int:
+        return code if code < 256 else 255
+
     if args.json:
         print(json.dumps(report.to_json(), indent=2))
-        return report.exit_code
+        return clamp(report.exit_code)
 
     for violation in report.violations:
         print(violation.render())
@@ -248,7 +274,7 @@ def main(argv: list[str] | None = None) -> int:
         f"{len(report.violations)} violation(s) "
         f"({summary}), {report.suppressed} suppressed"
     )
-    return report.exit_code
+    return clamp(report.exit_code)
 
 
 if __name__ == "__main__":  # pragma: no cover

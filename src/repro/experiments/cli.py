@@ -25,6 +25,10 @@ Correctness: ``--sanitize`` runs every simulation under SimSan
 unmatched messages), printing the report summary to stderr and exiting
 non-zero on violations; ``--sanitize-out simsan.json`` additionally writes
 the structured report.  Attachment is ambient, exactly like the tracer.
+With ``--backend process`` the same flag also arms ShmSan
+(:mod:`repro.parallel.shmsan`), the happens-before race detector for the
+shared-memory exchange; the ``--sanitize-out`` document then nests both
+reports as ``{"simsan": ..., "shmsan": ...}``.
 """
 
 from __future__ import annotations
@@ -150,10 +154,15 @@ def main(argv: list[str] | None = None) -> int:
     captures: list = []  # (experiment name, Capture)
 
     sanitizer = None
+    shm_sanitizer = None
     if args.sanitize or args.sanitize_out:
         from ..simnet.sanitizer import SimSan
 
         sanitizer = SimSan()
+        if args.backend == "process":
+            from ..parallel.shmsan import ShmSan
+
+            shm_sanitizer = ShmSan()
 
     fault_plan = None
     if args.faults is not None:
@@ -170,6 +179,10 @@ def main(argv: list[str] | None = None) -> int:
                 from ..simnet.sanitizer import sanitize
 
                 stack.enter_context(sanitize(sanitizer))
+            if shm_sanitizer is not None:
+                from ..parallel.shmsan import shm_sanitize
+
+                stack.enter_context(shm_sanitize(shm_sanitizer))
             if fault_plan is not None:
                 from ..simnet.faults import inject_faults
 
@@ -199,7 +212,7 @@ def main(argv: list[str] | None = None) -> int:
             payload[name] = _jsonable(result)
         print(json.dumps(payload, indent=2))
         _write_artifacts(args.trace_out, args.report_out, captures)
-        return _finish_sanitized(sanitizer, args.sanitize_out)
+        return _finish_sanitized(sanitizer, shm_sanitizer, args.sanitize_out)
     for name in names:
         module = EXPERIMENTS[name]
         start = time.perf_counter()  # repro: noqa[R002] — wall time of the regeneration itself, never enters a simulation
@@ -208,7 +221,7 @@ def main(argv: list[str] | None = None) -> int:
         elapsed = time.perf_counter() - start  # repro: noqa[R002] — same: display-only wall timing
         print(f"[{name} regenerated in {elapsed:.1f}s wall]\n")
     _write_artifacts(args.trace_out, args.report_out, captures)
-    return _finish_sanitized(sanitizer, args.sanitize_out)
+    return _finish_sanitized(sanitizer, shm_sanitizer, args.sanitize_out)
 
 
 def _print_progress(rank: int, step: str, rows: int) -> None:
@@ -216,17 +229,32 @@ def _print_progress(rank: int, step: str, rows: int) -> None:
     print(f"[progress r{rank} -> {step} ({rows} rows)]", file=sys.stderr)
 
 
-def _finish_sanitized(sanitizer, sanitize_out) -> int:
-    """Report SimSan findings; non-zero exit when violations were recorded."""
+def _finish_sanitized(sanitizer, shm_sanitizer, sanitize_out) -> int:
+    """Report sanitizer findings; non-zero exit on any violation.
+
+    Simnet-only runs keep the bare SimSan report document; process-backend
+    runs (where ShmSan is armed too) nest both reports so downstream
+    tooling can tell the comm-layer findings from the shm-race findings.
+    """
     if sanitizer is None:
         return 0
     if sanitize_out:
+        doc = sanitizer.report.to_json()
+        if shm_sanitizer is not None:
+            doc = {
+                "simsan": sanitizer.report.to_json(),
+                "shmsan": shm_sanitizer.report.to_json(),
+            }
         with open(sanitize_out, "w") as fh:
-            json.dump(sanitizer.report.to_json(), fh, indent=1, sort_keys=True)
+            json.dump(doc, fh, indent=1, sort_keys=True)
             fh.write("\n")
-        print(f"[simsan report -> {sanitize_out}]", file=sys.stderr)
+        print(f"[sanitizer report -> {sanitize_out}]", file=sys.stderr)
     print(sanitizer.report.summary(), file=sys.stderr)
-    return 0 if sanitizer.report.ok else 1
+    ok = sanitizer.report.ok
+    if shm_sanitizer is not None:
+        print(shm_sanitizer.report.summary(), file=sys.stderr)
+        ok = ok and shm_sanitizer.report.ok
+    return 0 if ok else 1
 
 
 def _write_artifacts(trace_out, report_out, captures) -> None:

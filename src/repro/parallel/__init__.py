@@ -18,13 +18,22 @@ Layout:
   (:class:`ProcessBackend`, :class:`SimnetBackend`, ambient selection);
 * :mod:`repro.parallel.errors` — typed failures (worker crash, remote
   exception, control-plane timeout) in place of hangs;
+* :mod:`repro.parallel.layout` — the counts-matrix exchange layout: the
+  single source of every (src, dst) run's offset in the shm stream;
+* :mod:`repro.parallel.shmsan` — ShmSan, the happens-before race
+  detector for the shm data plane (access recording, barrier-epoch
+  analysis via :mod:`repro.checks.hb`, seeded mutations);
 * :mod:`repro.parallel.tracing` — cross-process observability: per-worker
   event recording, the clock-offset handshake, parent-side trace merging
   into the :mod:`repro.obs` schema, and the live-progress heartbeat sink.
 
-This package deliberately reads the real clock (``time.perf_counter``)
-and real core counts — it is exempt from repro-lint's R002 wall-clock
-rule, which guards only sim-deterministic packages.
+This package reads the real clock (``time.perf_counter``) on purpose —
+measured wall time is its product — but it is *not* exempt from
+repro-lint: every legitimate timing site carries a per-line
+``# repro: noqa[R002]``, and the parallel-aware rules R009–R012 (lease
+scoping, arena-view retention, offsets-through-the-layout-helper, no
+ad-hoc multiprocessing primitives outside :mod:`~repro.parallel.collectives`)
+apply here like everywhere else in the library.
 """
 
 from .arena import AttachedLease, SharedArena, ShmLease, attach
@@ -40,6 +49,14 @@ from .backend import (
     resolve_backend,
     set_default_backend,
     use_backend,
+)
+from .layout import ExchangeLayout, exchange_layout
+from .shmsan import (
+    MUTATIONS,
+    ShmSan,
+    ShmSanReport,
+    active_shm_sanitizer,
+    shm_sanitize,
 )
 from .tracing import (
     WorkerTrace,
@@ -63,27 +80,34 @@ __all__ = [
     "BACKENDS",
     "BackendRun",
     "ControlPlaneTimeout",
+    "ExchangeLayout",
     "ExecutionBackend",
+    "MUTATIONS",
     "ParallelBackendError",
     "ProcessBackend",
     "ProcessRunHandle",
     "ProtocolError",
     "SharedArena",
     "ShmLease",
+    "ShmSan",
+    "ShmSanReport",
     "SimnetBackend",
     "WorkerCrashedError",
     "WorkerFailedError",
     "WorkerTrace",
     "WorkerTracer",
+    "active_shm_sanitizer",
     "ambient_progress",
     "attach",
     "default_backend",
     "estimate_clock_offset",
+    "exchange_layout",
     "get_backend",
     "merge_worker_traces",
     "peak_rss_bytes",
     "resolve_backend",
     "set_default_backend",
+    "shm_sanitize",
     "use_backend",
     "use_progress",
 ]

@@ -35,9 +35,11 @@ from ..core.provenance import Provenance
 from ..core.sorter import STEP_LABELS, RankSortOutput, SortOptions
 from ..obs.context import active_capture
 from ..pgxd.config import PgxdConfig
-from .arena import SharedArena
+from .arena import SharedArena, ShmLease
 from .collectives import serve_control_plane
-from .errors import ParallelBackendError
+from .errors import ParallelBackendError, WorkerCrashedError
+from .layout import exchange_layout
+from .shmsan import MUTATIONS, ShmSan, active_shm_sanitizer
 from .tracing import ProgressFn, ambient_progress, merge_worker_traces
 from .worker import WorkerPlan, WorkerReport, worker_main
 
@@ -196,6 +198,16 @@ class ProcessBackend:
     the workers re-import nothing) and ``spawn`` elsewhere — the plan and
     worker entry are picklable, so both work.  ``timeout_seconds`` bounds
     control-plane silence, turning any stall into a typed error.
+
+    ``sanitize`` attaches ShmSan (:mod:`repro.parallel.shmsan`): pass a
+    :class:`~repro.parallel.shmsan.ShmSan` to share one across backends,
+    ``True`` for a private instance (read it back from
+    :attr:`sanitizer`), ``False`` to force sanitizing off, or leave the
+    default ``None`` to follow the ambient
+    :func:`~repro.parallel.shmsan.shm_sanitize` scope — the same
+    ambient-wins convention the tracer and progress sinks use.
+    ``mutate``/``mutate_rank`` seed one deliberate invariant break from
+    :data:`~repro.parallel.shmsan.MUTATIONS` (test hook).
     """
 
     name = "process"
@@ -208,6 +220,9 @@ class ProcessBackend:
         crash_rank: int | None = None,
         crash_stage: str = "start",
         progress: ProgressFn | None = None,
+        sanitize: "ShmSan | bool | None" = None,
+        mutate: str | None = None,
+        mutate_rank: int = 1,
     ):
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
@@ -220,6 +235,21 @@ class ProcessBackend:
         #: Live heartbeat sink ``(rank, step, rows)``; an explicit argument
         #: wins over the ambient :func:`~repro.parallel.tracing.use_progress`.
         self._progress = progress
+        if mutate is not None and mutate not in MUTATIONS:
+            raise ValueError(
+                f"unknown mutation {mutate!r}; choose one of {MUTATIONS}"
+            )
+        self._mutate = mutate
+        self._mutate_rank = mutate_rank
+        #: The backend-owned sanitizer (set when ``sanitize`` was an
+        #: instance or ``True``); ambient resolution happens per sort.
+        if isinstance(sanitize, ShmSan):
+            self.sanitizer: ShmSan | None = sanitize
+        elif sanitize is True:
+            self.sanitizer = ShmSan()
+        else:
+            self.sanitizer = None
+        self._follow_ambient_san = sanitize is None
         self.arena = SharedArena()
 
     # ------------------------------------------------------------ lifetime
@@ -272,17 +302,44 @@ class ProcessBackend:
         driver_counters: list[tuple[float, str, float]] = []
         if cap is not None:
             self.arena.on_sample = lambda cname, value: driver_counters.append(
-                (time.perf_counter(), cname, value)
+                (time.perf_counter(), cname, value)  # repro: noqa[R002] — real backend: driver counter timestamps are measured data
             )
 
-        start = time.perf_counter()
+        # Sanitizer resolution: backend-owned instance wins, else follow
+        # the ambient shm_sanitize() scope (unless sanitize=False pinned
+        # it off).  Unsanitized sorts pay only these None checks.
+        san = self.sanitizer
+        if san is None and self._follow_ambient_san:
+            san = active_shm_sanitizer()
+
+        start = time.perf_counter()  # repro: noqa[R002] — real backend: the driver wall clock is the makespan
         input_lease = self.arena.lease(n, key_dtype)
         key_lease = self.arena.lease(n, key_dtype)
         index_lease = self.arena.lease(n, np.int32) if track else None
         proc_lease = self.arena.lease(n, np.int16) if track else None
+        if san is not None:
+            san.begin_run()
+            san.register_lease("input", input_lease)
+            san.register_lease("keys", key_lease)
+            if index_lease is not None:
+                san.register_lease("index", index_lease)
+            if proc_lease is not None:
+                san.register_lease("proc", proc_lease)
+            if self._mutate == "double-lease":
+                # Seeded invariant break: hand out a second lease aliasing
+                # the key segment, as if the arena double-booked it — the
+                # lease-lifetime check must flag the overlap on sight.
+                san.register_lease(
+                    "double-lease-alias",
+                    ShmLease(name=key_lease.name, dtype=np.int32, length=n),
+                )
         input_view = self.arena.view(input_lease)
         for rank, block in enumerate(blocks):
             input_view[bounds[rank] : bounds[rank + 1]] = block
+        if san is not None and n:
+            san.parent_access(
+                input_lease, 0, n, "w", "stage-input", when="before"
+            )
 
         plan = WorkerPlan(
             size=size,
@@ -296,6 +353,9 @@ class ProcessBackend:
             crash_rank=self._crash_rank,
             crash_stage=self._crash_stage,
             trace=cap is not None,
+            sanitize=san is not None,
+            mutate=self._mutate,
+            mutate_rank=self._mutate_rank,
         )
 
         run: BackendRun | None = None
@@ -324,16 +384,29 @@ class ProcessBackend:
                 if self._progress is not None
                 else ambient_progress()
             )
-            reports: dict[int, WorkerReport] = serve_control_plane(
-                hub_conns,
-                procs,
-                timeout_seconds=self.timeout_seconds,
-                progress=progress,
-            )
+            try:
+                reports: dict[int, WorkerReport] = serve_control_plane(
+                    hub_conns,
+                    procs,
+                    timeout_seconds=self.timeout_seconds,
+                    progress=progress,
+                    san_sink=san.ingest if san is not None else None,
+                )
+            except WorkerCrashedError as exc:
+                if san is not None:
+                    # The dead rank's log was flushed at step boundaries;
+                    # analyze what landed so the report covers the run up
+                    # to the crash point instead of discarding it.
+                    san.finish_run(
+                        crashed_rank=exc.rank, crashed_step=exc.last_step
+                    )
+                raise
             for proc in procs:
                 proc.join()
-            wall = time.perf_counter() - start
-            run = self._collect(reports, key_lease, index_lease, proc_lease, wall)
+            wall = time.perf_counter() - start  # repro: noqa[R002] — real backend: the driver wall clock is the makespan
+            run = self._collect(
+                reports, key_lease, index_lease, proc_lease, wall, san
+            )
         finally:
             for proc in procs:
                 if proc.is_alive():
@@ -345,6 +418,21 @@ class ProcessBackend:
                 conn.close()
             self.arena.release_all()
             self.arena.on_sample = None
+            if san is not None:
+                san.note_release()
+                if self._mutate == "stale-view" and n:
+                    # Seeded invariant break: read the staged input view
+                    # after release_all() handed its lease back — the
+                    # stale-view check must flag the outlived view.  (The
+                    # pooled segment is still mapped, so the read itself
+                    # is safe; holding the view is the bug.)
+                    _ = int(input_view[0])
+                    san.parent_access(
+                        input_lease, 0, 1, "r", "stale-input-probe",
+                        when="after",
+                    )
+        if san is not None:
+            san.finish_run(counts_matrix=run.counts_matrix)
         if cap is not None:
             # Assemble the per-worker payloads into one simnet-schema tracer
             # on the hub timeline (t=0 at sort start) and register it with
@@ -366,18 +454,36 @@ class ProcessBackend:
         index_lease,
         proc_lease,
         wall: float,
+        san: ShmSan | None = None,
     ) -> BackendRun:
         size = len(reports)
         counts_matrix = np.stack([reports[r].counts_row for r in range(size)])
-        rank_base = np.zeros(size + 1, dtype=np.int64)
-        np.cumsum(counts_matrix.sum(axis=0), out=rank_base[1:])
+        layout = exchange_layout(counts_matrix)
         keys_view = self.arena.view(key_lease)
         idx_view = self.arena.view(index_lease) if index_lease else None
         proc_view = self.arena.view(proc_lease) if proc_lease else None
+        if san is not None and layout.total:
+            # The driver's post-join reads of the merged regions — ordered
+            # after every worker access, but recorded so the log is the
+            # whole story of the segments' lifetimes.
+            san.parent_access(
+                key_lease, 0, layout.total, "r", "collect-keys", when="after"
+            )
+            if index_lease is not None:
+                san.parent_access(
+                    index_lease, 0, layout.total, "r", "collect-index",
+                    when="after",
+                )
+            if proc_lease is not None:
+                san.parent_access(
+                    proc_lease, 0, layout.total, "r", "collect-proc",
+                    when="after",
+                )
         outputs = []
         for rank in range(size):
             report = reports[rank]
-            lo, hi = int(rank_base[rank]), int(rank_base[rank + 1])
+            lo, length = layout.region(rank)
+            hi = lo + length
             keys = keys_view[lo:hi].copy()  # fresh: leases return to the pool
             if idx_view is not None:
                 prov = Provenance(proc_view[lo:hi].copy(), idx_view[lo:hi].copy())

@@ -74,13 +74,21 @@ class WorkerLink:
         #: Measured blocking seconds, by wait kind and by step label.
         self.wait_by_kind = {"recv-wait": 0.0, "barrier-wait": 0.0}
         self.wait_by_step: dict[str, float] = {}
+        #: Completed collectives on this rank.  Every collective is a full
+        #: barrier through the hub (the reply only arrives after all ranks
+        #: contributed) and all ranks run the same program, so this count
+        #: is a *global* happens-before clock: accesses in different epochs
+        #: are ordered, accesses in the same epoch are concurrent.  ShmSan
+        #: stamps every shared-memory access interval with it.
+        self.epoch = 0
 
     def _collective(self, op: str, payload: Any = None, root: int = 0) -> Any:
         self._seq += 1
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: noqa[R002] — real backend: measured pipe-blocking time is the point
         self.conn.send(("coll", op, self._seq, self.rank, root, payload))
         reply = self.conn.recv()
-        end = time.perf_counter()
+        self.epoch += 1
+        end = time.perf_counter()  # repro: noqa[R002] — real backend: measured pipe-blocking time is the point
         kind = "barrier-wait" if op == "barrier" else "recv-wait"
         self.wait_by_kind[kind] += end - start
         if self.step_label:
@@ -102,6 +110,31 @@ class WorkerLink:
 
     def allgather(self, payload: Any) -> list:
         return self._collective("allgather", payload)
+
+    def post_only(self, op: str) -> None:
+        """Contribute to a collective without waiting for its completion.
+
+        **Mutation hook, not an API.**  ShmSan's ``skip-merge-barrier``
+        mutation uses this to model a buggy worker that posts its barrier
+        contribution but charges ahead without waiting — the hub stays
+        solvent (all ``p`` contributions arrive, other ranks unblock), but
+        this rank's epoch clock does *not* advance, so its subsequent
+        accesses are concurrent with the pre-barrier writes.  The reply
+        the hub eventually sends stays queued on the pipe unread; the
+        worker exits before it would matter.
+        """
+        self._seq += 1
+        self.conn.send(("coll", op, self._seq, self.rank, 0, None))
+
+    def flush_san(self, records: list) -> None:
+        """Fire-and-forget: ship drained sanitizer access records home.
+
+        Called at step boundaries and on completion when sanitizing is
+        active, so a worker that crashes mid-run has already delivered its
+        log up to the last boundary — the partial-analysis path.
+        """
+        if records:
+            self.conn.send(("san", self.rank, records))
 
     # ------------------------------------------------- observability plane
 
@@ -162,13 +195,17 @@ def serve_control_plane(
     *,
     timeout_seconds: float | None = None,
     progress=None,
+    san_sink=None,
 ) -> dict[int, Any]:
     """Drive the collective hub until every worker reports done.
 
     ``conns[rank]`` is the driver end of rank's pipe; ``processes[rank]``
     the worker process (anything with ``is_alive()`` and ``exitcode``).
     ``progress``, when given, receives every heartbeat as
-    ``progress(rank, step_label, rows)``.  Returns ``{rank:
+    ``progress(rank, step_label, rows)``; ``san_sink``, when given,
+    receives every flushed batch of sanitizer access records as
+    ``san_sink(rank, records)`` (delivered at step boundaries, so a
+    partial log survives a crash).  Returns ``{rank:
     done_payload}``.  Raises
     :class:`~repro.parallel.errors.WorkerCrashedError` when a pipe hits
     EOF or a process dies with messages outstanding (carrying the dead
@@ -188,7 +225,7 @@ def serve_control_plane(
     pending: dict[tuple[str, int], _PendingOp] = {}
     #: rank -> (step label, rows, hub time the beat arrived).
     heartbeats: dict[int, tuple[str, int, float]] = {}
-    last_progress = time.perf_counter()
+    last_progress = time.perf_counter()  # repro: noqa[R002] — real backend: liveness/timeout bookkeeping needs the wall clock
 
     def phase() -> str:
         if pending:
@@ -201,7 +238,7 @@ def serve_control_plane(
         if beat is None:
             return None, None
         step, _rows, seen = beat
-        return step, time.perf_counter() - seen
+        return step, time.perf_counter() - seen  # repro: noqa[R002] — real backend: heartbeat age for crash diagnostics
 
     def beat_summary() -> str:
         if not heartbeats:
@@ -221,7 +258,7 @@ def serve_control_plane(
 
     while active:
         ready = wait([conns[r] for r in active], timeout=_POLL_SECONDS)
-        now = time.perf_counter()
+        now = time.perf_counter()  # repro: noqa[R002] — real backend: liveness/timeout bookkeeping needs the wall clock
         if not ready:
             for rank in sorted(active):
                 proc = processes[rank]
@@ -254,9 +291,13 @@ def serve_control_plane(
                 heartbeats[sender] = (step, rows, now)
                 if progress is not None:
                     progress(sender, step, rows)
+            elif kind == "san":
+                _, sender, records = msg
+                if san_sink is not None:
+                    san_sink(sender, records)
             elif kind == "probe":
                 # Clock-sync handshake: answer with the hub clock, now.
-                conns[msg[1]].send(time.perf_counter())
+                conns[msg[1]].send(time.perf_counter())  # repro: noqa[R002] — real backend: the clock-sync handshake IS a clock read
             elif kind == "coll":
                 _, op, seq, sender, root, payload = msg
                 key = (op, seq)

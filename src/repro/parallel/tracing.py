@@ -97,7 +97,7 @@ class WorkerTracer:
         self.trace.flows.append((dst, nbytes, offset_bytes, start, end))
 
     def counter(self, name: str, value: float) -> None:
-        self.trace.counters.append((time.perf_counter(), name, value))
+        self.trace.counters.append((time.perf_counter(), name, value))  # repro: noqa[R002] — real backend: counter timestamps are measured data
 
     def step(self, start: float, end: float, label: str) -> None:
         """One of the six step windows (from the measured boundaries)."""
@@ -117,9 +117,9 @@ def estimate_clock_offset(probe, attempts: int = 5) -> tuple[float, float]:
     best_offset = 0.0
     best_rtt = float("inf")
     for _ in range(max(attempts, 1)):
-        t0 = time.perf_counter()
+        t0 = time.perf_counter()  # repro: noqa[R002] — real backend: the clock-sync handshake IS a clock read
         hub_t = probe()
-        t1 = time.perf_counter()
+        t1 = time.perf_counter()  # repro: noqa[R002] — real backend: the clock-sync handshake IS a clock read
         rtt = t1 - t0
         if rtt < best_rtt:
             best_rtt = rtt

@@ -55,6 +55,8 @@ from ..core.splitters import merge_samples, select_splitters
 from ..pgxd.config import PgxdConfig
 from .arena import AttachedLease, ShmLease, attach
 from .collectives import WorkerLink
+from .layout import exchange_layout
+from .shmsan import AccessRecorder
 from .tracing import WorkerTrace, WorkerTracer, estimate_clock_offset, peak_rss_bytes
 
 
@@ -80,6 +82,14 @@ class WorkerPlan:
     #: Record a :class:`~repro.parallel.tracing.WorkerTrace` (set by the
     #: parent when an ambient obs capture is active; off by default).
     trace: bool = False
+    #: Record ShmSan access intervals for every shared-memory touch and
+    #: flush them home at step boundaries (off by default; the unsanitized
+    #: path pays only ``is not None`` guards).
+    sanitize: bool = False
+    #: Test hook: seed one invariant break on ``mutate_rank`` (a name from
+    #: :data:`repro.parallel.shmsan.MUTATIONS`) — the detector's detector.
+    mutate: str | None = None
+    mutate_rank: int = 0
 
 
 @dataclass
@@ -125,6 +135,17 @@ def _run_six_steps(rank: int, plan: WorkerPlan, link: WorkerLink) -> WorkerRepor
         attachments.append(mapped)
         return mapped.array
 
+    recorder = AccessRecorder(rank) if plan.sanitize else None
+    mutation = plan.mutate if rank == plan.mutate_rank else None
+
+    def _beat(step: str, rows: int) -> None:
+        # Heartbeat the hub and piggyback a sanitizer-log flush on the
+        # same step boundary, so a crash mid-run leaves the analyzer
+        # every access up to the last boundary.
+        link.heartbeat(step, rows)
+        if recorder is not None:
+            link.flush_san(recorder.drain())
+
     tracer: WorkerTracer | None = None
     if plan.trace:
         # Clock-offset handshake: align this process's perf_counter with
@@ -144,9 +165,13 @@ def _run_six_steps(rank: int, plan: WorkerPlan, link: WorkerLink) -> WorkerRepor
         out_proc = _attach(plan.proc_lease) if track else None
         lo, hi = plan.block_bounds[rank], plan.block_bounds[rank + 1]
         block = input_block[lo:hi]
+        if recorder is not None:
+            recorder.record(
+                plan.input_lease, lo, hi, "r", 1, link.epoch, "input-read"
+            )
 
-        link.heartbeat(STEP_LABELS[0], len(block))
-        t0 = time.perf_counter()
+        _beat(STEP_LABELS[0], len(block))
+        t0 = time.perf_counter()  # repro: noqa[R002] — real backend: measured step wall time is the product
         # ------------------------------------------------ step 1: local sort
         # Same data plane as the simulated sorter's parallel_quicksort:
         # packed fast path when the dtype allows, stable argsort otherwise
@@ -162,22 +187,22 @@ def _run_six_steps(rank: int, plan: WorkerPlan, link: WorkerLink) -> WorkerRepor
         else:
             sorted_keys = np.sort(block)
             perm = np.empty(0, dtype=np.int32)
-        t1 = time.perf_counter()
+        t1 = time.perf_counter()  # repro: noqa[R002] — real backend: measured step wall time is the product
         report.step_seconds[STEP_LABELS[0]] = t1 - t0
 
         # -------------------------------------------------- step 2: sampling
-        link.heartbeat(STEP_LABELS[1], len(sorted_keys))
+        _beat(STEP_LABELS[1], len(sorted_keys))
         count = sample_count(
             config, size, sorted_keys.dtype.itemsize, options.sample_factor
         )
         samples = select_regular_samples(sorted_keys, count)
         report.samples_sent = len(samples)
         gathered = link.gather(samples, root=MASTER)
-        t2 = time.perf_counter()
+        t2 = time.perf_counter()  # repro: noqa[R002] — real backend: measured step wall time is the product
         report.step_seconds[STEP_LABELS[1]] = t2 - t1
 
         # ------------------------------------------------- step 3: splitters
-        link.heartbeat(STEP_LABELS[2], report.samples_sent)
+        _beat(STEP_LABELS[2], report.samples_sent)
         if rank == MASTER:
             assert gathered is not None
             splitters = select_splitters(merge_samples(gathered), size)
@@ -185,11 +210,11 @@ def _run_six_steps(rank: int, plan: WorkerPlan, link: WorkerLink) -> WorkerRepor
         else:
             splitters = None
         splitters = link.bcast(splitters, root=MASTER)
-        t3 = time.perf_counter()
+        t3 = time.perf_counter()  # repro: noqa[R002] — real backend: measured step wall time is the product
         report.step_seconds[STEP_LABELS[2]] = t3 - t2
 
         # ------------------------------------------------- step 4: partition
-        link.heartbeat(STEP_LABELS[3], len(sorted_keys))
+        _beat(STEP_LABELS[3], len(sorted_keys))
         cut = compute_rank_cuts(
             sorted_keys, splitters, size, investigator=options.investigator
         )
@@ -199,44 +224,67 @@ def _run_six_steps(rank: int, plan: WorkerPlan, link: WorkerLink) -> WorkerRepor
             [sl.stop - sl.start for sl in out_slices], dtype=np.int64
         )
         report.counts_row = counts
-        t4 = time.perf_counter()
+        t4 = time.perf_counter()  # repro: noqa[R002] — real backend: measured step wall time is the product
         report.step_seconds[STEP_LABELS[3]] = t4 - t3
 
         # -------------------------------------------------- step 5: exchange
         # Everyone learns the counts matrix, which fixes each (src, dst)
         # run's offset in the shared exchange stream; writes are disjoint.
-        link.heartbeat(STEP_LABELS[4], len(sorted_keys))
+        _beat(STEP_LABELS[4], len(sorted_keys))
         all_counts = link.allgather(counts)
         counts_matrix = np.stack(all_counts)
         _maybe_crash(plan, rank, "exchange")
-        recv_totals = counts_matrix.sum(axis=0)
-        rank_base = np.zeros(size + 1, dtype=np.int64)
-        np.cumsum(recv_totals, out=rank_base[1:])
-        # Exclusive prefix within each destination's region, by source.
-        col_starts = np.zeros_like(counts_matrix)
-        np.cumsum(counts_matrix[:-1], axis=0, out=col_starts[1:])
+        layout = exchange_layout(counts_matrix)
         key_itemsize = sorted_keys.dtype.itemsize
         row_bytes = key_itemsize + (perm.dtype.itemsize if track else 0)
+        shifted = False
         for dst in range(size):
             sl = out_slices[dst]
             if sl.stop == sl.start:
                 continue
-            pos = int(rank_base[dst] + col_starts[rank, dst])
+            pos = layout.run_offset(rank, dst)
             end = pos + (sl.stop - sl.start)
-            t_w0 = time.perf_counter() if tracer is not None else 0.0
+            if mutation == "offset-off-by-one" and not shifted:
+                # Seeded invariant break: slide the first nonempty run one
+                # element off its counts-derived home (into a neighbour's
+                # run, or backwards at the stream's end) — the overlap
+                # ShmSan's offset and race checks must catch.
+                if end + 1 <= len(ex_keys):
+                    pos, end, shifted = pos + 1, end + 1, True
+                elif pos >= 1:
+                    pos, end, shifted = pos - 1, end - 1, True
+            t_w0 = time.perf_counter() if tracer is not None else 0.0  # repro: noqa[R002] — real backend: measured flow timing is the product
             ex_keys[pos:end] = sorted_keys[sl]
+            if recorder is not None:
+                recorder.record(
+                    plan.key_lease, pos, end, "w", 5, link.epoch,
+                    "exchange-write", dst=dst,
+                )
             if track:
                 ex_index[pos:end] = perm[sl]
+                if recorder is not None:
+                    recorder.record(
+                        plan.index_lease, pos, end, "w", 5, link.epoch,
+                        "exchange-write", dst=dst,
+                    )
             if tracer is not None:
                 tracer.flow(
                     dst,
                     (sl.stop - sl.start) * row_bytes,
                     pos * key_itemsize,
                     t_w0,
-                    time.perf_counter(),
+                    time.perf_counter(),  # repro: noqa[R002] — real backend: measured flow timing is the product
                 )
-        link.barrier()  # all runs landed; regions are safe to read
-        t5 = time.perf_counter()
+        if mutation == "skip-merge-barrier":
+            # Seeded invariant break: post the barrier contribution (so the
+            # hub and the other ranks stay solvent) but charge ahead
+            # without waiting — this rank's epoch clock does not advance,
+            # so its merge runs concurrent with the others' exchange
+            # writes.  The happens-before analysis must flag the races.
+            link.post_only("barrier")
+        else:
+            link.barrier()  # all runs landed; regions are safe to read
+        t5 = time.perf_counter()  # repro: noqa[R002] — real backend: measured step wall time is the product
         report.step_seconds[STEP_LABELS[4]] = t5 - t4
 
         # ----------------------------------------------------- step 6: merge
@@ -245,15 +293,24 @@ def _run_six_steps(rank: int, plan: WorkerPlan, link: WorkerLink) -> WorkerRepor
         # exactly what the simulated exchange reassembles.
         from ..core.balanced_merge import flat_kway_merge
 
-        base, total = int(rank_base[rank]), int(recv_totals[rank])
-        link.heartbeat(STEP_LABELS[5], total)
+        base, total = layout.region(rank)
+        _beat(STEP_LABELS[5], total)
         region = ex_keys[base : base + total]
+        if recorder is not None:
+            recorder.record(
+                plan.key_lease, base, base + total, "r", 6, link.epoch,
+                "merge-read",
+            )
         run_lengths = counts_matrix[:, rank].tolist()
         if track:
             idx_region = ex_index[base : base + total]
+            if recorder is not None:
+                recorder.record(
+                    plan.index_lease, base, base + total, "r", 6, link.epoch,
+                    "merge-read",
+                )
             proc_col = np.empty(total, dtype=np.int16)
-            bounds = np.zeros(size + 1, dtype=np.int64)
-            np.cumsum(counts_matrix[:, rank], out=bounds[1:])
+            bounds = layout.run_bounds(rank)
             for src in range(size):
                 proc_col[bounds[src] : bounds[src + 1]] = src
             aux_cols = [idx_region, proc_col]
@@ -265,10 +322,26 @@ def _run_six_steps(rank: int, plan: WorkerPlan, link: WorkerLink) -> WorkerRepor
         # Store the merged result back over the (now dead) exchange region;
         # the driver reads it from there — no pickling on the way out.
         region[:] = outcome.keys
+        if recorder is not None:
+            recorder.record(
+                plan.key_lease, base, base + total, "w", 6, link.epoch,
+                "merge-write",
+            )
         if track:
             idx_region[:] = outcome.aux[0]
             out_proc[base : base + total] = outcome.aux[1]
-        t6 = time.perf_counter()
+            if recorder is not None:
+                recorder.record(
+                    plan.index_lease, base, base + total, "w", 6, link.epoch,
+                    "merge-write",
+                )
+                recorder.record(
+                    plan.proc_lease, base, base + total, "w", 6, link.epoch,
+                    "proc-write",
+                )
+        if recorder is not None:
+            link.flush_san(recorder.drain())
+        t6 = time.perf_counter()  # repro: noqa[R002] — real backend: measured step wall time is the product
         report.step_seconds[STEP_LABELS[5]] = t6 - t5
         report.wall_seconds = t6 - t0
         report.step_wait_seconds = dict(link.wait_by_step)

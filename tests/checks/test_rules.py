@@ -1,10 +1,11 @@
 """Per-rule positive/negative tests for ``repro-lint``.
 
-Every rule R001–R008 has at least one *positive* case (fires on a minimal
+Every rule R001–R012 has at least one *positive* case (fires on a minimal
 bad snippet) and one *negative* case (silent on the fixed version), as the
 correctness-tooling acceptance criteria require.  Snippets are linted via
 :func:`repro.checks.lint_source` with a path inside ``src/repro`` so the
-library-scoped rules (R002) apply.
+library-scoped rules (R002, R009–R012) apply; the parallel-aware rules
+additionally use a path under ``src/repro/parallel``.
 """
 
 import textwrap
@@ -270,3 +271,200 @@ class TestR008UnboundedRetry:
         violations, suppressed = lint_source(src, LIB)
         assert violations == []
         assert suppressed == 1
+
+
+PARALLEL = "src/repro/parallel/somemodule.py"  # realtime library scope
+
+
+class TestParallelScopes:
+    """The narrowed exemptions: parallel/ is back under R002/R008 rules."""
+
+    def test_r002_fires_in_parallel_without_noqa(self):
+        assert rules_in(
+            "import time\nt = time.perf_counter()\n", PARALLEL
+        ) == ["R002"]
+
+    def test_r002_noqa_licenses_a_parallel_timing_site(self):
+        src = (
+            "import time\n"
+            "t = time.perf_counter()  # repro: noqa[R002] — measured wall time\n"
+        )
+        violations, suppressed = lint_source(src, PARALLEL)
+        assert violations == []
+        assert suppressed == 1
+
+    def test_r008_still_skips_realtime_loops(self):
+        src = """
+        def pump(self):
+            while True:
+                self.attempt += 1
+        """
+        assert rules_in(src, PARALLEL) == []
+
+
+class TestR009DiscardedShmAcquisition:
+    def test_fires_on_discarded_lease(self):
+        src = """
+        def f(arena):
+            arena.lease(64, "int64")
+        """
+        assert rules_in(src, PARALLEL) == ["R009"]
+
+    def test_fires_on_discarded_view_and_attach(self):
+        src = """
+        def f(self, lease):
+            self.arena.view(lease)
+            attach(lease)
+        """
+        assert rules_in(src, PARALLEL) == ["R009", "R009"]
+
+    def test_silent_when_bound(self):
+        src = """
+        def f(arena, lease):
+            handle = arena.lease(64, "int64")
+            mapped = attach(lease)
+            return handle, mapped
+        """
+        assert rules_in(src, PARALLEL) == []
+
+    def test_silent_on_non_arena_view(self):
+        # numpy's ndarray.view must not match the arena heuristic.
+        src = """
+        def f(a):
+            a.view("u1")
+        """
+        assert rules_in(src, LIB) == []
+
+    def test_silent_outside_library_scope(self):
+        src = """
+        def f(arena, lease):
+            arena.view(lease)
+        """
+        assert rules_in(src, "tests/parallel/test_x.py") == []
+
+
+class TestR010ViewStoredOnSelf:
+    def test_fires_on_view_assigned_to_self(self):
+        src = """
+        class Backend:
+            def prepare(self, lease):
+                self.keys = self.arena.view(lease)
+        """
+        assert rules_in(src, PARALLEL) == ["R010"]
+
+    def test_fires_on_attach_assigned_to_self(self):
+        src = """
+        class Worker:
+            def setup(self, lease):
+                self.block = attach(lease)
+        """
+        assert rules_in(src, PARALLEL) == ["R010"]
+
+    def test_silent_on_local_view(self):
+        src = """
+        class Backend:
+            def prepare(self, lease):
+                keys = self.arena.view(lease)
+                return keys.sum()
+        """
+        assert rules_in(src, PARALLEL) == []
+
+    def test_silent_on_numpy_view_on_self(self):
+        src = """
+        class Packer:
+            def pack(self, a):
+                self.raw = a.view("u1")
+        """
+        assert rules_in(src, LIB) == []
+
+
+class TestR011HandrolledOffsets:
+    def test_fires_on_counts_cumsum_in_parallel(self):
+        src = """
+        import numpy as np
+
+        def offsets(counts_matrix):
+            return np.cumsum(counts_matrix.sum(axis=0))
+        """
+        assert rules_in(src, PARALLEL) == ["R011"]
+
+    def test_fires_on_method_style_cumsum(self):
+        src = """
+        def offsets(all_counts):
+            return all_counts.cumsum(axis=0)
+        """
+        assert rules_in(src, PARALLEL) == ["R011"]
+
+    def test_silent_inside_layout_module(self):
+        src = """
+        import numpy as np
+
+        def exchange_layout(counts):
+            return np.cumsum(counts)
+        """
+        assert rules_in(src, "src/repro/parallel/layout.py") == []
+
+    def test_silent_outside_parallel(self):
+        # Simulated-path counts arithmetic is not this rule's business.
+        src = """
+        import numpy as np
+
+        def bounds(counts):
+            return np.cumsum(counts)
+        """
+        assert rules_in(src, LIB) == []
+
+    def test_silent_on_unrelated_cumsum(self):
+        src = """
+        import numpy as np
+
+        def prefix(lengths):
+            return np.cumsum(lengths)
+        """
+        assert rules_in(src, PARALLEL) == []
+
+
+class TestR012AdhocMpPrimitive:
+    def test_fires_on_multiprocessing_queue(self):
+        src = """
+        import multiprocessing
+
+        def chan():
+            return multiprocessing.Queue()
+        """
+        assert rules_in(src, LIB) == ["R012"]
+
+    def test_fires_on_context_lock(self):
+        src = """
+        def guard(self):
+            return self._ctx.Lock()
+        """
+        assert rules_in(src, PARALLEL) == ["R012"]
+
+    def test_silent_in_collectives_module(self):
+        src = """
+        import multiprocessing
+
+        def chan():
+            return multiprocessing.Queue()
+        """
+        assert rules_in(src, "src/repro/parallel/collectives.py") == []
+
+    def test_silent_on_sanctioned_spawn_machinery(self):
+        src = """
+        import multiprocessing
+
+        def spawn(self, target):
+            ctx = multiprocessing.get_context("fork")
+            a, b = ctx.Pipe(duplex=True)
+            return ctx.Process(target=target, args=(b,)), a
+        """
+        assert rules_in(src, PARALLEL) == []
+
+    def test_silent_on_bare_event_without_mp_receiver(self):
+        # threading.Event-style locals must not match.
+        src = """
+        def wait(ev_factory):
+            return ev_factory.Event()
+        """
+        assert rules_in(src, LIB) == []

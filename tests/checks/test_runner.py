@@ -53,19 +53,40 @@ class TestExitCodes:
         assert LintReport().exit_code == 0
 
     def test_parse_error_sets_high_bit(self):
-        # bit 9: one past R008's bit, so rule bits and the parse-error
+        # bit 13: one past R012's bit, so rule bits and the parse-error
         # marker never alias.
         report = LintReport(errors=["f.py: bad syntax (line 1)"])
-        assert report.exit_code == 1 << 8
+        assert report.exit_code == 1 << 12
 
-    def test_r008_bit_distinct_from_parse_errors(self):
+    def test_r012_bit_distinct_from_parse_errors(self):
         from repro.checks.rules import Violation
 
         report = LintReport(
-            violations=[Violation("R008", "f.py", 1, 0, "m")],
+            violations=[Violation("R012", "f.py", 1, 0, "m")],
             errors=["g.py: bad syntax (line 1)"],
         )
-        assert report.exit_code == (1 << 7) | (1 << 8)
+        assert report.exit_code == (1 << 11) | (1 << 12)
+
+    def test_main_clamps_process_exit_to_eight_bits(self, tmp_path, capsys):
+        # R009's bit alone is 256 == 0 mod 256: without the clamp the
+        # repro-lint console script would exit 0 on a real violation.
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(arena, lease):\n    arena.view(lease)\n")
+        fake = tmp_path / "src" / "repro" / "parallel"
+        fake.mkdir(parents=True)
+        target = fake / "mod.py"
+        target.write_text(bad.read_text())
+        code = main([str(target), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 1 << 8  # full mask in the report
+        assert code == 255  # clamped for the 8-bit process status
+
+    def test_parse_error_exit_does_not_wrap_to_zero(self, tmp_path, capsys):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        code = main([str(tmp_path), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 1 << 12
+        assert code == 255
 
 
 class TestRunner:
@@ -96,7 +117,8 @@ class TestRunner:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008"):
+        for rule_id in ("R001", "R002", "R003", "R004", "R005", "R006",
+                        "R007", "R008", "R009", "R010", "R011", "R012"):
             assert rule_id in out
 
     def test_unparsable_file_reported_not_fatal(self, tmp_path):

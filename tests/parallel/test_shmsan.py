@@ -1,0 +1,270 @@
+"""ShmSan end-to-end: clean golden runs stay clean and bit-identical, and
+every seeded invariant mutation is reported with rank/step/byte-range
+diagnostics — the detector's own regression suite."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.checks.hb import PARENT_RANK
+from repro.core.api import partition_input
+from repro.core.local_backend import local_sample_sort
+from repro.parallel import (
+    MUTATIONS,
+    ProcessBackend,
+    ShmSan,
+    WorkerCrashedError,
+    active_shm_sanitizer,
+    shm_sanitize,
+)
+from repro.parallel.shmsan import analyze_log
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+GOLDEN_PATH = REPO / "tests" / "golden" / "sim_golden_p16.json"
+
+RACE_KINDS = {"write-write-race", "read-write-race"}
+
+
+def _blocks(p=4, n=20_000, seed=7):
+    data = np.random.default_rng(seed).integers(0, 1 << 40, n).astype(np.int64)
+    return data, list(partition_input(data, p)[0])
+
+
+def _assert_bit_identical(reference, run):
+    for rank, out in enumerate(run.outputs):
+        np.testing.assert_array_equal(out.keys, reference.per_processor[rank])
+    np.testing.assert_array_equal(run.splitters, reference.splitters)
+
+
+def _kinds(san):
+    return {v.kind for v in san.report.violations}
+
+
+class TestCleanRuns:
+    def test_sanitized_run_is_bit_identical_and_clean(self):
+        _, blocks = _blocks()
+        reference = local_sample_sort(blocks)
+        with ProcessBackend(sanitize=True) as backend:
+            run = backend.sort_blocks(blocks)
+            san = backend.sanitizer
+        _assert_bit_identical(reference, run)
+        assert san.report.ok, san.report.summary()
+        assert san.report.runs == 1
+        # input + keys + index + proc leases, all four ranks flushing.
+        assert san.report.leases_tracked == 4
+        assert san.report.accesses_recorded > 4
+
+    def test_sanitizer_accumulates_across_sorts(self):
+        _, blocks = _blocks(n=4_000)
+        san = ShmSan()
+        with ProcessBackend(sanitize=san) as backend:
+            backend.sort_blocks(blocks)
+            backend.sort_blocks(blocks)
+        assert san.report.runs == 2
+        assert san.report.ok, san.report.summary()
+
+    def test_ambient_scope_attaches_sanitizer(self):
+        _, blocks = _blocks(n=4_000)
+        assert active_shm_sanitizer() is None
+        with shm_sanitize() as san:
+            assert active_shm_sanitizer() is san
+            with ProcessBackend() as backend:
+                backend.sort_blocks(blocks)
+        assert active_shm_sanitizer() is None
+        assert san.report.runs == 1
+        assert san.report.ok, san.report.summary()
+
+    def test_sanitize_false_opts_out_of_ambient(self):
+        _, blocks = _blocks(n=4_000)
+        with shm_sanitize() as san:
+            with ProcessBackend(sanitize=False) as backend:
+                backend.sort_blocks(blocks)
+        assert san.report.runs == 0
+        assert san.report.accesses_recorded == 0
+
+    def test_unsanitized_backend_records_nothing(self):
+        _, blocks = _blocks(n=4_000)
+        with ProcessBackend() as backend:
+            backend.sort_blocks(blocks)
+            assert backend.sanitizer is None
+
+
+class TestMutations:
+    """Each seeded invariant break must be caught, with usable diagnostics."""
+
+    def test_mutation_names_are_validated(self):
+        with pytest.raises(ValueError, match="unknown mutation"):
+            ProcessBackend(mutate="not-a-mutation")
+
+    def test_offset_off_by_one_reports_mismatch_with_coordinates(self):
+        _, blocks = _blocks()
+        with ProcessBackend(
+            sanitize=True, mutate="offset-off-by-one", mutate_rank=1
+        ) as backend:
+            backend.sort_blocks(blocks)
+            san = backend.sanitizer
+        assert "offset-mismatch" in _kinds(san), san.report.summary()
+        mismatches = [
+            v for v in san.report.violations if v.kind == "offset-mismatch"
+        ]
+        # The mutant rank is named, with the step and both byte ranges.
+        assert {v.rank for v in mismatches} == {1}
+        for v in mismatches:
+            assert v.details["src"] == 1
+            assert v.details["step"] == 5
+            actual = v.details["actual_bytes"]
+            expected = v.details["expected_bytes"]
+            assert actual != expected
+            assert actual[1] - actual[0] == expected[1] - expected[0]
+
+    def test_skip_merge_barrier_reports_a_race_with_the_mutant(self):
+        _, blocks = _blocks()
+        with ProcessBackend(
+            sanitize=True, mutate="skip-merge-barrier", mutate_rank=2
+        ) as backend:
+            backend.sort_blocks(blocks)
+            san = backend.sanitizer
+        races = [v for v in san.report.violations if v.kind in RACE_KINDS]
+        assert races, san.report.summary()
+        # The unordered pair always involves the rank that skipped the
+        # barrier; the report pinpoints the overlapping byte ranges.
+        for v in races:
+            assert 2 in (v.details["a"]["rank"], v.details["b"]["rank"])
+            assert v.details["overlap_bytes"][0] < v.details["overlap_bytes"][1]
+
+    def test_double_lease_reports_aliasing(self):
+        _, blocks = _blocks(n=4_000)
+        with ProcessBackend(sanitize=True, mutate="double-lease") as backend:
+            backend.sort_blocks(blocks)
+            san = backend.sanitizer
+        aliased = [
+            v for v in san.report.violations if v.kind == "overlapping-lease"
+        ]
+        assert aliased, san.report.summary()
+        assert aliased[0].rank == PARENT_RANK
+        assert "double-lease-alias" in aliased[0].details["roles"]
+
+    def test_stale_view_reports_use_after_release(self):
+        _, blocks = _blocks(n=4_000)
+        with ProcessBackend(sanitize=True, mutate="stale-view") as backend:
+            backend.sort_blocks(blocks)
+            san = backend.sanitizer
+        stale = [v for v in san.report.violations if v.kind == "stale-view"]
+        assert stale, san.report.summary()
+        assert stale[0].rank == PARENT_RANK
+        assert stale[0].details["label"] == "stale-input-probe"
+
+    @pytest.mark.parametrize("mutation", MUTATIONS)
+    def test_every_mutation_in_the_catalog_is_detected(self, mutation):
+        _, blocks = _blocks(n=8_000)
+        with ProcessBackend(sanitize=True, mutate=mutation) as backend:
+            backend.sort_blocks(blocks)
+            san = backend.sanitizer
+        assert not san.report.ok, f"mutation {mutation!r} escaped ShmSan"
+
+
+class TestCrashedRuns:
+    def test_crash_flushes_partial_log_and_notes_it(self):
+        _, blocks = _blocks()
+        backend = ProcessBackend(
+            sanitize=True, crash_rank=2, crash_stage="exchange",
+            timeout_seconds=30.0,
+        )
+        try:
+            with pytest.raises(WorkerCrashedError):
+                backend.sort_blocks(blocks)
+            san = backend.sanitizer
+        finally:
+            backend.close()
+        partial = [n for n in san.report.notes if n["kind"] == "partial-run"]
+        assert len(partial) == 1
+        assert partial[0]["crashed_rank"] == 2
+        assert partial[0]["last_step"] == "5-exchange"
+        # Heartbeat piggybacking flushed at least the input reads of every
+        # rank before the crash tore the run down.
+        by_rank = partial[0]["accesses_by_rank"]
+        assert set(by_rank) >= {"0", "1", "3"}
+        assert all(count > 0 for count in by_rank.values())
+        # Completeness checks need the full run; races/bounds still ran.
+        skipped = [
+            n for n in san.report.notes if n["kind"] == "offset-check-skipped"
+        ]
+        assert skipped
+
+
+class TestOfflineLog:
+    def test_dump_and_reanalyze_round_trip(self, tmp_path):
+        _, blocks = _blocks(n=4_000)
+        san = ShmSan()
+        with ProcessBackend(sanitize=san) as backend:
+            backend.sort_blocks(blocks)
+        log_path = tmp_path / "shmsan_log.json"
+        san.dump_log(log_path)
+        doc = json.loads(log_path.read_text())
+        assert doc["schema"] == "repro.shmsan-log/1"
+        assert doc["complete"] is True
+        assert len(doc["accesses"]) == san.report.accesses_recorded
+        violations, _ = analyze_log(doc)
+        assert violations == []
+
+    def test_mutated_log_reanalyzes_red(self, tmp_path):
+        _, blocks = _blocks(n=8_000)
+        san = ShmSan()
+        with ProcessBackend(
+            sanitize=san, mutate="offset-off-by-one", mutate_rank=1
+        ) as backend:
+            backend.sort_blocks(blocks)
+        log_path = tmp_path / "shmsan_log.json"
+        san.dump_log(log_path)
+        violations, _ = analyze_log(json.loads(log_path.read_text()))
+        assert any(v.kind == "offset-mismatch" for v in violations)
+
+
+class TestCli:
+    """The ``python -m repro.parallel.shmsan`` entry CI gates on."""
+
+    def _run(self, *extra, cwd=REPO):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.parallel.shmsan",
+             "--golden", str(GOLDEN_PATH), "--ranks", "4", "--keys", "6000",
+             *extra],
+            cwd=cwd,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+        )
+
+    def test_golden_replay_is_green(self, tmp_path):
+        report_path = tmp_path / "shmsan_report.json"
+        proc = self._run("--report-out", str(report_path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "bit-identical and violation-free" in proc.stdout
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == "repro.shmsan-report/1"
+        assert report["ok"] is True
+        assert report["oracle_bit_identical"] is True
+
+    def test_mutation_probe_is_red(self):
+        proc = self._run("--mutate", "offset-off-by-one")
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "DETECTED" in proc.stdout
+        assert "offset-mismatch" in proc.stdout
+
+    def test_log_out_then_offline_analysis(self, tmp_path):
+        log_path = tmp_path / "log.json"
+        proc = self._run("--log-out", str(log_path))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        offline = subprocess.run(
+            [sys.executable, "-m", "repro.parallel.shmsan",
+             "--log", str(log_path)],
+            cwd=REPO,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+            capture_output=True,
+            text=True,
+        )
+        assert offline.returncode == 0, offline.stdout + offline.stderr
+        assert "0 violation(s)" in offline.stdout

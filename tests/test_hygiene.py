@@ -36,13 +36,24 @@ def _pattern_scan_files():
 
 
 class TestDeterminismHygiene:
+    #: The only parallel/ modules licensed to read the clock at all; each
+    #: individual site still needs a per-line ``# repro: noqa[R002]``
+    #: (enforced by the AST lint gate) — new parallel modules like
+    #: ``shmsan.py``/``layout.py`` must stay clock-free and are scanned.
+    PARALLEL_TIMING_FILES = {
+        "backend.py", "collectives.py", "tracing.py", "worker.py",
+    }
+
     def test_no_wall_clock_in_library(self):
         offenders = []
         for path in _pattern_scan_files():
             if path.name == "cli.py":
                 continue  # the CLI times wall-clock regeneration on purpose
-            if "parallel" in path.parts:
-                continue  # the real-parallel backend measures wall time by design
+            if (
+                "parallel" in path.parts
+                and path.name in self.PARALLEL_TIMING_FILES
+            ):
+                continue  # measured wall time is these modules' product
             if BANNED_WALLCLOCK.search(path.read_text()):
                 offenders.append(str(path))
         assert not offenders, f"wall-clock calls in simulated paths: {offenders}"
