@@ -48,6 +48,19 @@ the trajectory — pass ``--skip-real-tracer-gate`` everywhere else (CI
 does).  Records carrying a ``sanitized_wall_seconds`` field are also
 validated internally: the sanitized run must have come back clean
 (``shmsan_ok``) and the recorded overhead must match the recorded walls.
+
+The real suite additionally enforces the **pinned trajectory config**:
+every BENCH_real.json row should carry the (workers, n_keys, seed) pinned
+in ``harness.py`` — drifted historical rows are flagged as warnings (they
+are committed history), a drifted *latest* row fails the check.  Records
+carrying a ``streaming`` section (the persistent-pool multi-job benchmark)
+are validated for internal consistency (jobs/sec vs walls, p50 <= p99, one
+cache verdict per job) and against ``--real-stream-floor`` (default 3.0x
+amortized pooled-vs-spawn-per-job throughput; enforced on any core count,
+since pooling wins by eliminating spawn overhead, not by parallelism).
+``--stream-record PATH`` instead validates a freshly measured record
+written by ``harness.py --json-out`` — the ratio is same-machine on both
+sides, so it ports to CI with a coarser floor.
 """
 
 import argparse
@@ -67,7 +80,20 @@ sys.path.insert(0, str(PERF_DIR))
 
 from bench_simulator_throughput import measure_ping_storm  # noqa: E402
 
-from harness import measure_merge_kernels  # noqa: E402
+from harness import (  # noqa: E402
+    REAL_N_KEYS,
+    REAL_SEED,
+    REAL_WORKERS,
+    measure_merge_kernels,
+)
+
+#: The pinned real-suite config every BENCH_real.json row must match for
+#: the trajectory to stay comparable (see harness.py).
+PINNED_REAL_CONFIG = {
+    "workers": REAL_WORKERS,
+    "n_keys": REAL_N_KEYS,
+    "seed": REAL_SEED,
+}
 
 
 def _measure_untraced_process_wall(n_keys, workers, seed, repeats=3):
@@ -97,11 +123,160 @@ def _measure_untraced_process_wall(n_keys, workers, seed, repeats=3):
     return best
 
 
+def check_config_drift(runs):
+    """Flag trajectory rows that drifted from the pinned real-suite config.
+
+    Speedups are only comparable across rows recorded with the same
+    (workers, n_keys, seed); a drifted row (PR 8 was accidentally recorded
+    with ``workers=1`` when the default still depended on ``cpu_count``)
+    poisons trend reading.  Historical drifted rows are *flagged* — they
+    are committed history and rewriting them would be worse — but a
+    drifted **latest** row fails: the row being gated must be recorded
+    with the pinned config.
+    """
+    exit_code = 0
+    for i, row in enumerate(runs):
+        rec = row.get("real_backend") or {}
+        drift = {
+            key: (rec.get(key), want)
+            for key, want in PINNED_REAL_CONFIG.items()
+            if rec.get(key) != want
+        }
+        if not drift:
+            continue
+        desc = ", ".join(
+            f"{key}={got!r} (pinned {want!r})" for key, (got, want) in drift.items()
+        )
+        label = row.get("label", "?")
+        if i == len(runs) - 1:
+            print(
+                f"FAIL: latest record '{label}' drifted from the pinned "
+                f"real-suite config: {desc}"
+            )
+            exit_code = 1
+        else:
+            print(
+                f"warning: drifted trajectory row '{label}' "
+                f"({row.get('date', '?')}): {desc} — not comparable to "
+                f"pinned rows"
+            )
+    if exit_code == 0:
+        print(
+            f"config drift check OK (latest row matches workers="
+            f"{PINNED_REAL_CONFIG['workers']}, n_keys="
+            f"{PINNED_REAL_CONFIG['n_keys']}, seed={PINNED_REAL_CONFIG['seed']})"
+        )
+    return exit_code
+
+
+def check_streaming_section(stream, floor, source):
+    """Validate one ``streaming`` record (committed or freshly measured).
+
+    Internal-consistency checks (jobs/sec vs walls, p50 <= p99, verdicts
+    vs cache counters) plus the amortized-speedup floor.  The floor is
+    enforced regardless of core count: unlike the parallel-speedup gate,
+    pooling wins by *eliminating per-job spawn overhead*, which shows up
+    on any machine.
+    """
+    required = (
+        "jobs", "n_keys_per_job", "workers", "equality_checked", "pooled",
+        "spawn_per_job", "amortized_speedup_jobs_per_sec", "cache_verdicts",
+        "splitter_cache",
+    )
+    missing = [k for k in required if k not in stream]
+    if missing:
+        print(f"FAIL: {source} is missing fields {missing}")
+        return 1
+    if stream["jobs"] < 8:
+        print(
+            f"FAIL: {source} streamed only {stream['jobs']} job(s); the "
+            "benchmark must stream at least 8"
+        )
+        return 1
+    if not stream["equality_checked"]:
+        print(f"FAIL: {source} was taken without the per-job bit-identity check")
+        return 1
+    for side in ("pooled", "spawn_per_job"):
+        part = stream[side]
+        part_missing = [
+            k
+            for k in (
+                "wall_seconds",
+                "jobs_per_sec",
+                "p50_latency_seconds",
+                "p99_latency_seconds",
+            )
+            if k not in part
+        ]
+        if part_missing:
+            print(f"FAIL: {source} [{side}] is missing fields {part_missing}")
+            return 1
+        if part["p50_latency_seconds"] > part["p99_latency_seconds"] + 1e-12:
+            print(f"FAIL: {source} [{side}] records p50 latency above p99")
+            return 1
+        derived = stream["jobs"] / part["wall_seconds"]
+        if abs(part["jobs_per_sec"] - derived) > 1e-6 * derived:
+            print(
+                f"FAIL: {source} [{side}] jobs/sec does not match the "
+                "recorded wall time"
+            )
+            return 1
+    ratio = stream["pooled"]["jobs_per_sec"] / stream["spawn_per_job"]["jobs_per_sec"]
+    recorded = stream["amortized_speedup_jobs_per_sec"]
+    if abs(recorded - ratio) > 1e-6 * ratio:
+        print(
+            f"FAIL: {source} amortized speedup {recorded:.3f}x does not "
+            f"match the recorded throughputs ({ratio:.3f}x)"
+        )
+        return 1
+    cache = stream["splitter_cache"]
+    cache_missing = [
+        k for k in ("hits", "misses", "fallbacks", "cold") if k not in cache
+    ]
+    if cache_missing:
+        print(f"FAIL: {source} splitter_cache lacks counters {cache_missing}")
+        return 1
+    if len(stream["cache_verdicts"]) != stream["jobs"]:
+        print(
+            f"FAIL: {source} records {len(stream['cache_verdicts'])} cache "
+            f"verdict(s) for {stream['jobs']} job(s)"
+        )
+        return 1
+    noted = cache["hits"] + cache["misses"] + cache["fallbacks"] + cache["cold"]
+    if noted != stream["jobs"]:
+        print(
+            f"FAIL: {source} splitter-cache counters sum to {noted}, "
+            f"expected one verdict per job ({stream['jobs']})"
+        )
+        return 1
+    if cache["hits"] < 1:
+        print(
+            f"FAIL: {source} streamed recurring datasets but recorded zero "
+            "splitter-cache hits"
+        )
+        return 1
+    print(
+        f"{source}: {stream['jobs']} jobs x {stream['n_keys_per_job']} keys, "
+        f"pooled {stream['pooled']['jobs_per_sec']:.2f} jobs/s vs "
+        f"spawn-per-job {stream['spawn_per_job']['jobs_per_sec']:.2f} jobs/s "
+        f"({recorded:.2f}x; {cache['hits']} cache hit(s))"
+    )
+    if recorded < floor:
+        print(
+            f"FAIL: amortized streaming speedup {recorded:.2f}x is below "
+            f"the {floor:.1f}x floor"
+        )
+        return 1
+    print(f"streaming speedup floor OK ({recorded:.2f}x >= {floor:.1f}x)")
+    return 0
+
+
 def check_real_suite(
     speedup_floor,
     min_cores,
     tracer_threshold=0.02,
     skip_tracer_gate=False,
+    stream_floor=3.0,
     path=BENCH_REAL_PATH,
 ):
     """Validate the last committed real-backend record; 0 on pass.
@@ -123,6 +298,8 @@ def check_real_suite(
     rec = last.get("real_backend")
     if rec is None:
         print(f"FAIL: last record in {path.name} lacks a 'real_backend' section")
+        return 1
+    if check_config_drift(doc["runs"]):
         return 1
     required = (
         "workers", "cpu_count", "equality_checked",
@@ -199,6 +376,15 @@ def check_real_suite(
             )
             return 1
         print(f"shmsan record OK (clean run; {overhead:+.1%} wall vs plain)")
+    stream = last.get("streaming")
+    if stream is None:
+        print("streaming check skipped (record predates the persistent pool)")
+    else:
+        code = check_streaming_section(
+            stream, stream_floor, "committed streaming record"
+        )
+        if code:
+            return code
     if skip_tracer_gate:
         print("real tracer-disabled gate skipped")
     else:
@@ -262,6 +448,22 @@ def main(argv=None):
         "other than the one that recorded BENCH_real.json, e.g. CI)",
     )
     parser.add_argument(
+        "--real-stream-floor",
+        type=float,
+        default=3.0,
+        help="minimum amortized pooled-vs-spawn-per-job jobs/sec speedup for "
+        "the streaming record (default 3.0; enforced on any core count — "
+        "pooling wins by eliminating spawn overhead, not by parallelism)",
+    )
+    parser.add_argument(
+        "--stream-record",
+        default=None,
+        metavar="PATH",
+        help="validate the 'streaming' section of a freshly measured record "
+        "(harness.py --suite real --json-out PATH) instead of the committed "
+        "trajectory; pairs with a lower --real-stream-floor on CI runners",
+    )
+    parser.add_argument(
         "--threshold",
         type=float,
         default=0.30,
@@ -295,12 +497,25 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
 
+    if args.stream_record is not None:
+        record = json.loads(Path(args.stream_record).read_text())
+        stream = record.get("streaming")
+        if stream is None:
+            print(f"FAIL: {args.stream_record} has no 'streaming' section")
+            return 1
+        return check_streaming_section(
+            stream,
+            args.real_stream_floor,
+            f"fresh streaming record ({Path(args.stream_record).name})",
+        )
+
     if args.wall_suite == "real":
         return check_real_suite(
             args.real_speedup_floor,
             args.real_min_cores,
             tracer_threshold=args.real_tracer_threshold,
             skip_tracer_gate=args.skip_real_tracer_gate,
+            stream_floor=args.real_stream_floor,
         )
 
     doc = json.loads(BENCH_PATH.read_text())

@@ -157,11 +157,25 @@ def measure_merge_kernels(repeats=5):
     return results
 
 
-#: Defaults for the real-backend suite: the target workload from the PR
-#: that introduced the backend (n large enough that sort work dominates
-#: process startup) and one worker per core up to four.
+#: Pinned defaults for the real-backend suite: the target workload from
+#: the PR that introduced the backend (n large enough that sort work
+#: dominates process startup) and a fixed worker count.  The trajectory
+#: in BENCH_real.json is only comparable when every row uses the same
+#: (workers, n_keys, seed) config — PR 8 was accidentally recorded with
+#: workers=1 because the old default depended on the machine's cpu_count;
+#: check_regression.py now flags drifted rows and rejects a drifted
+#: latest row.
 REAL_N_KEYS = 5_000_000
 REAL_SEED = 20260809
+REAL_WORKERS = 4
+
+#: Defaults for the multi-job streaming benchmark (the persistent-pool
+#: suite): enough jobs that the recurring-dataset cycles exercise the
+#: splitter cache and the pool's one spawn amortizes away, small enough
+#: per job that spawn overhead — the thing the pool eliminates — is
+#: visible in the ratio.
+STREAM_JOBS = 16
+STREAM_N_KEYS = 120_000
 
 
 def measure_real_backend(n_keys=REAL_N_KEYS, workers=None, seed=REAL_SEED, repeats=3):
@@ -180,7 +194,7 @@ def measure_real_backend(n_keys=REAL_N_KEYS, workers=None, seed=REAL_SEED, repea
 
     cpu_count = os.cpu_count() or 1
     if workers is None:
-        workers = min(4, cpu_count)
+        workers = REAL_WORKERS
     rng = np.random.default_rng(seed)
     data = rng.integers(0, 1 << 40, n_keys).astype(np.int64)
     blocks, _ = partition_input(data, workers)
@@ -261,12 +275,143 @@ def measure_real_backend(n_keys=REAL_N_KEYS, workers=None, seed=REAL_SEED, repea
     }
 
 
-def run_real_harness(label, n_keys=REAL_N_KEYS, workers=None, repeats=3):
+def streaming_datasets(n_jobs, n_keys, seed):
+    """The streaming benchmark's job mix: three recurring dataset shapes.
+
+    Jobs cycle uniform -> duplicate-heavy -> near-sorted; from job 4 on the
+    stream re-issues earlier datasets, so a warm pool's splitter cache sees
+    the recurring-epoch pattern it exists for (exact fingerprint hits)
+    while the spawn-per-job baseline pays full sampling every time.
+    Returns ``[(shape_name, keys_array), ...]`` of length ``n_jobs``.
+    """
+    rng = np.random.default_rng(seed)
+    uniform = rng.integers(0, 1 << 40, n_keys).astype(np.int64)
+    duplicate_heavy = rng.integers(0, 1_000, n_keys).astype(np.int64)
+    near_sorted = np.sort(rng.integers(0, 1 << 40, n_keys).astype(np.int64))
+    idx = rng.integers(0, n_keys, size=2 * max(n_keys // 100, 1))
+    a, b = idx[::2], idx[1::2]
+    near_sorted[a], near_sorted[b] = near_sorted[b], near_sorted[a]
+    shapes = [
+        ("uniform", uniform),
+        ("duplicate_heavy", duplicate_heavy),
+        ("near_sorted", near_sorted),
+    ]
+    return [shapes[i % len(shapes)] for i in range(n_jobs)]
+
+
+def measure_streaming(
+    n_jobs=STREAM_JOBS,
+    n_keys=STREAM_N_KEYS,
+    workers=REAL_WORKERS,
+    seed=REAL_SEED,
+    repeats=3,
+):
+    """Jobs/sec of one persistent pool vs spawning workers per job.
+
+    Streams ``n_jobs`` mixed sorts (see :func:`streaming_datasets`) through
+    a single pooled :class:`~repro.parallel.ProcessBackend`, then the same
+    jobs through the spawn-per-job configuration (``persistent=False``, no
+    splitter cache — the pre-pool behavior).  Each whole stream runs
+    ``repeats`` times through a fresh backend and the fastest stream is
+    recorded, like every other best-of measure in this harness.  Every
+    job's output is asserted bit-identical to the single-process oracle
+    *between* timed windows — arena segments are recycled by the next job,
+    so each run must be checked before the next dispatch — and throughput
+    is computed from the sum of per-job ``sort_blocks`` latencies, which
+    excludes the (identical) verification work from both sides.
+    """
+    from repro.core.api import partition_input
+    from repro.core.local_backend import local_sample_sort
+    from repro.parallel import ProcessBackend
+
+    jobs = []
+    oracles = {}
+    for name, data in streaming_datasets(n_jobs, n_keys, seed):
+        blocks, _ = partition_input(data, workers)
+        blocks = list(blocks)
+        if name not in oracles:
+            oracles[name] = local_sample_sort(blocks)
+        jobs.append((name, blocks, oracles[name]))
+
+    def check(run, reference, label):
+        for rank in range(workers):
+            if not np.array_equal(
+                reference.per_processor[rank], run.outputs[rank].keys
+            ):
+                raise AssertionError(
+                    f"{label} diverged from the oracle on rank {rank}"
+                )
+
+    def stream(make_backend, label):
+        best = None
+        for _ in range(repeats):
+            latencies, verdicts = [], []
+            with make_backend() as backend:
+                for i, (name, blocks, reference) in enumerate(jobs):
+                    start = time.perf_counter()
+                    run = backend.sort_blocks(blocks)
+                    latencies.append(time.perf_counter() - start)
+                    verdicts.append(run.splitter_cache)
+                    check(run, reference, f"{label} job {i} ({name})")
+                stats = backend.stats
+            wall = float(sum(latencies))
+            if best is None or wall < best[0]:
+                best = (wall, latencies, verdicts, stats)
+        wall, latencies, verdicts, stats = best
+        lat = np.asarray(latencies)
+        summary = {
+            "wall_seconds": wall,
+            "jobs_per_sec": n_jobs / wall,
+            "p50_latency_seconds": float(np.percentile(lat, 50)),
+            "p99_latency_seconds": float(np.percentile(lat, 99)),
+            "latencies_seconds": [float(x) for x in latencies],
+        }
+        return summary, verdicts, stats
+
+    pooled, pooled_verdicts, pool_stats = stream(ProcessBackend, "pooled")
+    spawned, _, _ = stream(
+        lambda: ProcessBackend(persistent=False, splitter_cache=False),
+        "spawn-per-job",
+    )
+
+    return {
+        "jobs": n_jobs,
+        "n_keys_per_job": n_keys,
+        "workers": workers,
+        "seed": seed,
+        "repeats": repeats,
+        "equality_checked": True,
+        "job_mix": [name for name, _, _ in jobs],
+        "pooled": pooled,
+        "spawn_per_job": spawned,
+        "amortized_speedup_jobs_per_sec": (
+            pooled["jobs_per_sec"] / spawned["jobs_per_sec"]
+        ),
+        "cache_verdicts": pooled_verdicts,
+        "splitter_cache": pool_stats["splitter_cache"],
+        "pool_spawns": pool_stats["pool_spawns"],
+        "respawns": pool_stats["respawns"],
+    }
+
+
+def run_real_harness(
+    label,
+    n_keys=REAL_N_KEYS,
+    workers=None,
+    repeats=3,
+    stream_jobs=STREAM_JOBS,
+    stream_n=STREAM_N_KEYS,
+):
     return {
         "label": label,
         "date": datetime.date.today().isoformat(),
         "real_backend": measure_real_backend(
             n_keys=n_keys, workers=workers, repeats=repeats
+        ),
+        "streaming": measure_streaming(
+            n_jobs=stream_jobs,
+            n_keys=stream_n,
+            workers=workers if workers is not None else REAL_WORKERS,
         ),
     }
 
@@ -366,14 +511,29 @@ def main(argv=None):
         type=int,
         default=None,
         metavar="P",
-        help="worker processes for the real-backend suite "
-        "(default min(4, cpu_count))",
+        help=f"worker processes for the real-backend suite (default "
+        f"{REAL_WORKERS}, the pinned trajectory config — only override for "
+        f"ad-hoc runs, never for rows appended to BENCH_real.json)",
     )
     parser.add_argument(
         "--real-repeats",
         type=int,
         default=3,
         help="timing repeats for the real-backend suite (best-of)",
+    )
+    parser.add_argument(
+        "--stream-jobs",
+        type=int,
+        default=STREAM_JOBS,
+        metavar="J",
+        help=f"jobs in the multi-job streaming benchmark (default {STREAM_JOBS})",
+    )
+    parser.add_argument(
+        "--stream-n",
+        type=int,
+        default=STREAM_N_KEYS,
+        metavar="N",
+        help=f"keys per streamed job (default {STREAM_N_KEYS})",
     )
     parser.add_argument(
         "--dry-run", action="store_true", help="measure and print, don't write"
@@ -415,6 +575,8 @@ def main(argv=None):
             n_keys=args.real_n,
             workers=args.real_workers,
             repeats=args.real_repeats,
+            stream_jobs=args.stream_jobs,
+            stream_n=args.stream_n,
         )
         records["real"] = record
         r = record["real_backend"]
@@ -438,6 +600,20 @@ def main(argv=None):
         print(f"per-step breakdown (traced run, {r['traced_wall_seconds']:.3f}s):")
         for label, secs in sorted(r["step_breakdown"].items()):
             print(f"  {label:<14} {secs:8.4f}s  {100.0 * secs / total:5.1f}%")
+        s = record["streaming"]
+        cache = s["splitter_cache"]
+        print(
+            f"streaming ({s['jobs']} jobs x {s['n_keys_per_job']} keys, "
+            f"{s['workers']} workers): pooled {s['pooled']['jobs_per_sec']:.2f} "
+            f"jobs/s vs spawn-per-job {s['spawn_per_job']['jobs_per_sec']:.2f} "
+            f"jobs/s ({s['amortized_speedup_jobs_per_sec']:.2f}x amortized)"
+        )
+        print(
+            f"  pooled latency p50 {s['pooled']['p50_latency_seconds'] * 1e3:.1f}ms "
+            f"p99 {s['pooled']['p99_latency_seconds'] * 1e3:.1f}ms; splitter "
+            f"cache {cache['hits']} hit(s), {cache['misses']} miss(es), "
+            f"{cache['fallbacks']} fallback(s)"
+        )
         if not args.dry_run:
             append_real_record(record)
             print(f"appended run '{record['label']}' to {BENCH_REAL_PATH}")

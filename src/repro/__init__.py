@@ -21,9 +21,16 @@ try:  # pragma: no cover - depends on install state
 except PackageNotFoundError:  # pragma: no cover
     __version__ = "0.0.0+uninstalled"
 
-__all__ = ["DistributedSorter", "SortConfig", "SortResult", "distributed_sort", "__version__"]
+__all__ = [
+    "DistributedSorter",
+    "SortConfig",
+    "SortResult",
+    "SorterPool",
+    "distributed_sort",
+    "__version__",
+]
 
-_API = {"DistributedSorter", "SortConfig", "distributed_sort"}
+_API = {"DistributedSorter", "SortConfig", "SorterPool", "distributed_sort"}
 
 
 def __getattr__(name):

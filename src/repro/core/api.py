@@ -50,9 +50,12 @@ class SortConfig:
     faults: "object | None" = None
     #: Execution substrate: "simnet" (virtual time, the default),
     #: "process" (one OS process per rank, shared-memory exchange, wall
-    #: time), or None to follow the ambient default installed via
-    #: :func:`repro.parallel.backend.use_backend` (the CLI's --backend).
-    backend: str | None = None
+    #: time), a live backend *instance* (e.g. a shared persistent
+    #: :class:`~repro.parallel.backend.ProcessBackend` pool — the config
+    #: never closes it), or None to follow the ambient default installed
+    #: via :func:`repro.parallel.backend.use_backend` (the CLI's
+    #: --backend / --pool plumbing).
+    backend: "str | object | None" = None
 
     def __post_init__(self) -> None:
         if self.num_processors < 1:
@@ -176,7 +179,16 @@ class DistributedSorter:
             input_offsets = np.concatenate(([0], np.cumsum(sizes[:-1]))).astype(np.int64)
         from ..parallel.backend import resolve_backend
 
-        if resolve_backend(self.config.backend) == "process":
+        resolved = resolve_backend(self.config.backend)
+        if not isinstance(resolved, str):
+            # A live backend instance (typically a shared persistent
+            # pool): dispatch this sort as one job and leave the
+            # instance open — its owner controls the lifetime.
+            run = resolved.sort_blocks(
+                blocks, options=self.config.options, config=self.config.pgxd
+            )
+            return run.to_sort_result(np.asarray(input_offsets, dtype=np.int64))
+        if resolved == "process":
             from ..parallel.backend import ProcessBackend
 
             with ProcessBackend() as backend:
@@ -226,6 +238,44 @@ class DistributedSorter:
             results.append(SortResult.from_rank_outputs(outputs, run.metrics, offsets))
         return results
 
+    def pool(self, **backend_kwargs) -> "SorterPool":
+        """Open a persistent worker pool bound to this configuration.
+
+        Returns a :class:`SorterPool` context manager: the rank
+        processes spawn on the first sort and stay warm (arena segments,
+        shm attachments, splitter cache) for every subsequent job until
+        the pool closes.  ``backend_kwargs`` pass through to
+        :class:`~repro.parallel.backend.ProcessBackend`.
+        """
+        return SorterPool(self, **backend_kwargs)
+
+    def sort_many(self, datasets: Sequence[np.ndarray]) -> list[SortResult]:
+        """Sort a stream of datasets on one warm cluster.
+
+        The multi-dataset twin of :meth:`sort`, dispatched by backend:
+        on ``simnet`` it delegates to :meth:`sort_multi` (one simulated
+        cluster launch); on ``process`` it opens one persistent pool and
+        streams the datasets through it as jobs (amortized spawn, warm
+        arenas, splitter-cache reuse); on a live backend instance it
+        streams the jobs through that instance without closing it.
+        """
+        from ..parallel.backend import resolve_backend
+
+        resolved = resolve_backend(self.config.backend)
+        if isinstance(resolved, str) and resolved != "process":
+            return self.sort_multi(datasets)
+        if isinstance(resolved, str):
+            with self.pool() as pool:
+                return pool.sort_many(datasets)
+        results = []
+        for data in datasets:
+            blocks, offsets = partition_input(data, self.config.num_processors)
+            run = resolved.sort_blocks(
+                blocks, options=self.config.options, config=self.config.pgxd
+            )
+            results.append(run.to_sort_result(offsets))
+        return results
+
     def sort_records(
         self, records: np.ndarray, order: str | Sequence[str]
     ) -> tuple[SortResult, np.ndarray]:
@@ -268,6 +318,61 @@ class DistributedSorter:
                 raise ValueError(f"column {name!r} does not align with keys")
         result = self.sort(keys)
         return result, {name: result.gather_values(col) for name, col in values.items()}
+
+
+class SorterPool:
+    """A persistent process pool speaking the :class:`SortResult` API.
+
+    Binds one :class:`DistributedSorter` configuration to one
+    :class:`~repro.parallel.backend.ProcessBackend` pool: the worker
+    processes, shm arena segments, worker-side attachments, and the
+    splitter cache all stay warm across :meth:`sort` calls, so a stream
+    of jobs pays spawn and mapping cost once instead of per sort.  Use
+    as a context manager; :meth:`close` retires the pool.
+
+    :attr:`last_run` keeps the most recent job's raw
+    :class:`~repro.parallel.backend.BackendRun` (job id, splitter-cache
+    verdict, worker reports) for callers that want more than the
+    :class:`SortResult` — the streaming example prints verdicts from it.
+    """
+
+    def __init__(self, sorter: "DistributedSorter", **backend_kwargs):
+        from ..parallel.backend import ProcessBackend
+
+        self.sorter = sorter
+        self.backend = ProcessBackend(**backend_kwargs)
+        self.last_run = None
+
+    def sort(self, data: np.ndarray) -> SortResult:
+        """Dispatch one dataset to the warm pool as a job."""
+        blocks, offsets = partition_input(
+            data, self.sorter.config.num_processors
+        )
+        run = self.backend.sort_blocks(
+            blocks,
+            options=self.sorter.config.options,
+            config=self.sorter.config.pgxd,
+        )
+        self.last_run = run
+        return run.to_sort_result(offsets)
+
+    def sort_many(self, datasets: Sequence[np.ndarray]) -> list[SortResult]:
+        """Stream several datasets through the pool, one job each."""
+        return [self.sort(data) for data in datasets]
+
+    @property
+    def stats(self) -> dict:
+        """Pool + splitter-cache counters (see ``ProcessBackend.stats``)."""
+        return self.backend.stats
+
+    def close(self) -> None:
+        self.backend.close()
+
+    def __enter__(self) -> "SorterPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 def distributed_sort(

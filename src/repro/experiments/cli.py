@@ -140,6 +140,16 @@ def main(argv: list[str] | None = None) -> int:
             "— live visibility into process-backend sorts"
         ),
     )
+    parser.add_argument(
+        "--pool",
+        action="store_true",
+        help=(
+            "with --backend process: serve every sort from one persistent "
+            "worker pool (amortized spawn, warm shm arenas, splitter-cache "
+            "reuse across sorts) and print the pool's job/cache counters "
+            "at the end"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.list:
         for name in EXPERIMENTS:
@@ -152,6 +162,14 @@ def main(argv: list[str] | None = None) -> int:
     scale = current_scale(args.scale)
     observing = bool(args.trace_out or args.report_out)
     captures: list = []  # (experiment name, Capture)
+
+    pool_backend = None
+    if args.pool:
+        if args.backend != "process":
+            parser.error("--pool requires --backend process")
+        from ..parallel.backend import ProcessBackend
+
+        pool_backend = ProcessBackend()
 
     sanitizer = None
     shm_sanitizer = None
@@ -187,7 +205,14 @@ def main(argv: list[str] | None = None) -> int:
                 from ..simnet.faults import inject_faults
 
                 stack.enter_context(inject_faults(fault_plan))
-            if args.backend is not None:
+            if pool_backend is not None:
+                # The shared pool IS the ambient backend: every sorter
+                # the experiment builds dispatches to the same warm
+                # workers.  The scope never closes it; main() does.
+                from ..parallel.backend import use_backend
+
+                stack.enter_context(use_backend(pool_backend))
+            elif args.backend is not None:
                 from ..parallel.backend import use_backend
 
                 stack.enter_context(use_backend(args.backend))
@@ -212,6 +237,7 @@ def main(argv: list[str] | None = None) -> int:
             payload[name] = _jsonable(result)
         print(json.dumps(payload, indent=2))
         _write_artifacts(args.trace_out, args.report_out, captures)
+        _close_pool(pool_backend)
         return _finish_sanitized(sanitizer, shm_sanitizer, args.sanitize_out)
     for name in names:
         module = EXPERIMENTS[name]
@@ -221,12 +247,22 @@ def main(argv: list[str] | None = None) -> int:
         elapsed = time.perf_counter() - start  # repro: noqa[R002] — same: display-only wall timing
         print(f"[{name} regenerated in {elapsed:.1f}s wall]\n")
     _write_artifacts(args.trace_out, args.report_out, captures)
+    _close_pool(pool_backend)
     return _finish_sanitized(sanitizer, shm_sanitizer, args.sanitize_out)
 
 
 def _print_progress(rank: int, step: str, rows: int) -> None:
     """The ``--progress`` sink: one stderr line per worker heartbeat."""
     print(f"[progress r{rank} -> {step} ({rows} rows)]", file=sys.stderr)
+
+
+def _close_pool(pool_backend) -> None:
+    """Retire the ``--pool`` backend and surface its counters."""
+    if pool_backend is None:
+        return
+    stats = pool_backend.stats
+    pool_backend.close()
+    print(f"[pool: {json.dumps(stats)}]", file=sys.stderr)
 
 
 def _finish_sanitized(sanitizer, shm_sanitizer, sanitize_out) -> int:

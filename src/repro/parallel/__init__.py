@@ -12,10 +12,13 @@ Layout:
   pooled, leased numpy blocks (``ScratchArena`` across processes);
 * :mod:`repro.parallel.collectives` — pipe-based barrier / gather /
   bcast / allgather with a liveness-watching driver hub;
-* :mod:`repro.parallel.worker` — the per-rank six-step worker loop and
-  the zero-copy shm all-to-all exchange;
+* :mod:`repro.parallel.worker` — the persistent per-rank job loop: the
+  six steps, the zero-copy shm all-to-all exchange, the warm segment
+  cache, and the splitter-cache probe protocol;
 * :mod:`repro.parallel.backend` — the backend abstraction
-  (:class:`ProcessBackend`, :class:`SimnetBackend`, ambient selection);
+  (:class:`ProcessBackend` — since PR 9 a persistent worker pool with a
+  :class:`~repro.parallel.backend.SplitterCache` —
+  :class:`SimnetBackend`, ambient selection by name or instance);
 * :mod:`repro.parallel.errors` — typed failures (worker crash, remote
   exception, control-plane timeout) in place of hangs;
 * :mod:`repro.parallel.layout` — the counts-matrix exchange layout: the
@@ -44,6 +47,7 @@ from .backend import (
     ProcessBackend,
     ProcessRunHandle,
     SimnetBackend,
+    SplitterCache,
     default_backend,
     get_backend,
     resolve_backend,
@@ -70,10 +74,12 @@ from .tracing import (
 from .errors import (
     ControlPlaneTimeout,
     ParallelBackendError,
+    PoolClosedError,
     ProtocolError,
     WorkerCrashedError,
     WorkerFailedError,
 )
+from .worker import JobSpec, SegmentCache, WorkerReport
 
 __all__ = [
     "AttachedLease",
@@ -82,18 +88,23 @@ __all__ = [
     "ControlPlaneTimeout",
     "ExchangeLayout",
     "ExecutionBackend",
+    "JobSpec",
     "MUTATIONS",
     "ParallelBackendError",
+    "PoolClosedError",
     "ProcessBackend",
     "ProcessRunHandle",
     "ProtocolError",
+    "SegmentCache",
     "SharedArena",
     "ShmLease",
     "ShmSan",
     "ShmSanReport",
     "SimnetBackend",
+    "SplitterCache",
     "WorkerCrashedError",
     "WorkerFailedError",
+    "WorkerReport",
     "WorkerTrace",
     "WorkerTracer",
     "active_shm_sanitizer",

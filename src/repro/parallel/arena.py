@@ -13,6 +13,15 @@ A lease is described by a small picklable :class:`ShmLease` (segment name,
 dtype, length) that travels to workers over the control pipe; workers map
 the same physical pages with :func:`attach` — no data ever crosses a pipe.
 
+Two invariants make the arena the persistent pool's warm store (PR 9):
+segments survive ``release_all`` (only :meth:`SharedArena.close` unlinks),
+and a named segment is **never resized** — growth allocates a new segment
+under a new name.  A pooled worker can therefore cache its attachments by
+segment name across jobs (:class:`repro.parallel.worker.SegmentCache`):
+whatever leases a later job's specs describe, a cached name still maps
+the right pages, and steady-state jobs run with zero shm system calls on
+both sides of the process boundary.
+
 Ownership contract: the parent creates and unlinks every segment; workers
 only ever attach and close.  On POSIX the resource-tracker process is
 shared between parent and workers (its fd travels through both fork and

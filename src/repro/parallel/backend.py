@@ -19,6 +19,20 @@ Backend selection: :class:`~repro.core.api.SortConfig` takes
 ``backend="process"`` explicitly, or an ambient default installed with
 :func:`use_backend` / :func:`set_default_backend` (how the experiments
 CLI's ``--backend`` flag reaches every sorter an experiment builds).
+Both accept a backend *instance* as well as a name since PR 9, which is
+how a persistent pool is shared: ``use_backend(ProcessBackend())``
+routes every sort in the scope through one warm pool instead of
+spawning per call (and the scope does **not** close the instance — its
+owner does).
+
+Since PR 9 the :class:`ProcessBackend` is a **persistent worker pool**:
+the rank processes are spawned on first use, parked in
+:func:`~repro.parallel.worker.worker_main`'s job loop between sorts,
+and fed per-job :class:`~repro.parallel.worker.JobSpec` messages over
+the control pipes (:func:`~repro.parallel.collectives.dispatch_job`).
+Warm state carried across jobs: the processes themselves, the arena's
+shm segments (and the workers' mappings of them), and the
+:class:`SplitterCache` of prior-epoch distribution fingerprints.
 """
 
 from __future__ import annotations
@@ -26,7 +40,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Protocol, Sequence
 
 import numpy as np
@@ -36,33 +50,46 @@ from ..core.sorter import STEP_LABELS, RankSortOutput, SortOptions
 from ..obs.context import active_capture
 from ..pgxd.config import PgxdConfig
 from .arena import SharedArena, ShmLease
-from .collectives import serve_control_plane
-from .errors import ParallelBackendError, WorkerCrashedError
+from .collectives import dispatch_job, send_shutdown, serve_control_plane
+from .errors import ParallelBackendError, PoolClosedError, WorkerCrashedError
 from .layout import exchange_layout
 from .shmsan import MUTATIONS, ShmSan, active_shm_sanitizer
 from .tracing import ProgressFn, ambient_progress, merge_worker_traces
-from .worker import WorkerPlan, WorkerReport, worker_main
+from .worker import JobSpec, WorkerReport, worker_main
 
 #: The selectable execution substrates.
 BACKENDS = ("simnet", "process")
 
-_default_backend = "simnet"
+_default_backend: "str | ExecutionBackend" = "simnet"
+
+#: Per-call sentinel: "use the backend's configured default".
+_UNSET = object()
 
 
-def default_backend() -> str:
-    """The ambient backend name used when a SortConfig does not pick one."""
+def default_backend() -> "str | ExecutionBackend":
+    """The ambient backend used when a SortConfig does not pick one.
+
+    Either a name from :data:`BACKENDS` or a live backend instance (a
+    shared pool installed with :func:`use_backend`).
+    """
     return _default_backend
 
 
-def set_default_backend(name: str) -> None:
-    """Install the ambient default backend (``simnet`` or ``process``)."""
+def set_default_backend(name: "str | ExecutionBackend") -> None:
+    """Install the ambient default backend (a name or a live instance)."""
     global _default_backend
     _default_backend = _validated(name)
 
 
 @contextmanager
-def use_backend(name: str):
-    """Scope the ambient default backend (the CLI's ``--backend`` plumbing)."""
+def use_backend(name: "str | ExecutionBackend"):
+    """Scope the ambient default backend (the CLI's ``--backend`` plumbing).
+
+    Accepts a name (``"simnet"``/``"process"``) or a backend instance —
+    the latter is how one persistent pool serves every sorter built in
+    the scope.  Instance lifetime stays with the caller: leaving the
+    scope restores the previous default but never closes the instance.
+    """
     global _default_backend
     previous = _default_backend
     _default_backend = _validated(name)
@@ -72,12 +99,21 @@ def use_backend(name: str):
         _default_backend = previous
 
 
-def resolve_backend(name: str | None) -> str:
+def resolve_backend(
+    name: "str | ExecutionBackend | None",
+) -> "str | ExecutionBackend":
     """Explicit choice wins; None falls back to the ambient default."""
     return _validated(name) if name is not None else _default_backend
 
 
-def _validated(name: str) -> str:
+def _validated(name: "str | ExecutionBackend") -> "str | ExecutionBackend":
+    if not isinstance(name, str):
+        if hasattr(name, "sort_blocks"):
+            return name
+        raise ValueError(
+            f"backend must be a name from {BACKENDS} or an object with "
+            f"sort_blocks(), got {type(name).__name__}"
+        )
     if name not in BACKENDS:
         raise ValueError(f"unknown backend {name!r}; choose one of {BACKENDS}")
     return name
@@ -114,6 +150,11 @@ class BackendRun:
     #: Per-rank worker reports (process backend only; None from simnet) —
     #: carry the measured waits, peak RSS, and optional trace payloads.
     reports: list[WorkerReport] | None = None
+    #: Pool job id (0 on non-pooled backends).
+    job_id: int = 0
+    #: Splitter-cache verdict for this job (``cold``/``hit``/``miss``/
+    #: ``fallback-balance``/``fallback-forced``; None from simnet).
+    splitter_cache: str | None = None
 
     def to_sort_result(self, input_offsets: np.ndarray):
         """Assemble the user-facing :class:`~repro.core.result.SortResult`.
@@ -187,15 +228,86 @@ class BackendRun:
         )
 
 
-class ProcessBackend:
-    """Real-parallel substrate: one worker process per rank over shm.
+@dataclass
+class SplitterCache:
+    """Driver-side memory of committed epochs: fingerprints → splitters.
 
-    Reusable: the shared-memory arena pools its segments across sorts, so
-    a long-lived backend re-sorts without new shm system calls.  Use as a
-    context manager (or call :meth:`close`) to unlink the pool.
+    Keyed by ``(key dtype, cluster size)``; each key holds a tiny LRU of
+    ``(distribution fingerprint, splitters)`` pairs (newest last, capacity
+    :attr:`capacity_per_key`), so a pool alternating between a few
+    recurring datasets keeps them all warm.  The fingerprint is exact
+    (sha1 over the per-rank sample bytes — see
+    :func:`~repro.parallel.worker.combine_sample_fingerprint`), which is
+    what makes a hit safe: matching fingerprint ⇒ the cached splitters
+    are byte-equal to what fresh selection would return.
+    """
+
+    capacity_per_key: int = 4
+    hits: int = 0
+    misses: int = 0
+    fallbacks: int = 0
+    cold: int = 0
+    _entries: dict[tuple[str, int], list[tuple[str, np.ndarray]]] = field(
+        default_factory=dict
+    )
+
+    def candidates(
+        self, dtype, size: int
+    ) -> tuple[tuple[str, np.ndarray], ...]:
+        return tuple(self._entries.get((np.dtype(dtype).str, size), ()))
+
+    def commit(
+        self, dtype, size: int, fingerprint: str | None, splitters
+    ) -> None:
+        if fingerprint is None or splitters is None:
+            return
+        entries = self._entries.setdefault((np.dtype(dtype).str, size), [])
+        entries[:] = [e for e in entries if e[0] != fingerprint]
+        entries.append((fingerprint, np.asarray(splitters).copy()))
+        del entries[: -self.capacity_per_key]
+
+    def note(self, verdict: str) -> None:
+        if verdict == "hit":
+            self.hits += 1
+        elif verdict == "cold":
+            self.cold += 1
+        elif verdict == "miss":
+            self.misses += 1
+        else:
+            self.fallbacks += 1
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "fallbacks": self.fallbacks,
+            "cold": self.cold,
+            "entries": sum(len(v) for v in self._entries.values()),
+        }
+
+
+class ProcessBackend:
+    """Real-parallel substrate: a persistent pool of rank processes.
+
+    The first ``sort_blocks`` call spawns one worker per rank; the
+    workers then park in their job loop and subsequent sorts are pure
+    dispatch — no process spawn, no shm re-mapping (the arena pools its
+    segments and the workers cache their attachments), and, when the
+    :class:`SplitterCache` recognizes a job's distribution fingerprint,
+    no splitter selection either.  Use as a context manager (or call
+    :meth:`close`) to shut the workers down and unlink the arena;
+    ``persistent=False`` restores the pre-PR-9 spawn-per-sort behaviour
+    (the pool is torn down after every job).
+
+    Crash policy: a worker death or failure *poisons the generation* —
+    survivors may be wedged mid-collective with stale replies queued, so
+    the whole pool is torn down with the typed error, and the next job
+    transparently respawns a fresh generation (counted in
+    :attr:`respawns`).  The pool itself stays usable; only :meth:`close`
+    retires it (:class:`~repro.parallel.errors.PoolClosedError` after).
 
     ``start_method`` defaults to ``fork`` where available (cheapest spawn;
-    the workers re-import nothing) and ``spawn`` elsewhere — the plan and
+    the workers re-import nothing) and ``spawn`` elsewhere — the spec and
     worker entry are picklable, so both work.  ``timeout_seconds`` bounds
     control-plane silence, turning any stall into a typed error.
 
@@ -223,6 +335,10 @@ class ProcessBackend:
         sanitize: "ShmSan | bool | None" = None,
         mutate: str | None = None,
         mutate_rank: int = 1,
+        persistent: bool = True,
+        splitter_cache: "SplitterCache | bool" = True,
+        force_resample: bool = False,
+        cache_balance_tolerance: float = 2.0,
     ):
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
@@ -251,11 +367,124 @@ class ProcessBackend:
             self.sanitizer = None
         self._follow_ambient_san = sanitize is None
         self.arena = SharedArena()
+        #: Keep workers alive between sorts (the pool); False = tear the
+        #: generation down after every job (spawn-per-sort).
+        self.persistent = persistent
+        if isinstance(splitter_cache, SplitterCache):
+            self.splitter_cache: SplitterCache | None = splitter_cache
+        elif splitter_cache:
+            self.splitter_cache = SplitterCache()
+        else:
+            self.splitter_cache = None
+        self._force_resample = force_resample
+        self._cache_balance_tolerance = cache_balance_tolerance
+        # ------------------------------------------------- pool state
+        self._procs: list = []
+        self._conns: list = []
+        self._pool_size: int | None = None
+        self._poisoned = False
+        self._closed = False
+        #: Worker generations spawned over the pool's lifetime.
+        self.pool_spawns = 0
+        #: Generations spawned to replace a crashed/failed one.
+        self.respawns = 0
+        #: Successfully completed jobs.
+        self.jobs_completed = 0
+        self._job_counter = 0
 
     # ------------------------------------------------------------ lifetime
 
+    @property
+    def pool_size(self) -> int | None:
+        """Ranks in the live worker generation (None when no pool is up)."""
+        return self._pool_size
+
+    @property
+    def worker_pids(self) -> list[int | None]:
+        """PIDs of the live generation (tests pin pool reuse on these)."""
+        return [proc.pid for proc in self._procs]
+
+    @property
+    def stats(self) -> dict:
+        """Pool + cache counters for observability and the perf harness."""
+        return {
+            "pool_spawns": self.pool_spawns,
+            "respawns": self.respawns,
+            "jobs_completed": self.jobs_completed,
+            "pool_size": self._pool_size,
+            "splitter_cache": (
+                self.splitter_cache.stats()
+                if self.splitter_cache is not None
+                else None
+            ),
+        }
+
+    def _spawn_pool(self, size: int) -> None:
+        conns = []
+        procs = []
+        worker_ends = []
+        for rank in range(size):
+            hub_end, worker_end = self._ctx.Pipe(duplex=True)
+            conns.append(hub_end)
+            worker_ends.append(worker_end)
+            procs.append(
+                self._ctx.Process(
+                    target=worker_main,
+                    args=(rank, size, worker_end),
+                    name=f"repro-pool-rank-{rank}",
+                    daemon=True,
+                )
+            )
+        for proc in procs:
+            proc.start()
+        for end in worker_ends:
+            end.close()  # the workers own their ends now
+        self._procs, self._conns, self._pool_size = procs, conns, size
+        self.pool_spawns += 1
+        if self._poisoned:
+            self.respawns += 1
+            self._poisoned = False
+
+    def _teardown_pool(self, *, graceful: bool) -> None:
+        """Retire the current generation (stop message or terminate)."""
+        if not self._procs:
+            return
+        if graceful:
+            send_shutdown(self._conns)
+            for proc in self._procs:
+                proc.join(timeout=5.0)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            if proc.pid is not None:
+                proc.join(timeout=5.0)
+        for conn in self._conns:
+            conn.close()
+        self._procs, self._conns, self._pool_size = [], [], None
+
+    def _ensure_pool(self, size: int) -> None:
+        """Make a healthy ``size``-rank generation current.
+
+        Reuses the live one when it matches; replaces it when a worker
+        died between jobs (respawn-and-continue) or the job wants a
+        different rank count (graceful resize).
+        """
+        if self._procs:
+            healthy = all(proc.is_alive() for proc in self._procs)
+            if healthy and self._pool_size == size:
+                return
+            if healthy:
+                self._teardown_pool(graceful=True)  # resize
+            else:
+                self._poisoned = True  # a rank died while parked
+                self._teardown_pool(graceful=False)
+        self._spawn_pool(size)
+
     def close(self) -> None:
+        self._teardown_pool(graceful=True)
         self.arena.close()
+        self._closed = True
 
     def __enter__(self) -> "ProcessBackend":
         return self
@@ -270,15 +499,38 @@ class ProcessBackend:
         blocks: Sequence[np.ndarray],
         options: SortOptions | None = None,
         config: PgxdConfig | None = None,
+        *,
+        crash_rank=_UNSET,
+        crash_stage=_UNSET,
+        force_resample=_UNSET,
     ) -> BackendRun:
-        """Sort already-partitioned blocks, one worker process per block.
+        """Sort already-partitioned blocks, one pooled worker per block.
 
         Same conventions as :func:`repro.core.local_backend.local_sample_sort`
         (ascending across ranks, provenance per element) — and the same
-        bits, which the equivalence tests assert.
+        bits, which the equivalence tests assert.  On a persistent
+        backend this is one *job*: dispatch the spec to the warm pool,
+        serve its control plane, collect.  The keyword-only hooks
+        override the constructor-level test knobs for this job alone
+        (how the crash-mid-stream and cache-fallback tests steer a
+        single job without rebuilding the pool).
         """
         options = options or SortOptions()
         config = config or PgxdConfig()
+        if self._closed:
+            raise PoolClosedError(
+                "sort_blocks on a closed ProcessBackend; pools are retired "
+                "by close()/__exit__ and cannot be revived"
+            )
+        job_crash_rank = (
+            self._crash_rank if crash_rank is _UNSET else crash_rank
+        )
+        job_crash_stage = (
+            self._crash_stage if crash_stage is _UNSET else crash_stage
+        )
+        job_force_resample = (
+            self._force_resample if force_resample is _UNSET else force_resample
+        )
         size = len(blocks)
         if size == 0:
             raise ValueError("need at least one block")
@@ -341,7 +593,12 @@ class ProcessBackend:
                 input_lease, 0, n, "w", "stage-input", when="before"
             )
 
-        plan = WorkerPlan(
+        candidates = (
+            self.splitter_cache.candidates(key_dtype, size)
+            if self.splitter_cache is not None
+            else ()
+        )
+        spec = JobSpec(
             size=size,
             block_bounds=bounds,
             input_lease=input_lease,
@@ -350,35 +607,23 @@ class ProcessBackend:
             proc_lease=proc_lease,
             options=options,
             config=config,
-            crash_rank=self._crash_rank,
-            crash_stage=self._crash_stage,
+            crash_rank=job_crash_rank,
+            crash_stage=job_crash_stage,
             trace=cap is not None,
             sanitize=san is not None,
             mutate=self._mutate,
             mutate_rank=self._mutate_rank,
+            job_id=self._job_counter,
+            cached_candidates=candidates,
+            force_resample=job_force_resample,
+            cache_balance_tolerance=self._cache_balance_tolerance,
         )
+        self._job_counter += 1
 
         run: BackendRun | None = None
-        hub_conns = []
-        procs = []
         try:
-            worker_ends = []
-            for rank in range(size):
-                hub_end, worker_end = self._ctx.Pipe(duplex=True)
-                hub_conns.append(hub_end)
-                worker_ends.append(worker_end)
-                procs.append(
-                    self._ctx.Process(
-                        target=worker_main,
-                        args=(rank, plan, worker_end),
-                        name=f"repro-sort-rank-{rank}",
-                        daemon=True,
-                    )
-                )
-            for proc in procs:
-                proc.start()
-            for end in worker_ends:
-                end.close()  # the workers own their ends now
+            self._ensure_pool(size)
+            dispatch_job(self._conns, spec)
             progress = (
                 self._progress
                 if self._progress is not None
@@ -386,8 +631,8 @@ class ProcessBackend:
             )
             try:
                 reports: dict[int, WorkerReport] = serve_control_plane(
-                    hub_conns,
-                    procs,
+                    self._conns,
+                    self._procs,
                     timeout_seconds=self.timeout_seconds,
                     progress=progress,
                     san_sink=san.ingest if san is not None else None,
@@ -401,21 +646,20 @@ class ProcessBackend:
                         crashed_rank=exc.rank, crashed_step=exc.last_step
                     )
                 raise
-            for proc in procs:
-                proc.join()
             wall = time.perf_counter() - start  # repro: noqa[R002] — real backend: the driver wall clock is the makespan
             run = self._collect(
                 reports, key_lease, index_lease, proc_lease, wall, san
             )
+        except BaseException:
+            # Any failure poisons the generation: survivors may be wedged
+            # mid-collective with stale replies queued on their pipes, so
+            # they cannot safely receive another job.  Tear everything
+            # down with the typed error; the next sort_blocks call
+            # respawns a fresh generation (respawn-and-continue).
+            self._poisoned = True
+            self._teardown_pool(graceful=False)
+            raise
         finally:
-            for proc in procs:
-                if proc.is_alive():
-                    proc.terminate()
-            for proc in procs:
-                if proc.pid is not None:
-                    proc.join(timeout=5.0)
-            for conn in hub_conns:
-                conn.close()
             self.arena.release_all()
             self.arena.on_sample = None
             if san is not None:
@@ -431,6 +675,21 @@ class ProcessBackend:
                         input_lease, 0, 1, "r", "stale-input-probe",
                         when="after",
                     )
+            if not self.persistent:
+                self._teardown_pool(graceful=True)
+        run.job_id = spec.job_id
+        master_report = run.reports[0] if run.reports else None
+        if master_report is not None:
+            run.splitter_cache = master_report.splitter_cache
+            if self.splitter_cache is not None:
+                self.splitter_cache.note(master_report.splitter_cache)
+                self.splitter_cache.commit(
+                    key_dtype,
+                    size,
+                    master_report.sample_fingerprint,
+                    master_report.splitters,
+                )
+        self.jobs_completed += 1
         if san is not None:
             san.finish_run(counts_matrix=run.counts_matrix)
         if cap is not None:
@@ -598,6 +857,7 @@ __all__ = [
     "ProcessBackend",
     "ProcessRunHandle",
     "SimnetBackend",
+    "SplitterCache",
     "STEP_LABELS",
     "default_backend",
     "get_backend",

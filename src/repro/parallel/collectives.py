@@ -30,6 +30,17 @@ Two per-rank (non-collective) message kinds support observability: a
 :class:`WorkerLink` always measures its blocking time per collective
 (two clock reads per call — noise next to a pipe round-trip) so real
 runs report measured wait seconds even without a tracer attached.
+
+The same star also carries the **job plane** of the persistent pool
+(PR 9): between sorts every worker blocks in :meth:`WorkerLink.recv_job`
+waiting for the driver's :func:`dispatch_job` (a ``("job", spec)``
+message) or :func:`send_shutdown` (``("stop",)``).  Dispatch messages
+are self-describing tuples so a worker can drain any stale collective
+reply left queued on its pipe (e.g. by the ``skip-merge-barrier``
+mutation's abandoned barrier) without misreading it as a job.  Each job
+starts from :meth:`WorkerLink.reset`: sequence numbers, the epoch clock,
+wait accumulators, and the tracer all return to their just-spawned state
+so ShmSan epochs and trace attribution never bleed across jobs.
 """
 
 from __future__ import annotations
@@ -81,6 +92,45 @@ class WorkerLink:
         #: are ordered, accesses in the same epoch are concurrent.  ShmSan
         #: stamps every shared-memory access interval with it.
         self.epoch = 0
+
+    def reset(self) -> None:
+        """Return the link to its just-spawned state for the next job.
+
+        Pooled workers reuse one link across many sorts; every per-job
+        quantity — the collective sequence counter (the hub matches ops
+        by ``(op, seq)``, so both sides must restart from zero), the
+        epoch happens-before clock ShmSan stamps accesses with, the
+        measured wait accumulators, and the attached tracer — must start
+        fresh or state from job *k* would corrupt the analysis of job
+        *k+1*.  The hub's matching state is per ``serve_control_plane``
+        call, so resetting the worker side is sufficient.
+        """
+        self._seq = 0
+        self.epoch = 0
+        self.tracer = None
+        self.step_label = ""
+        self.wait_by_kind = {"recv-wait": 0.0, "barrier-wait": 0.0}
+        self.wait_by_step = {}
+
+    def recv_job(self):
+        """Block until the next job dispatch; ``None`` means shut down.
+
+        Drains anything that is not a ``("job", spec)`` or ``("stop",)``
+        tuple: a worker that ran the ``skip-merge-barrier`` mutation (or
+        any ``post_only`` path) finishes its job with the hub's reply to
+        the abandoned collective still queued on the pipe, and that stale
+        message must not be mistaken for the next dispatch.  EOF from a
+        driver that dropped the pipe without a stop message propagates to
+        the caller (the pool loop treats it as shutdown).
+        """
+        while True:
+            msg = self.conn.recv()
+            if isinstance(msg, tuple) and msg:
+                if msg[0] == "job" and len(msg) == 2:
+                    return msg[1]
+                if msg[0] == "stop":
+                    return None
+            # Stale collective reply (or unknown debris): drop and re-wait.
 
     def _collective(self, op: str, payload: Any = None, root: int = 0) -> Any:
         self._seq += 1
@@ -162,6 +212,34 @@ class WorkerLink:
 
     def send_error(self, exc_type: str, traceback_text: str) -> None:
         self.conn.send(("error", self.rank, exc_type, traceback_text))
+
+
+def dispatch_job(conns: list[Connection], spec: Any) -> None:
+    """Send one job spec to every pooled worker (driver side).
+
+    The counterpart of :meth:`WorkerLink.recv_job`.  Dispatch is the only
+    parent→worker message outside collective replies, and it is framed as
+    ``("job", spec)`` so the worker's drain loop can tell it apart from a
+    stale reply.  After dispatching, the driver must run
+    :func:`serve_control_plane` over the same conns to completion (or
+    tear the pool down on error) before dispatching again.
+    """
+    for conn in conns:
+        conn.send(("job", spec))
+
+
+def send_shutdown(conns: list[Connection]) -> None:
+    """Ask every pooled worker to exit its job loop (driver side).
+
+    Best-effort by design: a worker that already died (crash tests, OS
+    kill) leaves a broken pipe behind, and shutdown must still reach the
+    survivors.
+    """
+    for conn in conns:
+        try:
+            conn.send(("stop",))
+        except (OSError, ValueError):
+            pass  # repro: noqa[R006] — pipe already dead; shutdown is best-effort
 
 
 @dataclass

@@ -92,3 +92,14 @@ class ControlPlaneTimeout(ParallelBackendError):
 
 class ProtocolError(ParallelBackendError):
     """A worker sent a control message the hub cannot reconcile."""
+
+
+class PoolClosedError(ParallelBackendError):
+    """A job was dispatched to a retired worker pool.
+
+    Raised by :meth:`~repro.parallel.backend.ProcessBackend.sort_blocks`
+    after :meth:`close`/``__exit__`` shut the pool down — distinct from a
+    crash (which the pool survives by respawning the next generation):
+    a closed pool has also unlinked its arena, so reviving it silently
+    would hand out dangling leases.
+    """

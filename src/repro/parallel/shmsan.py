@@ -428,6 +428,14 @@ def main(argv: list[str] | None = None) -> int:
         help="override the golden workload's key count",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1,
+        help=(
+            "replay the workload this many times through ONE persistent "
+            "pool (default 1) — each job is a fresh sanitized run, so the "
+            "gate also proves epochs reset cleanly between pooled jobs"
+        ),
+    )
+    parser.add_argument(
         "--mutate", default=None, choices=MUTATIONS,
         help="seed one invariant break (exit 1 when ShmSan reports it)",
     )
@@ -475,15 +483,22 @@ def main(argv: list[str] | None = None) -> int:
     with ProcessBackend(
         sanitize=san, mutate=args.mutate, mutate_rank=args.mutate_rank
     ) as backend:
-        run = backend.sort_blocks(blocks)
+        runs = [backend.sort_blocks(blocks) for _ in range(max(args.jobs, 1))]
+    run = runs[-1]
 
     oracle_identical: bool | None = None
     if args.mutate is None:
         reference = local_sample_sort(blocks)
         oracle_identical = all(
-            np.array_equal(reference.per_processor[rank], run.outputs[rank].keys)
-            for rank in range(args.ranks)
-        ) and np.array_equal(reference.splitters, run.splitters)
+            all(
+                np.array_equal(
+                    reference.per_processor[rank], job.outputs[rank].keys
+                )
+                for rank in range(args.ranks)
+            )
+            and np.array_equal(reference.splitters, job.splitters)
+            for job in runs
+        )
 
     if args.log_out:
         san.dump_log(args.log_out)
@@ -493,7 +508,7 @@ def main(argv: list[str] | None = None) -> int:
             "oracle_bit_identical": oracle_identical,
             "mutation": args.mutate,
             "workload": {"n_keys": n_keys, "ranks": args.ranks,
-                         "seed": workload["seed"]},
+                         "seed": workload["seed"], "jobs": len(runs)},
         }
         doc.update(san.report.to_json())
         with open(args.report_out, "w") as fh:
@@ -512,7 +527,16 @@ def main(argv: list[str] | None = None) -> int:
     if not san.report.ok:
         print("FAIL: ShmSan reported violations on the golden run")
         return 1
-    print("OK: sanitized golden run is bit-identical and violation-free")
+    if san.report.runs != len(runs):
+        print(
+            f"FAIL: expected {len(runs)} sanitized run(s), "
+            f"report counted {san.report.runs} — pooled epoch reset broke"
+        )
+        return 1
+    print(
+        f"OK: {len(runs)} sanitized golden job(s) bit-identical and "
+        f"violation-free"
+    )
     return 0
 
 

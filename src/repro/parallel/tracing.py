@@ -69,6 +69,11 @@ class WorkerTrace:
     counters: list[tuple[float, str, float]] = field(default_factory=list)
     #: ``(start, end, label)`` — the six step windows, in step order.
     steps: list[tuple[float, float, str]] = field(default_factory=list)
+    #: Pool job this trace belongs to (0 outside pooled streams).  A
+    #: persistent worker records one fresh WorkerTrace per job — the
+    #: clock-offset handshake reruns each time, so pooled traces stay
+    #: aligned even as the process clocks drift between jobs.
+    job_id: int = 0
 
 
 class WorkerTracer:
@@ -83,8 +88,8 @@ class WorkerTracer:
 
     __slots__ = ("trace",)
 
-    def __init__(self, rank: int) -> None:
-        self.trace = WorkerTrace(rank=rank)
+    def __init__(self, rank: int, job_id: int = 0) -> None:
+        self.trace = WorkerTrace(rank=rank, job_id=job_id)
 
     def wait(self, kind: str, label: str, start: float, end: float) -> None:
         """One blocking collective interval (``recv-wait``/``barrier-wait``)."""

@@ -1,12 +1,16 @@
 """The per-rank worker loop of the multiprocess backend.
 
-One process per rank runs :func:`worker_main`, executing the paper's six
-steps over real OS parallelism — the same step implementations as the
-simulated sorter and the in-process reference backend (regular sampling,
-Master splitter selection, the investigator, the flat k-way merge), so the
-produced partitions are **bit-identical** to both.
+One process per rank runs :func:`worker_main` — since PR 9 a *persistent
+job loop*: the worker blocks on the control pipe for the next
+:class:`JobSpec`, resets its per-job state (collective sequence, ShmSan
+epoch clock, tracer), executes the paper's six steps over real OS
+parallelism, reports, and loops until the driver sends shutdown.  The
+step implementations are the same as the simulated sorter and the
+in-process reference backend (regular sampling, Master splitter
+selection, the investigator, the flat k-way merge), so the produced
+partitions are **bit-identical** to both.
 
-Data plane (all shared memory, described by a :class:`WorkerPlan`):
+Data plane (all shared memory, described by a :class:`JobSpec`):
 
 * the unsorted input lives in one shm block, rank ``r`` reading
   ``input[bounds[r]:bounds[r+1]]``;
@@ -30,19 +34,35 @@ point of this backend; the simulated path keeps its virtual clock.
 Observability: every worker heartbeats the hub at each step boundary
 (always on — six tiny pipe messages that power the crash detector's
 which-step-died diagnostics) and, when the parent requested tracing
-(``plan.trace``), records a :class:`~repro.parallel.tracing.WorkerTrace`
+(``job.trace``), records a :class:`~repro.parallel.tracing.WorkerTrace`
 — clock-offset handshake, per-step windows, collective wait spans, one
 flow per (src, dst) shm write with bytes and destination offsets, and
 counter samples — shipped home on the :class:`WorkerReport` and merged
 on the parent into the simnet-schema tracer.
+
+Splitter/sample cache (the Histogram-Sort-with-Sampling idea from
+PAPERS.md, adapted to exactness): the driver ships prior-epoch
+``(fingerprint, splitters)`` candidates on the :class:`JobSpec`.  Every
+rank still draws its regular samples, but instead of gathering the
+sample *arrays* it gathers a per-rank sample digest plus one cheap
+histogram per candidate; the Master combines the digests into the job's
+distribution fingerprint and, on an exact match with a balanced
+histogram, broadcasts the candidate index — the splitter selection is
+skipped entirely.  Because the fingerprint hashes the exact sample
+bytes, a cache hit *guarantees* the cached splitters equal what fresh
+selection would produce, so the output stays bit-identical to the
+oracle on every path; any miss, imbalance, or forced fallback rejoins
+the classic gather-samples/bcast-splitters path.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 import traceback
 from dataclasses import dataclass, field
+from multiprocessing import shared_memory
 from multiprocessing.connection import Connection
 
 import numpy as np
@@ -53,7 +73,7 @@ from ..core.sampling import sample_count, select_regular_samples
 from ..core.sorter import MASTER, STEP_LABELS, SortOptions
 from ..core.splitters import merge_samples, select_splitters
 from ..pgxd.config import PgxdConfig
-from .arena import AttachedLease, ShmLease, attach
+from .arena import ShmLease
 from .collectives import WorkerLink
 from .layout import exchange_layout
 from .shmsan import AccessRecorder
@@ -61,8 +81,8 @@ from .tracing import WorkerTrace, WorkerTracer, estimate_clock_offset, peak_rss_
 
 
 @dataclass(frozen=True)
-class WorkerPlan:
-    """Everything a worker needs, picklable, shipped once at spawn."""
+class JobSpec:
+    """Everything a worker needs for one sort, picklable, sent per job."""
 
     size: int
     #: Prefix bounds of each rank's block in the input lease (size+1).
@@ -90,6 +110,22 @@ class WorkerPlan:
     #: :data:`repro.parallel.shmsan.MUTATIONS`) — the detector's detector.
     mutate: str | None = None
     mutate_rank: int = 0
+    #: Monotonic id the driver stamps on each dispatched job; threaded
+    #: into traces and reports so pooled artifacts stay attributable.
+    job_id: int = 0
+    #: Prior-epoch ``(fingerprint, splitters)`` pairs for this key dtype
+    #: and cluster size (newest last).  Empty on cold pools.
+    cached_candidates: tuple[tuple[str, np.ndarray], ...] = ()
+    #: Test/ops hook: probe the cache (and report the would-be verdict)
+    #: but always take the full sampling path.
+    force_resample: bool = False
+    #: A cached candidate is usable only if the heaviest destination's
+    #: histogram load stays under ``tolerance × ideal``.
+    cache_balance_tolerance: float = 2.0
+
+
+#: Backward-compatible alias (pre-PR-9 name for the per-spawn payload).
+WorkerPlan = JobSpec
 
 
 @dataclass
@@ -117,23 +153,110 @@ class WorkerReport:
     peak_rss_bytes: int = 0
     #: Event payload when the parent requested tracing (None otherwise).
     trace: WorkerTrace | None = None
+    #: Splitter-cache verdict for this job: ``cold`` (no candidates
+    #: shipped), ``hit``, ``miss`` (fingerprint unknown),
+    #: ``fallback-balance`` (matched but histogram too skewed), or
+    #: ``fallback-forced`` (``force_resample``).
+    splitter_cache: str = "cold"
+    #: Exact distribution fingerprint of this job (Master only) — what
+    #: the driver commits to its cache alongside the splitters.
+    sample_fingerprint: str | None = None
+    #: Job id echoed from the spec.
+    job_id: int = 0
 
 
-def _maybe_crash(plan: WorkerPlan, rank: int, stage: str) -> None:
-    if plan.crash_rank == rank and plan.crash_stage == stage:
+class SegmentCache:
+    """Worker-side map of attached shm segments, warm across jobs.
+
+    The arena's contract makes this safe: a named segment is never
+    resized (growth allocates a *new* segment under a new name), so the
+    mapping a worker opened for job *k* still addresses the same pages
+    for job *k+n*.  Caching the attachment turns the per-job
+    open/mmap/close churn of the spawn-per-sort design into a dict hit.
+    Leases are plain (name, dtype, length, offset) descriptors, so views
+    are rebuilt per job — only the ``SharedMemory`` handle is pooled.
+    """
+
+    def __init__(self) -> None:
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+
+    def view(self, lease: ShmLease) -> np.ndarray:
+        shm = self._segments.get(lease.name)
+        if shm is None:
+            shm = shared_memory.SharedMemory(name=lease.name)
+            self._segments[lease.name] = shm
+        return np.ndarray(
+            lease.length,
+            dtype=np.dtype(lease.dtype),
+            buffer=shm.buf,
+            offset=lease.offset_bytes,
+        )
+
+    def close(self) -> None:
+        for shm in self._segments.values():
+            shm.close()
+        self._segments.clear()
+
+
+# ------------------------------------------------- splitter/sample cache
+
+
+def sample_digest(samples: np.ndarray) -> str:
+    """Exact digest of one rank's regular sample (bytes, not values)."""
+    return hashlib.sha1(
+        np.ascontiguousarray(samples).tobytes()
+    ).hexdigest()
+
+
+def combine_sample_fingerprint(
+    digests: list[str], dtype: np.dtype, size: int
+) -> str:
+    """Combine per-rank digests into the job's distribution fingerprint.
+
+    The fingerprint pins everything the splitter selection consumes: key
+    dtype, cluster size, and the exact per-rank sample bytes in rank
+    order.  Equal fingerprint ⇒ identical merged sample ⇒ identical
+    splitters — which is what lets a cache hit skip selection without
+    risking the bit-identity contract.
+    """
+    acc = hashlib.sha1(f"{np.dtype(dtype).str}|p{size}".encode())
+    for digest in digests:
+        acc.update(digest.encode())
+    return acc.hexdigest()
+
+
+def _candidate_histogram(
+    sorted_keys: np.ndarray, splitters: np.ndarray, size: int
+) -> np.ndarray:
+    """Per-destination key counts this rank would send under ``splitters``.
+
+    One ``searchsorted`` over the already-sorted block — the "one cheap
+    histogram pass" that stands in for re-running selection when a
+    candidate's fingerprint matches.
+    """
+    cuts = np.searchsorted(sorted_keys, splitters, side="right")
+    bounds = np.concatenate(([0], cuts, [len(sorted_keys)]))
+    return np.diff(bounds[: size + 1]).astype(np.int64)
+
+
+def _maybe_crash(job: JobSpec, rank: int, stage: str) -> None:
+    if job.crash_rank == rank and job.crash_stage == stage:
         os._exit(43)  # simulate a hard worker death (no cleanup, no message)
 
 
-def _run_six_steps(rank: int, plan: WorkerPlan, link: WorkerLink) -> WorkerReport:
+def _run_six_steps(
+    rank: int, plan: JobSpec, link: WorkerLink, segments: SegmentCache
+) -> WorkerReport:
     options, config, size = plan.options, plan.config, plan.size
     track = options.track_provenance
-    report = WorkerReport(rank=rank, counts_row=np.zeros(size, dtype=np.int64))
-    attachments: list[AttachedLease] = []
+    report = WorkerReport(
+        rank=rank,
+        counts_row=np.zeros(size, dtype=np.int64),
+        job_id=plan.job_id,
+    )
 
     def _attach(lease: ShmLease) -> np.ndarray:
-        mapped = attach(lease)
-        attachments.append(mapped)
-        return mapped.array
+        return segments.view(lease)
 
     recorder = AccessRecorder(rank) if plan.sanitize else None
     mutation = plan.mutate if rank == plan.mutate_rank else None
@@ -150,233 +273,309 @@ def _run_six_steps(rank: int, plan: WorkerPlan, link: WorkerLink) -> WorkerRepor
     if plan.trace:
         # Clock-offset handshake: align this process's perf_counter with
         # the hub's before any event is recorded, then barrier so every
-        # rank enters step 1 from a common point.
-        tracer = WorkerTracer(rank)
+        # rank enters step 1 from a common point.  Re-estimated per job:
+        # a pooled worker's offset drifts between jobs.
+        tracer = WorkerTracer(rank, job_id=plan.job_id)
         link.tracer = tracer
         offset, rtt = estimate_clock_offset(link.probe)
         tracer.trace.clock_offset = offset
         tracer.trace.clock_rtt = rtt
         link.barrier()
 
-    try:
-        input_block = _attach(plan.input_lease)
-        ex_keys = _attach(plan.key_lease)
-        ex_index = _attach(plan.index_lease) if track else None
-        out_proc = _attach(plan.proc_lease) if track else None
-        lo, hi = plan.block_bounds[rank], plan.block_bounds[rank + 1]
-        block = input_block[lo:hi]
-        if recorder is not None:
-            recorder.record(
-                plan.input_lease, lo, hi, "r", 1, link.epoch, "input-read"
-            )
-
-        _beat(STEP_LABELS[0], len(block))
-        t0 = time.perf_counter()  # repro: noqa[R002] — real backend: measured step wall time is the product
-        # ------------------------------------------------ step 1: local sort
-        # Same data plane as the simulated sorter's parallel_quicksort:
-        # packed fast path when the dtype allows, stable argsort otherwise
-        # (bit-identical either way), int32 permutation.
-        if track:
-            fast = packed_stable_sort(block)
-            if fast is not None:
-                sorted_keys, order = fast
-            else:
-                order = block.argsort(kind="stable")
-                sorted_keys = block[order]
-            perm = order.astype(np.int32)
-        else:
-            sorted_keys = np.sort(block)
-            perm = np.empty(0, dtype=np.int32)
-        t1 = time.perf_counter()  # repro: noqa[R002] — real backend: measured step wall time is the product
-        report.step_seconds[STEP_LABELS[0]] = t1 - t0
-
-        # -------------------------------------------------- step 2: sampling
-        _beat(STEP_LABELS[1], len(sorted_keys))
-        count = sample_count(
-            config, size, sorted_keys.dtype.itemsize, options.sample_factor
+    input_block = _attach(plan.input_lease)
+    ex_keys = _attach(plan.key_lease)
+    ex_index = _attach(plan.index_lease) if track else None
+    out_proc = _attach(plan.proc_lease) if track else None
+    lo, hi = plan.block_bounds[rank], plan.block_bounds[rank + 1]
+    block = input_block[lo:hi]
+    if recorder is not None:
+        recorder.record(
+            plan.input_lease, lo, hi, "r", 1, link.epoch, "input-read"
         )
-        samples = select_regular_samples(sorted_keys, count)
-        report.samples_sent = len(samples)
-        gathered = link.gather(samples, root=MASTER)
-        t2 = time.perf_counter()  # repro: noqa[R002] — real backend: measured step wall time is the product
-        report.step_seconds[STEP_LABELS[1]] = t2 - t1
 
-        # ------------------------------------------------- step 3: splitters
-        _beat(STEP_LABELS[2], report.samples_sent)
+    _beat(STEP_LABELS[0], len(block))
+    t0 = time.perf_counter()  # repro: noqa[R002] — real backend: measured step wall time is the product
+    # ------------------------------------------------ step 1: local sort
+    # Same data plane as the simulated sorter's parallel_quicksort:
+    # packed fast path when the dtype allows, stable argsort otherwise
+    # (bit-identical either way), int32 permutation.
+    if track:
+        fast = packed_stable_sort(block)
+        if fast is not None:
+            sorted_keys, order = fast
+        else:
+            order = block.argsort(kind="stable")
+            sorted_keys = block[order]
+        perm = order.astype(np.int32)
+    else:
+        sorted_keys = np.sort(block)
+        perm = np.empty(0, dtype=np.int32)
+    t1 = time.perf_counter()  # repro: noqa[R002] — real backend: measured step wall time is the product
+    report.step_seconds[STEP_LABELS[0]] = t1 - t0
+
+    # -------------------------------------------------- step 2: sampling
+    # Samples are always drawn (they are cheap and they feed the exact
+    # fingerprint); what the cache changes is what crosses the control
+    # plane: digests + histograms instead of the sample arrays.
+    _beat(STEP_LABELS[1], len(sorted_keys))
+    count = sample_count(
+        config, size, sorted_keys.dtype.itemsize, options.sample_factor
+    )
+    samples = select_regular_samples(sorted_keys, count)
+    report.samples_sent = len(samples)
+    splitters = None
+    candidates = plan.cached_candidates
+    if candidates:
+        digest = sample_digest(samples)
+        histograms = [
+            _candidate_histogram(sorted_keys, cand_splitters, size)
+            for _fp, cand_splitters in candidates
+        ]
+        probe = link.gather((digest, histograms), root=MASTER)
+        if rank == MASTER:
+            assert probe is not None
+            fingerprint = combine_sample_fingerprint(
+                [d for d, _h in probe], sorted_keys.dtype, size
+            )
+            report.sample_fingerprint = fingerprint
+            chosen = next(
+                (
+                    i
+                    for i, (cand_fp, _s) in enumerate(candidates)
+                    if cand_fp == fingerprint
+                ),
+                None,
+            )
+            if chosen is None:
+                decision = ("miss", None)
+            elif plan.force_resample:
+                decision = ("fallback-forced", None)
+            else:
+                loads = np.sum([h[chosen] for _d, h in probe], axis=0)
+                ideal = max(float(loads.sum()) / size, 1.0)
+                if float(loads.max()) / ideal > plan.cache_balance_tolerance:
+                    decision = ("fallback-balance", None)
+                else:
+                    decision = ("hit", chosen)
+        else:
+            decision = None
+        verdict, chosen = link.bcast(decision, root=MASTER)
+        report.splitter_cache = verdict
+        if chosen is not None:
+            splitters = candidates[chosen][1]
+            if rank == MASTER:
+                report.splitters = splitters
+    t2 = time.perf_counter()  # repro: noqa[R002] — real backend: measured step wall time is the product
+    report.step_seconds[STEP_LABELS[1]] = t2 - t1
+
+    # ------------------------------------------------- step 3: splitters
+    # Skipped entirely on a cache hit (splitters already in hand after
+    # two collectives); every other verdict rejoins the classic
+    # gather-samples → select → broadcast path, so all ranks agree on
+    # the collective schedule (the verdict broadcast synchronized them).
+    _beat(STEP_LABELS[2], report.samples_sent)
+    if splitters is None:
+        gathered = link.gather(samples, root=MASTER)
         if rank == MASTER:
             assert gathered is not None
             splitters = select_splitters(merge_samples(gathered), size)
             report.splitters = splitters
+            if report.sample_fingerprint is None:
+                report.sample_fingerprint = combine_sample_fingerprint(
+                    [sample_digest(s) for s in gathered],
+                    sorted_keys.dtype,
+                    size,
+                )
         else:
             splitters = None
         splitters = link.bcast(splitters, root=MASTER)
-        t3 = time.perf_counter()  # repro: noqa[R002] — real backend: measured step wall time is the product
-        report.step_seconds[STEP_LABELS[2]] = t3 - t2
+    t3 = time.perf_counter()  # repro: noqa[R002] — real backend: measured step wall time is the product
+    report.step_seconds[STEP_LABELS[2]] = t3 - t2
 
-        # ------------------------------------------------- step 4: partition
-        _beat(STEP_LABELS[3], len(sorted_keys))
-        cut = compute_rank_cuts(
-            sorted_keys, splitters, size, investigator=options.investigator
-        )
-        report.searches = cut.searches
-        out_slices = slices_from_cuts(cut.cuts, len(sorted_keys))
-        counts = np.array(
-            [sl.stop - sl.start for sl in out_slices], dtype=np.int64
-        )
-        report.counts_row = counts
-        t4 = time.perf_counter()  # repro: noqa[R002] — real backend: measured step wall time is the product
-        report.step_seconds[STEP_LABELS[3]] = t4 - t3
+    # ------------------------------------------------- step 4: partition
+    _beat(STEP_LABELS[3], len(sorted_keys))
+    cut = compute_rank_cuts(
+        sorted_keys, splitters, size, investigator=options.investigator
+    )
+    report.searches = cut.searches
+    out_slices = slices_from_cuts(cut.cuts, len(sorted_keys))
+    counts = np.array(
+        [sl.stop - sl.start for sl in out_slices], dtype=np.int64
+    )
+    report.counts_row = counts
+    t4 = time.perf_counter()  # repro: noqa[R002] — real backend: measured step wall time is the product
+    report.step_seconds[STEP_LABELS[3]] = t4 - t3
 
-        # -------------------------------------------------- step 5: exchange
-        # Everyone learns the counts matrix, which fixes each (src, dst)
-        # run's offset in the shared exchange stream; writes are disjoint.
-        _beat(STEP_LABELS[4], len(sorted_keys))
-        all_counts = link.allgather(counts)
-        counts_matrix = np.stack(all_counts)
-        _maybe_crash(plan, rank, "exchange")
-        layout = exchange_layout(counts_matrix)
-        key_itemsize = sorted_keys.dtype.itemsize
-        row_bytes = key_itemsize + (perm.dtype.itemsize if track else 0)
-        shifted = False
-        for dst in range(size):
-            sl = out_slices[dst]
-            if sl.stop == sl.start:
-                continue
-            pos = layout.run_offset(rank, dst)
-            end = pos + (sl.stop - sl.start)
-            if mutation == "offset-off-by-one" and not shifted:
-                # Seeded invariant break: slide the first nonempty run one
-                # element off its counts-derived home (into a neighbour's
-                # run, or backwards at the stream's end) — the overlap
-                # ShmSan's offset and race checks must catch.
-                if end + 1 <= len(ex_keys):
-                    pos, end, shifted = pos + 1, end + 1, True
-                elif pos >= 1:
-                    pos, end, shifted = pos - 1, end - 1, True
-            t_w0 = time.perf_counter() if tracer is not None else 0.0  # repro: noqa[R002] — real backend: measured flow timing is the product
-            ex_keys[pos:end] = sorted_keys[sl]
+    # -------------------------------------------------- step 5: exchange
+    # Everyone learns the counts matrix, which fixes each (src, dst)
+    # run's offset in the shared exchange stream; writes are disjoint.
+    _beat(STEP_LABELS[4], len(sorted_keys))
+    all_counts = link.allgather(counts)
+    counts_matrix = np.stack(all_counts)
+    _maybe_crash(plan, rank, "exchange")
+    layout = exchange_layout(counts_matrix)
+    key_itemsize = sorted_keys.dtype.itemsize
+    row_bytes = key_itemsize + (perm.dtype.itemsize if track else 0)
+    shifted = False
+    for dst in range(size):
+        sl = out_slices[dst]
+        if sl.stop == sl.start:
+            continue
+        pos = layout.run_offset(rank, dst)
+        end = pos + (sl.stop - sl.start)
+        if mutation == "offset-off-by-one" and not shifted:
+            # Seeded invariant break: slide the first nonempty run one
+            # element off its counts-derived home (into a neighbour's
+            # run, or backwards at the stream's end) — the overlap
+            # ShmSan's offset and race checks must catch.
+            if end + 1 <= len(ex_keys):
+                pos, end, shifted = pos + 1, end + 1, True
+            elif pos >= 1:
+                pos, end, shifted = pos - 1, end - 1, True
+        t_w0 = time.perf_counter() if tracer is not None else 0.0  # repro: noqa[R002] — real backend: measured flow timing is the product
+        ex_keys[pos:end] = sorted_keys[sl]
+        if recorder is not None:
+            recorder.record(
+                plan.key_lease, pos, end, "w", 5, link.epoch,
+                "exchange-write", dst=dst,
+            )
+        if track:
+            ex_index[pos:end] = perm[sl]
             if recorder is not None:
                 recorder.record(
-                    plan.key_lease, pos, end, "w", 5, link.epoch,
+                    plan.index_lease, pos, end, "w", 5, link.epoch,
                     "exchange-write", dst=dst,
                 )
-            if track:
-                ex_index[pos:end] = perm[sl]
-                if recorder is not None:
-                    recorder.record(
-                        plan.index_lease, pos, end, "w", 5, link.epoch,
-                        "exchange-write", dst=dst,
-                    )
-            if tracer is not None:
-                tracer.flow(
-                    dst,
-                    (sl.stop - sl.start) * row_bytes,
-                    pos * key_itemsize,
-                    t_w0,
-                    time.perf_counter(),  # repro: noqa[R002] — real backend: measured flow timing is the product
-                )
-        if mutation == "skip-merge-barrier":
-            # Seeded invariant break: post the barrier contribution (so the
-            # hub and the other ranks stay solvent) but charge ahead
-            # without waiting — this rank's epoch clock does not advance,
-            # so its merge runs concurrent with the others' exchange
-            # writes.  The happens-before analysis must flag the races.
-            link.post_only("barrier")
-        else:
-            link.barrier()  # all runs landed; regions are safe to read
-        t5 = time.perf_counter()  # repro: noqa[R002] — real backend: measured step wall time is the product
-        report.step_seconds[STEP_LABELS[4]] = t5 - t4
+        if tracer is not None:
+            tracer.flow(
+                dst,
+                (sl.stop - sl.start) * row_bytes,
+                pos * key_itemsize,
+                t_w0,
+                time.perf_counter(),  # repro: noqa[R002] — real backend: measured flow timing is the product
+            )
+    if mutation == "skip-merge-barrier":
+        # Seeded invariant break: post the barrier contribution (so the
+        # hub and the other ranks stay solvent) but charge ahead
+        # without waiting — this rank's epoch clock does not advance,
+        # so its merge runs concurrent with the others' exchange
+        # writes.  The happens-before analysis must flag the races.
+        link.post_only("barrier")
+    else:
+        link.barrier()  # all runs landed; regions are safe to read
+    t5 = time.perf_counter()  # repro: noqa[R002] — real backend: measured step wall time is the product
+    report.step_seconds[STEP_LABELS[4]] = t5 - t4
 
-        # ----------------------------------------------------- step 6: merge
-        # The rank's region holds one sorted run per source, back to back in
-        # source order — exactly the flat k-way kernel's input layout, and
-        # exactly what the simulated exchange reassembles.
-        from ..core.balanced_merge import flat_kway_merge
+    # ----------------------------------------------------- step 6: merge
+    # The rank's region holds one sorted run per source, back to back in
+    # source order — exactly the flat k-way kernel's input layout, and
+    # exactly what the simulated exchange reassembles.
+    from ..core.balanced_merge import flat_kway_merge
 
-        base, total = layout.region(rank)
-        _beat(STEP_LABELS[5], total)
-        region = ex_keys[base : base + total]
+    base, total = layout.region(rank)
+    _beat(STEP_LABELS[5], total)
+    region = ex_keys[base : base + total]
+    if recorder is not None:
+        recorder.record(
+            plan.key_lease, base, base + total, "r", 6, link.epoch,
+            "merge-read",
+        )
+    run_lengths = counts_matrix[:, rank].tolist()
+    if track:
+        idx_region = ex_index[base : base + total]
         if recorder is not None:
             recorder.record(
-                plan.key_lease, base, base + total, "r", 6, link.epoch,
+                plan.index_lease, base, base + total, "r", 6, link.epoch,
                 "merge-read",
             )
-        run_lengths = counts_matrix[:, rank].tolist()
-        if track:
-            idx_region = ex_index[base : base + total]
-            if recorder is not None:
-                recorder.record(
-                    plan.index_lease, base, base + total, "r", 6, link.epoch,
-                    "merge-read",
-                )
-            proc_col = np.empty(total, dtype=np.int16)
-            bounds = layout.run_bounds(rank)
-            for src in range(size):
-                proc_col[bounds[src] : bounds[src + 1]] = src
-            aux_cols = [idx_region, proc_col]
-        else:
-            aux_cols = []
-        outcome = flat_kway_merge(
-            region, run_lengths, aux_cols, balanced=options.balanced_merge
+        proc_col = np.empty(total, dtype=np.int16)
+        bounds = layout.run_bounds(rank)
+        for src in range(size):
+            proc_col[bounds[src] : bounds[src + 1]] = src
+        aux_cols = [idx_region, proc_col]
+    else:
+        aux_cols = []
+    outcome = flat_kway_merge(
+        region, run_lengths, aux_cols, balanced=options.balanced_merge
+    )
+    # Store the merged result back over the (now dead) exchange region;
+    # the driver reads it from there — no pickling on the way out.
+    region[:] = outcome.keys
+    if recorder is not None:
+        recorder.record(
+            plan.key_lease, base, base + total, "w", 6, link.epoch,
+            "merge-write",
         )
-        # Store the merged result back over the (now dead) exchange region;
-        # the driver reads it from there — no pickling on the way out.
-        region[:] = outcome.keys
+    if track:
+        idx_region[:] = outcome.aux[0]
+        out_proc[base : base + total] = outcome.aux[1]
         if recorder is not None:
             recorder.record(
-                plan.key_lease, base, base + total, "w", 6, link.epoch,
+                plan.index_lease, base, base + total, "w", 6, link.epoch,
                 "merge-write",
             )
-        if track:
-            idx_region[:] = outcome.aux[0]
-            out_proc[base : base + total] = outcome.aux[1]
-            if recorder is not None:
-                recorder.record(
-                    plan.index_lease, base, base + total, "w", 6, link.epoch,
-                    "merge-write",
-                )
-                recorder.record(
-                    plan.proc_lease, base, base + total, "w", 6, link.epoch,
-                    "proc-write",
-                )
-        if recorder is not None:
-            link.flush_san(recorder.drain())
-        t6 = time.perf_counter()  # repro: noqa[R002] — real backend: measured step wall time is the product
-        report.step_seconds[STEP_LABELS[5]] = t6 - t5
-        report.wall_seconds = t6 - t0
-        report.step_wait_seconds = dict(link.wait_by_step)
-        report.recv_wait_seconds = link.wait_by_kind["recv-wait"]
-        report.barrier_wait_seconds = link.wait_by_kind["barrier-wait"]
-        report.peak_rss_bytes = peak_rss_bytes()
-        if tracer is not None:
-            for start, end, label in zip(
-                (t0, t1, t2, t3, t4, t5),
-                (t1, t2, t3, t4, t5, t6),
-                STEP_LABELS,
-            ):
-                tracer.step(start, end, label)
-            report.trace = tracer.trace
-        return report
-    finally:
-        for mapped in attachments:
-            mapped.close()
+            recorder.record(
+                plan.proc_lease, base, base + total, "w", 6, link.epoch,
+                "proc-write",
+            )
+    if recorder is not None:
+        link.flush_san(recorder.drain())
+    t6 = time.perf_counter()  # repro: noqa[R002] — real backend: measured step wall time is the product
+    report.step_seconds[STEP_LABELS[5]] = t6 - t5
+    report.wall_seconds = t6 - t0
+    report.step_wait_seconds = dict(link.wait_by_step)
+    report.recv_wait_seconds = link.wait_by_kind["recv-wait"]
+    report.barrier_wait_seconds = link.wait_by_kind["barrier-wait"]
+    report.peak_rss_bytes = peak_rss_bytes()
+    if tracer is not None:
+        for start, end, label in zip(
+            (t0, t1, t2, t3, t4, t5),
+            (t1, t2, t3, t4, t5, t6),
+            STEP_LABELS,
+        ):
+            tracer.step(start, end, label)
+        report.trace = tracer.trace
+    return report
 
 
-def worker_main(rank: int, plan: WorkerPlan, conn: Connection) -> None:
-    """Process entry point: run the six steps, report done or error.
+def worker_main(rank: int, size: int, conn: Connection) -> None:
+    """Process entry point: the persistent per-rank job loop.
 
-    Any exception is serialized to the driver (which re-raises it as a
-    typed :class:`~repro.parallel.errors.WorkerFailedError`); the worker
-    then exits hard so a broken rank can never wedge the cluster.
+    Spawned once per pool generation.  Blocks on the control pipe for
+    each :class:`JobSpec`, resets the link's per-job state (collective
+    sequence, epoch clock, tracer — see
+    :meth:`~repro.parallel.collectives.WorkerLink.reset`), runs the six
+    steps against the warm :class:`SegmentCache`, reports done, and
+    waits for the next dispatch.  A ``("stop",)`` message (or EOF from a
+    vanished driver) ends the loop and releases the cached attachments.
+
+    Any exception inside a job is serialized to the driver (which
+    re-raises it as a typed
+    :class:`~repro.parallel.errors.WorkerFailedError`); the worker then
+    exits hard so a broken rank can never wedge the cluster — the
+    driver's respawn policy builds the *next* generation around the
+    hole.
     """
-    link = WorkerLink(rank, plan.size, conn)
+    link = WorkerLink(rank, size, conn)
+    segments = SegmentCache()
     try:
-        _maybe_crash(plan, rank, "start")
-        report = _run_six_steps(rank, plan, link)
-        link.send_done(report)
-    except BaseException as exc:  # repro: noqa[R006] — process boundary: the exception is serialized to the driver, which re-raises it typed
-        try:
-            link.send_error(type(exc).__name__, traceback.format_exc())
-        except Exception:  # repro: noqa[R006] — pipe already gone; the hub detects the crash by liveness instead
-            pass
-        os._exit(1)
+        while True:
+            try:
+                job = link.recv_job()
+            except (EOFError, OSError):
+                break  # driver vanished without a stop message
+            if job is None:
+                break
+            link.reset()
+            try:
+                _maybe_crash(job, rank, "start")
+                report = _run_six_steps(rank, job, link, segments)
+                link.send_done(report)
+            except BaseException as exc:  # repro: noqa[R006] — process boundary: the exception is serialized to the driver, which re-raises it typed
+                try:
+                    link.send_error(type(exc).__name__, traceback.format_exc())
+                except Exception:  # repro: noqa[R006] — pipe already gone; the hub detects the crash by liveness instead
+                    pass
+                os._exit(1)
+    finally:
+        segments.close()

@@ -468,3 +468,36 @@ class TestR012AdhocMpPrimitive:
             return ev_factory.Event()
         """
         assert rules_in(src, LIB) == []
+
+    def test_fires_on_queue_fed_pool_dispatch_loop(self):
+        # The persistent pool's job plane is explicitly in scope: feeding
+        # JobSpecs to parked workers through an mp.Queue would create
+        # ordering edges the barrier-epoch model (and the hub's liveness
+        # watch) cannot see.  Dispatch must stay on the control pipes.
+        src = """
+        import multiprocessing
+
+        def dispatch_jobs(self, specs):
+            jobs = multiprocessing.JoinableQueue()
+            for spec in specs:
+                jobs.put(spec)
+            return jobs
+        """
+        assert rules_in(src, "src/repro/parallel/backend.py") == ["R012"]
+
+    def test_silent_on_pipe_star_pool_dispatch(self):
+        # The sanctioned shape of the same loop: per-rank control pipes
+        # from the spawn machinery, job tuples sent through them.
+        src = """
+        import multiprocessing
+
+        def spawn_and_dispatch(self, specs):
+            ctx = multiprocessing.get_context("fork")
+            conns = []
+            for spec in specs:
+                parent, child = ctx.Pipe(duplex=True)
+                parent.send(("job", spec))
+                conns.append(parent)
+            return conns
+        """
+        assert rules_in(src, "src/repro/parallel/backend.py") == []

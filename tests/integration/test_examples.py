@@ -32,4 +32,5 @@ def test_example_inventory():
         "twitter_graph_topk.py",
         "compare_with_spark.py",
         "sample_size_tuning.py",
+        "streaming_sort_jobs.py",
     } <= names
