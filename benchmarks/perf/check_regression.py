@@ -61,6 +61,14 @@ since pooling wins by eliminating spawn overhead, not by parallelism).
 ``--stream-record PATH`` instead validates a freshly measured record
 written by ``harness.py --json-out`` — the ratio is same-machine on both
 sides, so it ports to CI with a coarser floor.
+
+Records carrying a ``chaos`` section (the kill-one-worker-per-job
+recovery benchmark) are validated for full recovery: every chaos job
+must have recovered bit-identically (``recovered == jobs``), at least
+one retry per job must have been paid, no job may have degraded or
+aborted under a transient-kill plan, and recovered-jobs/sec must match
+the recorded wall.  No throughput floor — respawn latency is machine
+noise; the gate keeps the bookkeeping honest.
 """
 
 import argparse
@@ -271,6 +279,66 @@ def check_streaming_section(stream, floor, source):
     return 0
 
 
+def check_chaos_section(chaos, source):
+    """Validate one ``chaos`` record (the kill-one-per-job recovery run).
+
+    The section only means anything if every job actually recovered: the
+    schedule kills one worker per job, so ``recovered`` must equal
+    ``jobs``, at least one retry per job must have been paid, and the
+    recorded throughput must match the recorded wall.  No floor is
+    enforced on recovered-jobs/sec — recovery cost is dominated by
+    machine-dependent respawn latency — the gate guards the *bookkeeping*
+    so the trajectory stays interpretable.
+    """
+    required = (
+        "jobs", "n_keys_per_job", "workers", "seed", "schedule",
+        "equality_checked", "recovered", "retries", "respawns",
+        "wall_seconds", "recovered_jobs_per_sec",
+    )
+    missing = [k for k in required if k not in chaos]
+    if missing:
+        print(f"FAIL: {source} is missing fields {missing}")
+        return 1
+    if not chaos["equality_checked"]:
+        print(
+            f"FAIL: {source} was taken without the post-recovery "
+            "bit-identity check"
+        )
+        return 1
+    if chaos["recovered"] != chaos["jobs"]:
+        print(
+            f"FAIL: {source} recovered only {chaos['recovered']} of "
+            f"{chaos['jobs']} chaos job(s)"
+        )
+        return 1
+    if chaos["retries"] < chaos["jobs"]:
+        print(
+            f"FAIL: {source} records {chaos['retries']} retries for "
+            f"{chaos['jobs']} kill-one-per-job job(s); the plan cannot "
+            "have fired on every job"
+        )
+        return 1
+    if chaos.get("degraded_jobs", 0) != 0 or chaos.get("aborted_jobs", 0) != 0:
+        print(
+            f"FAIL: {source} records degraded/aborted jobs under a "
+            "transient-kill plan; every job must recover at full width"
+        )
+        return 1
+    derived = chaos["jobs"] / chaos["wall_seconds"]
+    if abs(chaos["recovered_jobs_per_sec"] - derived) > 1e-6 * derived:
+        print(
+            f"FAIL: {source} recovered-jobs/sec does not match the "
+            "recorded wall time"
+        )
+        return 1
+    print(
+        f"{source}: {chaos['recovered']}/{chaos['jobs']} jobs recovered "
+        f"({chaos['schedule']}) at {chaos['recovered_jobs_per_sec']:.2f} "
+        f"jobs/s, {chaos['retries']} retries / {chaos['respawns']} respawns"
+    )
+    return 0
+
+
 def check_real_suite(
     speedup_floor,
     min_cores,
@@ -383,6 +451,13 @@ def check_real_suite(
         code = check_streaming_section(
             stream, stream_floor, "committed streaming record"
         )
+        if code:
+            return code
+    chaos = last.get("chaos")
+    if chaos is None:
+        print("chaos check skipped (record predates chaos injection)")
+    else:
+        code = check_chaos_section(chaos, "committed chaos record")
         if code:
             return code
     if skip_tracer_gate:

@@ -27,6 +27,13 @@ bit-identical before any timing.  Real records append to
 measured on fewer cores than workers documents overhead, not parallelism,
 and the regression gate (``check_regression.py --wall-suite real``) only
 enforces the speedup floor when the recording machine had the cores.
+
+The real suite also records a ``chaos`` section: the streaming job mix is
+re-run under the seeded kill-one-worker-per-job plan
+(:func:`repro.parallel.kill_one_per_job`) with retry armed, and the
+record captures recovered-jobs/sec plus the retry/respawn counters — the
+throughput of sorting while absorbing one process failure per job, every
+job verified bit-identical to the oracle after recovery.
 """
 
 import argparse
@@ -394,6 +401,81 @@ def measure_streaming(
     }
 
 
+def measure_chaos_recovery(
+    n_jobs=STREAM_JOBS,
+    n_keys=STREAM_N_KEYS,
+    workers=REAL_WORKERS,
+    seed=REAL_SEED,
+):
+    """Recovered-jobs/sec under the kill-one-worker-per-job chaos plan.
+
+    Streams the same mixed jobs as :func:`measure_streaming` through one
+    pooled backend while a seeded :func:`~repro.parallel.kill_one_per_job`
+    plan SIGKILLs one worker (round-robin) in every job's first attempt.
+    Every job must recover via retry — at full width, bit-identical to
+    the single-process oracle — so the headline number is *recovered*
+    jobs/sec: the throughput of sorting while absorbing one process
+    failure per job, respawn and re-run included.
+    """
+    from repro.core.api import partition_input
+    from repro.core.local_backend import local_sample_sort
+    from repro.parallel import ProcessBackend, RetryPolicy, kill_one_per_job
+
+    plan = kill_one_per_job(n_jobs, workers, seed=seed)
+    jobs = []
+    oracles = {}
+    for name, data in streaming_datasets(n_jobs, n_keys, seed):
+        blocks, _ = partition_input(data, workers)
+        blocks = list(blocks)
+        if name not in oracles:
+            oracles[name] = local_sample_sort(blocks)
+        jobs.append((name, blocks, oracles[name]))
+
+    # Tight backoff: the benchmark measures recovery machinery, not sleep.
+    policy = RetryPolicy(backoff_seconds=0.001, backoff_cap_seconds=0.01)
+    latencies = []
+    recovered = 0
+    with ProcessBackend(chaos=plan, retry=policy) as backend:
+        for i, (name, blocks, reference) in enumerate(jobs):
+            start = time.perf_counter()
+            run = backend.sort_blocks(blocks)
+            latencies.append(time.perf_counter() - start)
+            if run.retries < 1:
+                raise AssertionError(
+                    f"chaos job {i} ({name}) was never killed — the plan "
+                    "did not fire"
+                )
+            for rank in range(workers):
+                if not np.array_equal(
+                    reference.per_processor[rank], run.outputs[rank].keys
+                ):
+                    raise AssertionError(
+                        f"recovered chaos job {i} ({name}) diverged from "
+                        f"the oracle on rank {rank}"
+                    )
+            recovered += 1
+        stats = backend.stats
+    wall = float(sum(latencies))
+    lat = np.asarray(latencies)
+    return {
+        "jobs": n_jobs,
+        "n_keys_per_job": n_keys,
+        "workers": workers,
+        "seed": seed,
+        "schedule": "kill-one-worker-per-job@5-exchange",
+        "equality_checked": True,
+        "recovered": recovered,
+        "retries": stats["retries"],
+        "respawns": stats["respawns"],
+        "degraded_jobs": stats["degraded_jobs"],
+        "aborted_jobs": stats["aborted_jobs"],
+        "wall_seconds": wall,
+        "recovered_jobs_per_sec": n_jobs / wall,
+        "p50_latency_seconds": float(np.percentile(lat, 50)),
+        "p99_latency_seconds": float(np.percentile(lat, 99)),
+    }
+
+
 def run_real_harness(
     label,
     n_keys=REAL_N_KEYS,
@@ -409,6 +491,11 @@ def run_real_harness(
             n_keys=n_keys, workers=workers, repeats=repeats
         ),
         "streaming": measure_streaming(
+            n_jobs=stream_jobs,
+            n_keys=stream_n,
+            workers=workers if workers is not None else REAL_WORKERS,
+        ),
+        "chaos": measure_chaos_recovery(
             n_jobs=stream_jobs,
             n_keys=stream_n,
             workers=workers if workers is not None else REAL_WORKERS,
@@ -613,6 +700,13 @@ def main(argv=None):
             f"p99 {s['pooled']['p99_latency_seconds'] * 1e3:.1f}ms; splitter "
             f"cache {cache['hits']} hit(s), {cache['misses']} miss(es), "
             f"{cache['fallbacks']} fallback(s)"
+        )
+        c = record["chaos"]
+        print(
+            f"chaos recovery ({c['schedule']}, {c['jobs']} jobs): "
+            f"{c['recovered']}/{c['jobs']} recovered bit-identically at "
+            f"{c['recovered_jobs_per_sec']:.2f} jobs/s "
+            f"({c['retries']} retries, {c['respawns']} respawns)"
         )
         if not args.dry_run:
             append_real_record(record)

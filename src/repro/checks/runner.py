@@ -101,8 +101,9 @@ def _simulated_scope(filename: str) -> bool:
     ``# repro: noqa[R002]`` and a justification, so any *new* clock read
     in parallel code trips the rule until a human signs it off.
     :mod:`repro.obs` merely consumes measured times and gets no escape
-    hatch at all.  (R008 shares the scope but additionally skips
-    ``realtime`` files, whose loops are bounded by wall-clock timeouts.)
+    hatch at all.  (R008 shares this scope outright: since the backend
+    grew retry machinery, ``parallel/`` retry loops are in scope and the
+    deliberate unbounded ones license themselves with ``noqa[R008]``.)
     """
     parts = set(Path(filename).parts)
     return "repro" in parts and not ({"tests", "benchmarks"} & parts)
@@ -114,9 +115,10 @@ def _realtime_scope(filename: str) -> bool:
     The real-parallel backend's collectives
     (``WorkerLink.bcast``/``allgather``/...) are plain blocking methods,
     not SimComm generators — R004's name-based heuristic must not demand
-    ``yield from`` there, nor in the tests that drive them.  R008 skips
-    the scope (timeout-bounded loops); R011 is confined to it (exchange
-    offsets only exist in the real backend).
+    ``yield from`` there, nor in the tests that drive them.  R011 is
+    confined to the scope (exchange offsets only exist in the real
+    backend); R008 used to skip it but no longer does — the backend's
+    retry/degradation loops are exactly what the rule exists to bound.
     """
     return "parallel" in Path(filename).parts
 

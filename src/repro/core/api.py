@@ -357,8 +357,22 @@ class SorterPool:
         return run.to_sort_result(offsets)
 
     def sort_many(self, datasets: Sequence[np.ndarray]) -> list[SortResult]:
-        """Stream several datasets through the pool, one job each."""
-        return [self.sort(data) for data in datasets]
+        """Stream several datasets through the pool, one job each.
+
+        A failure mid-stream surfaces with full provenance: the backend
+        stamps the job id, and this loop adds which dataset of the
+        stream was in flight, so ``except`` blocks around a long stream
+        can tell exactly what was lost.
+        """
+        from ..parallel.errors import ParallelBackendError
+
+        results = []
+        for index, data in enumerate(datasets):
+            try:
+                results.append(self.sort(data))
+            except ParallelBackendError as exc:
+                raise exc.annotate_job(stream_index=index)
+        return results
 
     @property
     def stats(self) -> dict:

@@ -29,6 +29,15 @@ With ``--backend process`` the same flag also arms ShmSan
 (:mod:`repro.parallel.shmsan`), the happens-before race detector for the
 shared-memory exchange; the ``--sanitize-out`` document then nests both
 reports as ``{"simsan": ..., "shmsan": ...}``.
+
+Robustness: ``--chaos SPEC`` (process backend only) injects deterministic
+process-level faults — SIGKILLed ranks, hung collectives, delayed control
+replies, muted heartbeats, slow ranks — from a seeded
+:class:`~repro.parallel.chaos.RealFaultPlan` (``--chaos-seed`` picks the
+schedule).  An active plan arms the backend's default
+:class:`~repro.parallel.backend.RetryPolicy`, so killed jobs retry and
+repeatedly-dying ranks degrade to the survivor set instead of failing the
+experiment; the simnet twin of this flag is ``--faults``.
 """
 
 from __future__ import annotations
@@ -150,6 +159,25 @@ def main(argv: list[str] | None = None) -> int:
             "at the end"
         ),
     )
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "with --backend process: deterministic process-level fault "
+            "injection (kill=RANK@STEP[:JOB], poison=RANK, hang=RANK@OP"
+            "[:JOB], delay=P[:SPIKE], mute=RANK, slow=RANKxMULT, "
+            "comma-separated); failed jobs are retried and poisoned ranks "
+            "degraded per the default RetryPolicy"
+        ),
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed of the chaos schedule's RNG (default: 0)",
+    )
     args = parser.parse_args(argv)
     if args.list:
         for name in EXPERIMENTS:
@@ -189,6 +217,15 @@ def main(argv: list[str] | None = None) -> int:
         fault_plan = FaultPlan.from_spec(args.faults, seed=args.fault_seed)
         print(f"[faults: {fault_plan.describe()}]", file=sys.stderr)
 
+    chaos_plan = None
+    if args.chaos is not None:
+        if args.backend != "process":
+            parser.error("--chaos requires --backend process")
+        from ..parallel.chaos import RealFaultPlan
+
+        chaos_plan = RealFaultPlan.from_spec(args.chaos, seed=args.chaos_seed)
+        print(f"[chaos: {chaos_plan.describe()}]", file=sys.stderr)
+
     def run_observed(name, fn):
         from contextlib import ExitStack
 
@@ -205,6 +242,10 @@ def main(argv: list[str] | None = None) -> int:
                 from ..simnet.faults import inject_faults
 
                 stack.enter_context(inject_faults(fault_plan))
+            if chaos_plan is not None:
+                from ..parallel.chaos import inject_real_faults
+
+                stack.enter_context(inject_real_faults(chaos_plan))
             if pool_backend is not None:
                 # The shared pool IS the ambient backend: every sorter
                 # the experiment builds dispatches to the same warm

@@ -195,7 +195,12 @@ class RunReport:
         return cls.from_metrics(
             run.cluster_metrics(),
             tracer=tracer,
-            step_seconds=[dict(out.step_seconds) for out in run.outputs],
+            step_seconds=[
+                # A survivor-degraded run leaves excluded slots at None;
+                # their step walls are simply absent, not zero.
+                dict(out.step_seconds) if out is not None else {}
+                for out in run.outputs
+            ],
         )
 
     # ---------------------------------------------------- serialization

@@ -19,8 +19,14 @@ Layout:
   (:class:`ProcessBackend` — since PR 9 a persistent worker pool with a
   :class:`~repro.parallel.backend.SplitterCache` —
   :class:`SimnetBackend`, ambient selection by name or instance);
+* :mod:`repro.parallel.chaos` — deterministic process-level fault
+  injection (:class:`RealFaultPlan`: seeded kills, hangs, reply delay
+  spikes, heartbeat muting, slow ranks) mirroring the simnet
+  ``FaultPlan`` grammar, paired with job retry
+  (:class:`~repro.parallel.backend.RetryPolicy`) and survivor-degraded
+  recovery on the :class:`ProcessBackend`;
 * :mod:`repro.parallel.errors` — typed failures (worker crash, remote
-  exception, control-plane timeout) in place of hangs;
+  exception, control-plane timeout, retry exhaustion) in place of hangs;
 * :mod:`repro.parallel.layout` — the counts-matrix exchange layout: the
   single source of every (src, dst) run's offset in the shm stream;
 * :mod:`repro.parallel.shmsan` — ShmSan, the happens-before race
@@ -46,6 +52,7 @@ from .backend import (
     ExecutionBackend,
     ProcessBackend,
     ProcessRunHandle,
+    RetryPolicy,
     SimnetBackend,
     SplitterCache,
     default_backend,
@@ -71,8 +78,15 @@ from .tracing import (
     peak_rss_bytes,
     use_progress,
 )
+from .chaos import (
+    RealFaultPlan,
+    active_real_fault_plan,
+    inject_real_faults,
+    kill_one_per_job,
+)
 from .errors import (
     ControlPlaneTimeout,
+    JobAbortedError,
     ParallelBackendError,
     PoolClosedError,
     ProtocolError,
@@ -88,6 +102,7 @@ __all__ = [
     "ControlPlaneTimeout",
     "ExchangeLayout",
     "ExecutionBackend",
+    "JobAbortedError",
     "JobSpec",
     "MUTATIONS",
     "ParallelBackendError",
@@ -95,6 +110,8 @@ __all__ = [
     "ProcessBackend",
     "ProcessRunHandle",
     "ProtocolError",
+    "RealFaultPlan",
+    "RetryPolicy",
     "SegmentCache",
     "SharedArena",
     "ShmLease",
@@ -107,6 +124,7 @@ __all__ = [
     "WorkerReport",
     "WorkerTrace",
     "WorkerTracer",
+    "active_real_fault_plan",
     "active_shm_sanitizer",
     "ambient_progress",
     "attach",
@@ -114,6 +132,8 @@ __all__ = [
     "estimate_clock_offset",
     "exchange_layout",
     "get_backend",
+    "inject_real_faults",
+    "kill_one_per_job",
     "merge_worker_traces",
     "peak_rss_bytes",
     "resolve_backend",

@@ -40,7 +40,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Protocol, Sequence
 
 import numpy as np
@@ -50,8 +50,16 @@ from ..core.sorter import STEP_LABELS, RankSortOutput, SortOptions
 from ..obs.context import active_capture
 from ..pgxd.config import PgxdConfig
 from .arena import SharedArena, ShmLease
+from .chaos import RealFaultPlan, active_real_fault_plan
 from .collectives import dispatch_job, send_shutdown, serve_control_plane
-from .errors import ParallelBackendError, PoolClosedError, WorkerCrashedError
+from .errors import (
+    ControlPlaneTimeout,
+    JobAbortedError,
+    ParallelBackendError,
+    PoolClosedError,
+    WorkerCrashedError,
+    WorkerFailedError,
+)
 from .layout import exchange_layout
 from .shmsan import MUTATIONS, ShmSan, active_shm_sanitizer
 from .tracing import ProgressFn, ambient_progress, merge_worker_traces
@@ -119,6 +127,54 @@ def _validated(name: "str | ExecutionBackend") -> "str | ExecutionBackend":
     return name
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the pool re-runs a job whose generation crashed under it.
+
+    A mid-job worker death poisons the generation (survivors may be
+    wedged mid-collective); with a policy attached the backend respawns
+    and re-runs the *same* job — same job id, per-attempt fresh
+    generation and freshly staged leases — instead of propagating the
+    typed error.  Attempts within one survivor set are bounded by
+    :attr:`max_attempts` with capped exponential backoff between them;
+    exhaustion raises :class:`~repro.parallel.errors.JobAbortedError`
+    carrying the full attempt history.
+
+    Degradation: when :attr:`degrade_after` consecutive-job crashes
+    charge to one rank (a *poisoned rank* — persistently dying, not
+    transiently unlucky), the backend excludes it, re-plans the input
+    over the survivor set with a fresh attempt budget, and re-sorts at
+    reduced p — surfacing ``SortResult.survivors``/``recovery_rounds``
+    exactly as the simnet resilient sort does.  ``degrade_after=None``
+    disables degradation (retry-only).
+    """
+
+    #: Attempts allowed per survivor set before aborting (>= 1).
+    max_attempts: int = 3
+    #: Backoff before retry k is ``backoff_seconds * 2**(k-1)`` ...
+    backoff_seconds: float = 0.05
+    #: ... capped here (seconds).
+    backoff_cap_seconds: float = 1.0
+    #: Crashes charged to a single rank before it is declared poisoned
+    #: and excluded by a survivor re-plan (None = never degrade).
+    degrade_after: int | None = 2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_seconds < 0.0 or self.backoff_cap_seconds < 0.0:
+            raise ValueError("backoff seconds must be >= 0")
+        if self.degrade_after is not None and self.degrade_after < 1:
+            raise ValueError("degrade_after must be >= 1 (or None)")
+
+    def backoff_for(self, attempt_in_round: int) -> float:
+        """Seconds to sleep before the given retry (1-based)."""
+        return min(
+            self.backoff_seconds * (2 ** max(attempt_in_round - 1, 0)),
+            self.backoff_cap_seconds,
+        )
+
+
 class ExecutionBackend(Protocol):
     """What a substrate must provide to run the partitioned sort."""
 
@@ -155,6 +211,23 @@ class BackendRun:
     #: Splitter-cache verdict for this job (``cold``/``hit``/``miss``/
     #: ``fallback-balance``/``fallback-forced``; None from simnet).
     splitter_cache: str | None = None
+    #: Failed attempts the retry layer burned before this run succeeded
+    #: (0 on the fault-free path, which keeps reports bit-identical).
+    retries: int = 0
+    #: One record per failed attempt (``attempt``/``error``/``rank``/
+    #: ``exitcode``/``last_step``), as carried by ``JobAbortedError``.
+    attempt_history: tuple = ()
+    #: Original rank ids that produced this run after a survivor-degraded
+    #: re-plan; None on the full-width path.  Degraded runs keep the
+    #: original rank count in :attr:`outputs` with ``None`` at excluded
+    #: slots, mirroring the simnet resilient sort's crashed-rank shape.
+    survivors: tuple[int, ...] | None = None
+    #: Survivor re-plan rounds this job needed (0 = first planning held).
+    recovery_rounds: int = 0
+    #: Re-planned input offsets (original-rank indexed) when the job was
+    #: survivor-degraded; overrides the caller's partition offsets in
+    #: :meth:`to_sort_result` because the data was re-blocked.
+    input_offsets: np.ndarray | None = None
 
     def to_sort_result(self, input_offsets: np.ndarray):
         """Assemble the user-facing :class:`~repro.core.result.SortResult`.
@@ -166,6 +239,8 @@ class BackendRun:
         """
         from ..core.result import SortResult
 
+        if self.input_offsets is not None:
+            input_offsets = self.input_offsets
         return SortResult.from_rank_outputs(
             self.outputs, self.cluster_metrics(), input_offsets
         )
@@ -183,15 +258,22 @@ class BackendRun:
         from ..simnet.metrics import ClusterMetrics, ProcessMetrics
 
         p = len(self.outputs)
-        key_itemsize = (
-            self.outputs[0].keys.dtype.itemsize if p else 8
-        )
+        live = [out for out in self.outputs if out is not None]
+        key_itemsize = live[0].keys.dtype.itemsize if live else 8
         idx_itemsize = 4  # int32 origin indices ride the exchange
         processes = []
         remote_bytes = 0
         local_bytes = 0
         messages = 0
         for rank, out in enumerate(self.outputs):
+            if out is None:
+                # Survivor-degraded run: this rank was excluded as
+                # poisoned; it keeps its slot (rank-aligned indices) with
+                # zero traffic and the crashed flag set.
+                m = ProcessMetrics(rank=rank)
+                m.crashed = True
+                processes.append(m)
+                continue
             row = self.counts_matrix[rank]
             col = self.counts_matrix[:, rank]
             off_row = int(row.sum() - row[rank])
@@ -219,6 +301,18 @@ class BackendRun:
             remote_bytes += m.bytes_sent
             local_bytes += int(row[rank]) * per_key
             messages += m.messages_sent
+        # Retry-layer fault accounting: charge each failed attempt to the
+        # rank it was attributed to.  All-zero on clean runs, so the
+        # RunReport ``faults`` key stays absent and the committed run-report
+        # snapshot holds bit-identical.
+        for record in self.attempt_history:
+            culprit = record.get("rank")
+            if culprit is None or not 0 <= culprit < p:
+                continue
+            if record.get("error") == "ControlPlaneTimeout":
+                processes[culprit].timeouts += 1
+            else:
+                processes[culprit].retries += 1
         return ClusterMetrics(
             processes=processes,
             makespan=self.wall_seconds,
@@ -329,6 +423,7 @@ class ProcessBackend:
         *,
         start_method: str | None = None,
         timeout_seconds: float = 120.0,
+        phase_timeout_seconds: float | None = None,
         crash_rank: int | None = None,
         crash_stage: str = "start",
         progress: ProgressFn | None = None,
@@ -339,6 +434,8 @@ class ProcessBackend:
         splitter_cache: "SplitterCache | bool" = True,
         force_resample: bool = False,
         cache_balance_tolerance: float = 2.0,
+        chaos: RealFaultPlan | None = None,
+        retry: "RetryPolicy | bool | None" = None,
     ):
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
@@ -346,6 +443,24 @@ class ProcessBackend:
         self._ctx = multiprocessing.get_context(start_method)
         self.start_method = start_method
         self.timeout_seconds = timeout_seconds
+        #: Per-collective deadline (None = only the global timeout); what
+        #: turns a hung-but-alive rank into a prompt, rank-attributed
+        #: ControlPlaneTimeout instead of a full global stall.
+        self.phase_timeout_seconds = phase_timeout_seconds
+        #: Explicit chaos plan; None follows the ambient
+        #: :func:`~repro.parallel.chaos.inject_real_faults` scope per job.
+        self.chaos = chaos
+        #: Retry policy: an instance, True for defaults, or None — which
+        #: stays fail-fast *except* when a chaos plan is active (chaos
+        #: without recovery would just convert planned faults into lost
+        #: jobs, so an active plan arms the default policy).
+        if retry is True:
+            self._retry: RetryPolicy | None = RetryPolicy()
+        elif retry is False:
+            self._retry = None
+        else:
+            self._retry = retry
+        self._retry_explicit = retry is not None
         self._crash_rank = crash_rank
         self._crash_stage = crash_stage
         #: Live heartbeat sink ``(rank, step, rows)``; an explicit argument
@@ -391,6 +506,16 @@ class ProcessBackend:
         #: Successfully completed jobs.
         self.jobs_completed = 0
         self._job_counter = 0
+        #: Failed attempts that were retried (any recovery path).
+        self.retries = 0
+        #: Jobs that completed at reduced width after a rank was poisoned.
+        self.degraded_jobs = 0
+        #: Jobs that exhausted their retry budget (JobAbortedError raised).
+        self.aborted_jobs = 0
+        # close()-vs-in-flight drain state: close() during a job defers
+        # teardown until the job's finally block completes it.
+        self._in_flight = False
+        self._close_finished = False
 
     # ------------------------------------------------------------ lifetime
 
@@ -411,6 +536,9 @@ class ProcessBackend:
             "pool_spawns": self.pool_spawns,
             "respawns": self.respawns,
             "jobs_completed": self.jobs_completed,
+            "retries": self.retries,
+            "degraded_jobs": self.degraded_jobs,
+            "aborted_jobs": self.aborted_jobs,
             "pool_size": self._pool_size,
             "splitter_cache": (
                 self.splitter_cache.stats()
@@ -482,9 +610,25 @@ class ProcessBackend:
         self._spawn_pool(size)
 
     def close(self) -> None:
+        """Retire the pool; safe to call twice, and mid-job.
+
+        A close() that races an in-flight sort (e.g. from another
+        thread's shutdown path, or a progress callback) must not yank
+        shared memory out from under live workers: it marks the backend
+        closed — no new jobs are accepted — and defers the actual
+        teardown to the job's own cleanup, which drains gracefully.
+        """
+        self._closed = True
+        if self._in_flight:
+            return  # graceful drain: the running job finishes the close
+        self._finish_close()
+
+    def _finish_close(self) -> None:
+        if self._close_finished:
+            return
+        self._close_finished = True
         self._teardown_pool(graceful=True)
         self.arena.close()
-        self._closed = True
 
     def __enter__(self) -> "ProcessBackend":
         return self
@@ -514,6 +658,15 @@ class ProcessBackend:
         override the constructor-level test knobs for this job alone
         (how the crash-mid-stream and cache-fallback tests steer a
         single job without rebuilding the pool).
+
+        With a chaos plan active (constructor ``chaos=`` or the ambient
+        :func:`~repro.parallel.chaos.inject_real_faults` scope) and/or a
+        :class:`RetryPolicy` armed, a failed attempt poisons the
+        generation, respawns, and re-runs the same job; a rank that
+        keeps dying is dropped and the job re-planned over the survivor
+        set.  Exhausting the budget raises :class:`JobAbortedError`
+        carrying the full attempt history.  Without either, failures
+        stay fail-fast exactly as before.
         """
         options = options or SortOptions()
         config = config or PgxdConfig()
@@ -531,8 +684,7 @@ class ProcessBackend:
         job_force_resample = (
             self._force_resample if force_resample is _UNSET else force_resample
         )
-        size = len(blocks)
-        if size == 0:
+        if len(blocks) == 0:
             raise ValueError("need at least one block")
         blocks = [np.ascontiguousarray(b) for b in blocks]
         dtypes = {b.dtype for b in blocks}
@@ -542,7 +694,77 @@ class ProcessBackend:
                 f"{sorted(map(str, dtypes))}; pre-convert or use the "
                 f"simnet backend"
             )
-        (key_dtype,) = dtypes
+
+        chaos = self.chaos if self.chaos is not None else active_real_fault_plan()
+        policy = self._retry
+        if policy is None and chaos is not None and not self._retry_explicit:
+            # Chaos without recovery would just convert planned faults
+            # into lost jobs, so an active plan arms the default policy
+            # (retry=False pins recovery off for fail-fast chaos tests).
+            policy = RetryPolicy()
+        job_id = self._job_counter
+        self._job_counter += 1
+
+        self._in_flight = True
+        try:
+            if policy is None:
+                return self._run_job(
+                    blocks,
+                    options,
+                    config,
+                    job_id=job_id,
+                    attempt=0,
+                    chaos=chaos,
+                    rank_ids=None,
+                    crash_rank=job_crash_rank,
+                    crash_stage=job_crash_stage,
+                    force_resample=job_force_resample,
+                )
+            return self._run_with_retry(
+                blocks,
+                options,
+                config,
+                job_id=job_id,
+                policy=policy,
+                chaos=chaos,
+                crash_rank=job_crash_rank,
+                crash_stage=job_crash_stage,
+                force_resample=job_force_resample,
+            )
+        except ParallelBackendError as exc:
+            # Every failure leaves here stamped with the job it belongs
+            # to; SorterPool.sort_many adds the stream index on top.
+            raise exc.annotate_job(job_id=job_id)
+        finally:
+            self._in_flight = False
+            if self._closed:
+                # close() raced this job and deferred; drain now.
+                self._finish_close()
+
+    def _run_job(
+        self,
+        blocks: Sequence[np.ndarray],
+        options: SortOptions,
+        config: PgxdConfig,
+        *,
+        job_id: int,
+        attempt: int,
+        chaos: "RealFaultPlan | None",
+        rank_ids: tuple[int, ...] | None,
+        crash_rank: int | None,
+        crash_stage: str,
+        force_resample: bool,
+        prior_attempts: tuple = (),
+    ) -> BackendRun:
+        """One attempt: stage input, dispatch, serve, collect.
+
+        ``rank_ids`` maps job slots back to original rank identities for
+        degraded (survivor-width) rounds — chaos schedules and crash
+        hooks always address original ranks, so the mapping rides on the
+        JobSpec and the worker looks itself up before arming chaos.
+        """
+        size = len(blocks)
+        key_dtype = blocks[0].dtype
         track = options.track_provenance
         lengths = [len(b) for b in blocks]
         n = sum(lengths)
@@ -607,18 +829,20 @@ class ProcessBackend:
             proc_lease=proc_lease,
             options=options,
             config=config,
-            crash_rank=job_crash_rank,
-            crash_stage=job_crash_stage,
+            crash_rank=crash_rank,
+            crash_stage=crash_stage,
             trace=cap is not None,
             sanitize=san is not None,
             mutate=self._mutate,
             mutate_rank=self._mutate_rank,
-            job_id=self._job_counter,
+            job_id=job_id,
             cached_candidates=candidates,
-            force_resample=job_force_resample,
+            force_resample=force_resample,
             cache_balance_tolerance=self._cache_balance_tolerance,
+            chaos=chaos,
+            attempt=attempt,
+            rank_ids=rank_ids,
         )
-        self._job_counter += 1
 
         run: BackendRun | None = None
         try:
@@ -634,8 +858,14 @@ class ProcessBackend:
                     self._conns,
                     self._procs,
                     timeout_seconds=self.timeout_seconds,
+                    phase_timeout_seconds=self.phase_timeout_seconds,
                     progress=progress,
                     san_sink=san.ingest if san is not None else None,
+                    chaos=(
+                        chaos.hub_state(job_id, attempt)
+                        if chaos is not None
+                        else None
+                    ),
                 )
             except WorkerCrashedError as exc:
                 if san is not None:
@@ -703,7 +933,221 @@ class ProcessBackend:
                 makespan=run.wall_seconds,
                 driver_counters=driver_counters,
             )
+            for record in prior_attempts:
+                # Failed attempts left no worker trace (their generation
+                # died); surface them as t=0 fault events on the culprit
+                # rank's track so the retry history is visible per run.
+                tracer.fault(
+                    record["rank"] if record["rank"] is not None else 0,
+                    0.0,
+                    "retry",
+                    detail=(
+                        f"attempt {record['attempt']}: {record['error']}"
+                        f" at {record['last_step']}"
+                    ),
+                )
             cap.adopt_session(tracer, ProcessRunHandle(run))
+        return run
+
+    def _run_with_retry(
+        self,
+        blocks: Sequence[np.ndarray],
+        options: SortOptions,
+        config: PgxdConfig,
+        *,
+        job_id: int,
+        policy: RetryPolicy,
+        chaos: "RealFaultPlan | None",
+        crash_rank: int | None,
+        crash_stage: str,
+        force_resample: bool,
+    ) -> BackendRun:
+        """Run one job to completion under the retry/degradation policy.
+
+        Round 0 runs the caller's blocks at full width.  A failed
+        attempt is recorded (rank, exitcode, last heartbeat step), the
+        poisoned generation is respawned by the next attempt, and the
+        same plan re-runs after a capped exponential backoff.  A rank
+        that crashes ``policy.degrade_after`` times is dropped: the
+        original input is re-planned over the survivor set with
+        :func:`~repro.core.api.partition_input` and a fresh attempt
+        budget, and the eventual result is expanded back to original
+        width (excluded slots empty) by :meth:`_expand_degraded`.
+        Exhausting a round's budget raises :class:`JobAbortedError`
+        with the full attempt history.
+        """
+        original_p = len(blocks)
+        survivors = list(range(original_p))
+        attempts: list[dict] = []
+        crash_counts: dict[int, int] = {}
+        recovery_rounds = 0
+        while True:  # repro: noqa[R008] — bounded: every re-plan shrinks the survivor set; the inner loop is capped by policy.max_attempts
+            if recovery_rounds == 0:
+                job_blocks: Sequence[np.ndarray] = blocks
+                rank_ids: tuple[int, ...] | None = None
+                round_offsets = None
+                round_crash_rank = crash_rank
+            else:
+                # Survivor re-plan: concatenate the ORIGINAL input and
+                # re-partition over the reduced width, exactly like a
+                # fresh sort at p' = len(survivors).  Late import: api.py
+                # imports this module, so a top-level import would cycle.
+                from ..core.api import partition_input
+
+                data = np.concatenate(blocks)
+                job_blocks, round_offsets = partition_input(
+                    data, len(survivors)
+                )
+                job_blocks = [np.ascontiguousarray(b) for b in job_blocks]
+                rank_ids = tuple(survivors)
+                # Crash hooks address original ranks; remap to the slot
+                # the target occupies this round (None once it is gone).
+                round_crash_rank = (
+                    survivors.index(crash_rank)
+                    if crash_rank is not None and crash_rank in survivors
+                    else None
+                )
+            attempt_in_round = 0
+            while attempt_in_round < policy.max_attempts:
+                try:
+                    run = self._run_job(
+                        job_blocks,
+                        options,
+                        config,
+                        job_id=job_id,
+                        attempt=len(attempts),
+                        chaos=chaos,
+                        rank_ids=rank_ids,
+                        crash_rank=round_crash_rank,
+                        crash_stage=crash_stage,
+                        force_resample=force_resample,
+                        prior_attempts=tuple(attempts),
+                    )
+                except (
+                    WorkerCrashedError,
+                    WorkerFailedError,
+                    ControlPlaneTimeout,
+                ) as exc:
+                    culprit = self._culprit_rank(exc, rank_ids)
+                    attempts.append(
+                        {
+                            "attempt": len(attempts),
+                            "error": type(exc).__name__,
+                            "rank": culprit,
+                            "exitcode": getattr(exc, "exitcode", None),
+                            "last_step": getattr(exc, "last_step", None),
+                        }
+                    )
+                    self.retries += 1
+                    attempt_in_round += 1
+                    if culprit is not None:
+                        crash_counts[culprit] = crash_counts.get(culprit, 0) + 1
+                        if (
+                            policy.degrade_after is not None
+                            and crash_counts[culprit] >= policy.degrade_after
+                            and culprit in survivors
+                            and len(survivors) > 1
+                        ):
+                            # Poisoned rank: drop it and re-plan over the
+                            # survivors with a fresh attempt budget.
+                            survivors.remove(culprit)
+                            recovery_rounds += 1
+                            break
+                    if attempt_in_round >= policy.max_attempts:
+                        self.aborted_jobs += 1
+                        raise JobAbortedError(job_id, attempts) from exc
+                    time.sleep(policy.backoff_for(attempt_in_round))
+                else:
+                    if recovery_rounds:
+                        run = self._expand_degraded(
+                            run,
+                            tuple(survivors),
+                            original_p,
+                            round_offsets,
+                            recovery_rounds,
+                        )
+                        self.degraded_jobs += 1
+                    run.retries = len(attempts)
+                    run.attempt_history = tuple(attempts)
+                    return run
+
+    @staticmethod
+    def _culprit_rank(
+        exc: ParallelBackendError, rank_ids: tuple[int, ...] | None
+    ) -> int | None:
+        """Original-rank identity of the failed attempt's culprit.
+
+        Crash/failure errors name their rank outright; a phase-deadline
+        timeout with exactly one rank missing from the stalled
+        collective charges that rank (more than one missing is
+        ambiguous — no attribution).  Slot indices from degraded rounds
+        are mapped back through ``rank_ids``.
+        """
+        rank = getattr(exc, "rank", None)
+        if rank is None:
+            missing = getattr(exc, "missing_ranks", ())
+            if len(missing) == 1:
+                rank = missing[0]
+        if rank is None:
+            return None
+        if rank_ids is not None:
+            return rank_ids[rank] if 0 <= rank < len(rank_ids) else None
+        return int(rank)
+
+    def _expand_degraded(
+        self,
+        run: BackendRun,
+        survivors: tuple[int, ...],
+        original_p: int,
+        offsets: np.ndarray,
+        recovery_rounds: int,
+    ) -> BackendRun:
+        """Map a survivor-width run back onto the original rank space.
+
+        Excluded slots get ``None`` outputs (SortResult renders them as
+        empty partitions), the counts matrix is scattered through
+        ``np.ix_`` so traffic stays attributed to original identities,
+        and provenance ``origin_proc`` is remapped so global indices
+        stay exact against the original concatenated input — the
+        re-planned offsets ride on ``run.input_offsets`` and override
+        the caller's offsets in ``to_sort_result``.
+        """
+        survivor_arr = np.asarray(survivors, dtype=np.int64)
+        expanded_counts = np.zeros(
+            (original_p, original_p), dtype=run.counts_matrix.dtype
+        )
+        expanded_counts[np.ix_(survivor_arr, survivor_arr)] = run.counts_matrix
+        outputs: list = [None] * original_p
+        reports: list = [None] * original_p
+        for slot, orig in enumerate(survivors):
+            out = run.outputs[slot]
+            prov = out.provenance
+            if prov is not None and len(prov.origin_proc):
+                prov = Provenance(
+                    origin_proc=survivor_arr[prov.origin_proc].astype(
+                        prov.origin_proc.dtype
+                    ),
+                    origin_index=prov.origin_index,
+                )
+            outputs[orig] = replace(
+                out,
+                provenance=prov,
+                sent_counts=expanded_counts[orig].copy(),
+                received_counts=expanded_counts[:, orig].copy(),
+                survivors=tuple(survivors),
+                recovery_rounds=recovery_rounds,
+            )
+            if run.reports:
+                reports[orig] = run.reports[slot]
+        expanded_offsets = np.zeros(original_p, dtype=np.int64)
+        expanded_offsets[survivor_arr] = np.asarray(offsets, dtype=np.int64)
+        run.outputs = outputs
+        if run.reports:
+            run.reports = reports
+        run.counts_matrix = expanded_counts
+        run.survivors = tuple(survivors)
+        run.recovery_rounds = recovery_rounds
+        run.input_offsets = expanded_offsets
         return run
 
     def _collect(
@@ -856,6 +1300,7 @@ __all__ = [
     "ExecutionBackend",
     "ProcessBackend",
     "ProcessRunHandle",
+    "RetryPolicy",
     "SimnetBackend",
     "SplitterCache",
     "STEP_LABELS",

@@ -80,6 +80,9 @@ class WorkerLink:
         self._seq = 0
         #: Attached tracer (None on untraced runs — the guard pattern).
         self.tracer = None
+        #: Attached per-attempt chaos state (None on un-chaosed runs —
+        #: the same guard pattern; see :mod:`repro.parallel.chaos`).
+        self.chaos = None
         #: Label of the step the worker loop is currently inside.
         self.step_label = ""
         #: Measured blocking seconds, by wait kind and by step label.
@@ -108,6 +111,7 @@ class WorkerLink:
         self._seq = 0
         self.epoch = 0
         self.tracer = None
+        self.chaos = None
         self.step_label = ""
         self.wait_by_kind = {"recv-wait": 0.0, "barrier-wait": 0.0}
         self.wait_by_step = {}
@@ -133,6 +137,12 @@ class WorkerLink:
             # Stale collective reply (or unknown debris): drop and re-wait.
 
     def _collective(self, op: str, payload: Any = None, root: int = 0) -> Any:
+        if self.chaos is not None:
+            # hang-at-collective: the planned rank sleeps here instead of
+            # contributing — no process dies, so only the hub's per-phase
+            # deadline can convert this into a typed, rank-attributed
+            # ControlPlaneTimeout.
+            self.chaos.before_collective(op)
         self._seq += 1
         start = time.perf_counter()  # repro: noqa[R002] — real backend: measured pipe-blocking time is the point
         self.conn.send(("coll", op, self._seq, self.rank, root, payload))
@@ -202,9 +212,15 @@ class WorkerLink:
         """Fire-and-forget liveness beat: entering ``step`` with ``rows``.
 
         Also rotates :attr:`step_label` so subsequent collective waits are
-        attributed to the new step.
+        attributed to the new step.  A chaos-muted rank still rotates the
+        label (the sort is unaffected) but suppresses the pipe message —
+        degrading crash *detection* to "no heartbeat received", which is
+        precisely the diagnostics path the ``mute=`` fault exercises.
         """
         self.step_label = step
+        if self.chaos is not None and self.chaos.muted:
+            self.chaos.note_muted(step)
+            return
         self.conn.send(("hb", self.rank, step, int(rows)))
 
     def send_done(self, payload: Any) -> None:
@@ -246,6 +262,9 @@ def send_shutdown(conns: list[Connection]) -> None:
 class _PendingOp:
     root: int
     contributions: dict[int, Any]
+    #: Hub clock when the first contribution opened this collective —
+    #: what the per-phase deadline measures against.
+    opened_at: float = 0.0
 
 
 def _reply(op: str, pending: _PendingOp, size: int) -> dict[int, Any]:
@@ -272,8 +291,10 @@ def serve_control_plane(
     processes: list,
     *,
     timeout_seconds: float | None = None,
+    phase_timeout_seconds: float | None = None,
     progress=None,
     san_sink=None,
+    chaos=None,
 ) -> dict[int, Any]:
     """Drive the collective hub until every worker reports done.
 
@@ -293,6 +314,20 @@ def serve_control_plane(
     :class:`~repro.parallel.errors.ControlPlaneTimeout` when
     ``timeout_seconds`` passes without any progress (naming each rank's
     last heartbeat, so a hang reports which step every worker was in).
+
+    ``phase_timeout_seconds`` arms the *per-phase deadline*: no single
+    collective may stay open longer than this, even while other traffic
+    (heartbeats, sanitizer flushes) keeps resetting the global
+    no-progress clock.  This is what detects a hung-but-alive rank
+    promptly — the resulting :class:`ControlPlaneTimeout` names the
+    ``missing_ranks`` whose contribution never arrived, so the retry
+    layer can charge the failure to a specific rank with no corpse to
+    point at.
+
+    ``chaos``, when given, is a
+    :class:`~repro.parallel.chaos.HubChaosState`: each collective reply
+    may be preceded by a seeded delay spike (the pipe-star latency
+    fault).  The no-chaos path pays one ``is not None`` check per reply.
     """
     from .errors import WorkerFailedError
 
@@ -334,9 +369,29 @@ def serve_control_plane(
             rank, exitcode, phase(), last_step=step, heartbeat_age=age
         )
 
+    def check_phase_deadline(now: float) -> None:
+        if phase_timeout_seconds is None or not pending:
+            return
+        key = min(pending, key=lambda k: pending[k].opened_at)
+        slot = pending[key]
+        age = now - slot.opened_at
+        if age > phase_timeout_seconds:
+            op, seq = key
+            missing = tuple(
+                r for r in range(size) if r not in slot.contributions
+            )
+            raise ControlPlaneTimeout(
+                age,
+                f"collective {op}#{seq} open past its {phase_timeout_seconds:.1f}s"
+                f" phase deadline",
+                heartbeats=beat_summary(),
+                missing_ranks=missing,
+            )
+
     while active:
         ready = wait([conns[r] for r in active], timeout=_POLL_SECONDS)
         now = time.perf_counter()  # repro: noqa[R002] — real backend: liveness/timeout bookkeeping needs the wall clock
+        check_phase_deadline(now)
         if not ready:
             for rank in sorted(active):
                 proc = processes[rank]
@@ -381,7 +436,9 @@ def serve_control_plane(
                 key = (op, seq)
                 slot = pending.get(key)
                 if slot is None:
-                    slot = pending[key] = _PendingOp(root=root, contributions={})
+                    slot = pending[key] = _PendingOp(
+                        root=root, contributions={}, opened_at=now
+                    )
                 elif slot.root != root:
                     raise ProtocolError(
                         f"collective {op}#{seq}: rank {sender} named root "
@@ -397,6 +454,8 @@ def serve_control_plane(
                     del pending[key]
                     replies = _reply(op, slot, size)
                     for peer, reply in replies.items():
+                        if chaos is not None:
+                            chaos.maybe_delay_reply()
                         conns[peer].send(reply)
             else:
                 raise ProtocolError(f"unknown control message kind {kind!r}")

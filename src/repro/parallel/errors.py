@@ -12,7 +12,39 @@ from __future__ import annotations
 
 
 class ParallelBackendError(RuntimeError):
-    """Base class for process-backend failures."""
+    """Base class for process-backend failures.
+
+    Every subclass carries optional *job provenance*: the control-plane
+    hub that raises these errors knows ranks and pipes, not jobs, so the
+    backend stamps ``job_id`` as the error propagates out of
+    ``sort_blocks`` and ``SorterPool.sort_many`` adds ``stream_index`` —
+    a mid-stream failure then names exactly which job of the stream died.
+    """
+
+    #: Pool job the failure belongs to (``None`` until stamped).
+    job_id: int | None = None
+    #: Position in a ``SorterPool.sort_many`` stream (``None`` until stamped).
+    stream_index: int | None = None
+
+    def annotate_job(
+        self, *, job_id: int | None = None, stream_index: int | None = None
+    ) -> "ParallelBackendError":
+        """Attach job/stream provenance post-hoc; first stamp wins.
+
+        Mutates in place and returns ``self`` so callers can
+        ``raise exc.annotate_job(job_id=...)`` without losing the original
+        traceback.  The rendered message is extended once per field.
+        """
+        notes = []
+        if job_id is not None and self.job_id is None:
+            self.job_id = job_id
+            notes.append(f"job {job_id}")
+        if stream_index is not None and self.stream_index is None:
+            self.stream_index = stream_index
+            notes.append(f"stream index {stream_index}")
+        if notes and self.args:
+            self.args = (f"{self.args[0]} [{', '.join(notes)}]",) + self.args[1:]
+        return self
 
 
 def _beat_clause(last_step: str | None, heartbeat_age: float | None) -> str:
@@ -77,16 +109,62 @@ class WorkerFailedError(ParallelBackendError):
 
 
 class ControlPlaneTimeout(ParallelBackendError):
-    """The hub's wall-clock deadline expired with collectives pending."""
+    """The hub's wall-clock deadline expired with collectives pending.
 
-    def __init__(self, waited_seconds: float, pending: str, heartbeats: str = ""):
+    Two deadlines feed this error: the global no-progress timeout, and
+    (when armed) the per-phase deadline that bounds how long any single
+    collective may stay open while *other* traffic keeps flowing — the
+    case a hung or muted rank creates.  ``missing_ranks`` names the ranks
+    whose contribution never arrived, which lets the retry layer charge
+    the failure to a specific rank even though no process died.
+    """
+
+    def __init__(
+        self,
+        waited_seconds: float,
+        pending: str,
+        heartbeats: str = "",
+        missing_ranks: tuple[int, ...] = (),
+    ):
         self.waited_seconds = waited_seconds
         self.pending = pending
         self.heartbeats = heartbeats
+        self.missing_ranks = tuple(missing_ranks)
         beats = f"; {heartbeats}" if heartbeats else ""
+        missing = (
+            f"; missing ranks {list(self.missing_ranks)}" if self.missing_ranks else ""
+        )
         super().__init__(
             f"control plane made no progress for {waited_seconds:.1f}s "
-            f"({pending}{beats}); terminating workers"
+            f"({pending}{beats}{missing}); terminating workers"
+        )
+
+
+class JobAbortedError(ParallelBackendError):
+    """Retries exhausted: the same job failed on every allowed attempt.
+
+    Raised by the retry layer in
+    :meth:`~repro.parallel.backend.ProcessBackend.sort_blocks` after a
+    :class:`~repro.parallel.backend.RetryPolicy` runs out of attempts
+    without the job completing (and, when degradation is enabled, without
+    the failures concentrating on a single poisonable rank).  Carries the
+    full attempt history — one dict per attempt with ``attempt``,
+    ``error``, ``rank``, ``exitcode``, and ``last_step`` (the rank's last
+    step-boundary heartbeat) — so postmortems see every generation that
+    was burned, not just the final straw.
+    """
+
+    def __init__(self, job_id: int, attempts: list[dict] | tuple[dict, ...]):
+        self.job_id = job_id
+        self.attempts = tuple(attempts)
+        history = "; ".join(
+            f"attempt {a['attempt']}: {a['error']}"
+            f" rank={a['rank']} exitcode={a['exitcode']} last_step={a['last_step']}"
+            for a in self.attempts
+        )
+        super().__init__(
+            f"job {job_id} aborted after {len(self.attempts)} failed attempts"
+            f" ({history})"
         )
 
 

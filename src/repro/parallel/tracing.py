@@ -69,6 +69,9 @@ class WorkerTrace:
     counters: list[tuple[float, str, float]] = field(default_factory=list)
     #: ``(start, end, label)`` — the six step windows, in step order.
     steps: list[tuple[float, float, str]] = field(default_factory=list)
+    #: ``(t, kind, detail)`` — chaos injections this worker survived
+    #: (``slow``/``mute``/``hang``; a kill leaves no trace by definition).
+    faults: list[tuple[float, str, str]] = field(default_factory=list)
     #: Pool job this trace belongs to (0 outside pooled streams).  A
     #: persistent worker records one fresh WorkerTrace per job — the
     #: clock-offset handshake reruns each time, so pooled traces stay
@@ -107,6 +110,10 @@ class WorkerTracer:
     def step(self, start: float, end: float, label: str) -> None:
         """One of the six step windows (from the measured boundaries)."""
         self.trace.steps.append((start, end, label))
+
+    def fault(self, kind: str, detail: str = "") -> None:
+        """One chaos injection this worker lived through (slow/mute/hang)."""
+        self.trace.faults.append((time.perf_counter(), kind, detail))  # repro: noqa[R002] — real backend: fault timestamps are measured data
 
 
 def estimate_clock_offset(probe, attempts: int = 5) -> tuple[float, float]:
@@ -183,6 +190,8 @@ def merge_worker_traces(
             tracer.span(trace.rank, max(start + shift, 0.0), duration, kind, label)
         for t, cname, value in trace.counters:
             tracer.counter(trace.rank, max(t + shift, 0.0), cname, value)
+        for t, kind, detail in trace.faults:
+            tracer.fault(trace.rank, max(t + shift, 0.0), kind, detail=detail)
         for dst, nbytes, offset_bytes, start, end in trace.flows:
             flows.append(
                 (

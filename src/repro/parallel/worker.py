@@ -122,6 +122,19 @@ class JobSpec:
     #: A cached candidate is usable only if the heaviest destination's
     #: histogram load stays under ``tolerance × ideal``.
     cache_balance_tolerance: float = 2.0
+    #: Seeded process-level fault plan (:mod:`repro.parallel.chaos`);
+    #: ``None`` — the overwhelmingly common case — keeps the worker on
+    #: the exact PR-9 code path behind ``is not None`` guards.
+    chaos: "object | None" = None
+    #: Which attempt of the job this dispatch is (0 on the first try).
+    #: Retries re-run the same logical job under a fresh generation; the
+    #: chaos plan uses this to model transient vs. persistent faults.
+    attempt: int = 0
+    #: Original rank identity per worker slot, set by survivor-degraded
+    #: re-plans (``rank_ids[slot] = original rank``); ``None`` means the
+    #: identity mapping.  Keeps chaos schedules and crash hooks aimed at
+    #: the same physical participant across renumberings.
+    rank_ids: tuple[int, ...] | None = None
 
 
 #: Backward-compatible alias (pre-PR-9 name for the per-spawn payload).
@@ -264,7 +277,11 @@ def _run_six_steps(
     def _beat(step: str, rows: int) -> None:
         # Heartbeat the hub and piggyback a sanitizer-log flush on the
         # same step boundary, so a crash mid-run leaves the analyzer
-        # every access up to the last boundary.
+        # every access up to the last boundary.  The chaos plan is
+        # consulted first: a planned kill must not leave a heartbeat for
+        # the step it never entered.
+        if link.chaos is not None:
+            link.chaos.at_step_boundary(step)
         link.heartbeat(step, rows)
         if recorder is not None:
             link.flush_san(recorder.drain())
@@ -277,6 +294,8 @@ def _run_six_steps(
         # a pooled worker's offset drifts between jobs.
         tracer = WorkerTracer(rank, job_id=plan.job_id)
         link.tracer = tracer
+        if link.chaos is not None:
+            link.chaos.tracer = tracer  # surviving injections leave fault events
         offset, rtt = estimate_clock_offset(link.probe)
         tracer.trace.clock_offset = offset
         tracer.trace.clock_rtt = rtt
@@ -567,6 +586,17 @@ def worker_main(rank: int, size: int, conn: Connection) -> None:
             if job is None:
                 break
             link.reset()
+            if job.chaos is not None:
+                # Chaos schedules address *original* rank ids; under a
+                # survivor-degraded re-plan this slot's identity rides on
+                # the spec, so a poisoned rank stays poisoned through any
+                # renumbering and excluded ranks take no one down with them.
+                identity = (
+                    job.rank_ids[rank] if job.rank_ids is not None else rank
+                )
+                link.chaos = job.chaos.worker_state(
+                    identity, job.job_id, job.attempt
+                )
             try:
                 _maybe_crash(job, rank, "start")
                 report = _run_six_steps(rank, job, link, segments)

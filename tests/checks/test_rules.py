@@ -293,11 +293,33 @@ class TestParallelScopes:
         assert violations == []
         assert suppressed == 1
 
-    def test_r008_still_skips_realtime_loops(self):
+    def test_r008_fires_in_parallel_without_noqa(self):
+        # The old blanket skip is gone: since the backend grew retry
+        # machinery, an unbounded retry loop in parallel/ spins real OS
+        # processes and must be flagged like anywhere else in the library.
         src = """
         def pump(self):
             while True:
                 self.attempt += 1
+        """
+        assert rules_in(src, PARALLEL) == ["R008"]
+
+    def test_r008_noqa_licenses_a_parallel_retry_loop(self):
+        src = (
+            "def replan(self):\n"
+            "    while True:\n"
+            "        self.retries += 1  # repro: noqa[R008] — bounded by the shrinking survivor set\n"
+        )
+        violations, suppressed = lint_source(src, PARALLEL)
+        assert violations == []
+        assert suppressed == 1
+
+    def test_r008_silent_on_bounded_parallel_retry_loop(self):
+        src = """
+        def pump(self, policy):
+            attempt = 0
+            while attempt < policy.max_attempts:
+                attempt += 1
         """
         assert rules_in(src, PARALLEL) == []
 

@@ -2,15 +2,16 @@
 
 import multiprocessing
 import os
+import time
 
 import pytest
 
-from repro.parallel import WorkerCrashedError, WorkerFailedError
+from repro.parallel import ControlPlaneTimeout, WorkerCrashedError, WorkerFailedError
 from repro.parallel.collectives import WorkerLink, serve_control_plane
 from repro.parallel.errors import ProtocolError
 
 
-def _run_hub(target, size, timeout_seconds=30.0, extra=()):
+def _run_hub(target, size, timeout_seconds=30.0, extra=(), **hub_kwargs):
     """Spawn ``size`` workers running ``target(link, *extra)`` under the hub."""
     ctx = multiprocessing.get_context()
     conns, procs = [], []
@@ -23,7 +24,9 @@ def _run_hub(target, size, timeout_seconds=30.0, extra=()):
             )
         for proc in procs:
             proc.start()
-        return serve_control_plane(conns, procs, timeout_seconds=timeout_seconds)
+        return serve_control_plane(
+            conns, procs, timeout_seconds=timeout_seconds, **hub_kwargs
+        )
     finally:
         for proc in procs:
             if proc.is_alive():
@@ -72,6 +75,14 @@ def _raise_on_one(link, failing_rank):
     return link.rank
 
 
+def _hang_at_gather(link, hung_rank):
+    if link.rank == hung_rank:
+        # Alive but silent: never enters the collective, never crashes.
+        time.sleep(600.0)
+        return None
+    return link.gather(link.rank, root=0)
+
+
 def _disagree_on_root(link):
     # Rank 0 names itself root; everyone else names rank 1.
     link.gather(link.rank, root=0 if link.rank == 0 else 1)
@@ -114,3 +125,24 @@ class TestFailureTyping:
     def test_root_disagreement_is_a_protocol_error(self):
         with pytest.raises(ProtocolError):
             _run_hub(_disagree_on_root, size=2)
+
+    def test_phase_deadline_names_the_missing_rank(self):
+        """A hung-but-alive rank trips the per-phase deadline, typed.
+
+        No process dies, so the liveness watch never fires; only the
+        per-collective deadline can convert the stall into an error —
+        and with exactly one rank absent from the stalled collective it
+        must name it, which is what lets the retry layer charge the
+        right rank for a hang.
+        """
+        with pytest.raises(ControlPlaneTimeout) as excinfo:
+            _run_hub(
+                _hang_at_gather,
+                size=3,
+                extra=(2,),
+                phase_timeout_seconds=0.5,
+            )
+        exc = excinfo.value
+        assert exc.missing_ranks == (2,)
+        assert "phase deadline" in str(exc)
+        assert "missing ranks [2]" in str(exc)

@@ -3,6 +3,8 @@ serves a stream of jobs bit-identically to the oracle, with warm arenas,
 per-job epoch reset, crash-respawn recovery, and exact splitter-cache
 reuse."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -103,6 +105,45 @@ class TestPoolStreaming:
         backend.close()
         with pytest.raises(PoolClosedError):
             backend.sort_blocks(_blocks(4_000, 2))
+
+    def test_double_close_is_a_no_op(self):
+        backend = ProcessBackend()
+        backend.sort_blocks(_blocks(4_000, 2))
+        backend.close()
+        backend.close()  # idempotent: no error, no double-teardown
+        with pytest.raises(PoolClosedError):
+            backend.sort_blocks(_blocks(4_000, 2))
+
+    def test_close_mid_job_drains_gracefully(self):
+        """close() racing an in-flight job defers teardown to the job.
+
+        The in-flight sort must complete bit-identically (shared memory
+        is not yanked from under live workers), the deferred close must
+        then actually retire the generation, and no worker process may
+        outlive it.
+        """
+        blocks = _blocks(20_000, 4)
+        reference = local_sample_sort(blocks)
+        backend = ProcessBackend()
+        backend.sort_blocks(blocks)  # warm the pool
+        pids = [pid for pid in backend.worker_pids if pid is not None]
+        closed_during = []
+
+        def close_on_first_heartbeat(rank, step, rows):
+            if not closed_during:
+                closed_during.append(True)
+                backend.close()
+
+        backend._progress = close_on_first_heartbeat
+        run = backend.sort_blocks(blocks)
+        _assert_bit_identical(reference, run)
+        # The deferred close ran in the job's cleanup: pool retired.
+        assert backend.worker_pids == []
+        for pid in pids:
+            with pytest.raises(OSError):
+                os.kill(pid, 0)  # ESRCH: no orphaned workers
+        with pytest.raises(PoolClosedError):
+            backend.sort_blocks(blocks)
 
 
 class TestSplitterCache:

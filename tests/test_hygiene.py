@@ -41,7 +41,7 @@ class TestDeterminismHygiene:
     #: (enforced by the AST lint gate) — new parallel modules like
     #: ``shmsan.py``/``layout.py`` must stay clock-free and are scanned.
     PARALLEL_TIMING_FILES = {
-        "backend.py", "collectives.py", "tracing.py", "worker.py",
+        "backend.py", "chaos.py", "collectives.py", "tracing.py", "worker.py",
     }
 
     def test_no_wall_clock_in_library(self):
